@@ -1,0 +1,119 @@
+//! Ablations beyond the paper: cut-off k, coordinate space, construction
+//! strategy, forced reinsertion, KNN, and the FFT substrate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, stock_relation};
+use tsq_core::{
+    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, SimilarityIndex, SpaceKind,
+};
+use tsq_dft::FftPlanner;
+use tsq_rtree::RTreeConfig;
+
+fn bench(c: &mut Criterion) {
+    let relation = stock_relation();
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // Cut-off k: filter power vs dimensionality.
+    for &k in &[1usize, 2, 4] {
+        let cfg = IndexConfig {
+            schema: FeatureSchema::NormalForm { k },
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(cfg, relation.clone()).unwrap();
+        let t = LinearTransform::moving_average(128, 20);
+        let q = idx.series(17).unwrap().clone();
+        let w = QueryWindow::default();
+        group.bench_with_input(BenchmarkId::new("k_sweep_range_query", k), &k, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, 1.5, &t, &w).unwrap()))
+        });
+    }
+
+    // Coordinate space under T_rev (legal in both).
+    for (name, space) in [("polar", SpaceKind::Polar), ("rect", SpaceKind::Rectangular)] {
+        let cfg = IndexConfig {
+            space,
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(cfg, relation.clone()).unwrap();
+        let t = LinearTransform::reverse(128);
+        let q = idx.series(3).unwrap().clone();
+        let w = QueryWindow::default();
+        group.bench_with_input(BenchmarkId::new("space_reverse_query", name), &name, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, 4.0, &t, &w).unwrap()))
+        });
+    }
+
+    // Construction: STR bulk vs incremental R* insert vs no-reinsert.
+    group.bench_function("build_bulk_str", |b| {
+        b.iter(|| black_box(build_index(relation.clone())))
+    });
+    group.bench_function("build_incremental_rstar", |b| {
+        b.iter(|| {
+            let cfg = IndexConfig {
+                bulk_load: false,
+                ..IndexConfig::default()
+            };
+            black_box(SimilarityIndex::build(cfg, relation.clone()).unwrap())
+        })
+    });
+    group.bench_function("build_incremental_no_reinsert", |b| {
+        b.iter(|| {
+            let cfg = IndexConfig {
+                bulk_load: false,
+                rtree: RTreeConfig::default().without_reinsert(),
+                ..IndexConfig::default()
+            };
+            black_box(SimilarityIndex::build(cfg, relation.clone()).unwrap())
+        })
+    });
+
+    // KNN under a transformation.
+    {
+        let idx = build_index(relation.clone());
+        let t = LinearTransform::moving_average(128, 20);
+        let q = idx.series(42).unwrap().clone();
+        group.bench_function("knn10_mavg20", |b| {
+            b.iter(|| black_box(idx.knn_query(&q, 10, &t).unwrap()))
+        });
+    }
+
+    // FFT substrate: power-of-two vs Bluestein sizes.
+    {
+        let mut planner = FftPlanner::new();
+        let x128: Vec<f64> = (0..128).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x1067: Vec<f64> = (0..1067).map(|i| (i as f64 * 0.37).sin()).collect();
+        let p128 = planner.plan(128);
+        let p1067 = planner.plan(1067);
+        group.bench_function("fft_radix2_128", |b| {
+            let mut buf: Vec<tsq_dft::Complex64> = x128
+                .iter()
+                .map(|&v| tsq_dft::Complex64::from_real(v))
+                .collect();
+            b.iter(|| {
+                p128.forward(&mut buf);
+                black_box(&buf);
+            })
+        });
+        group.bench_function("fft_bluestein_1067", |b| {
+            let mut buf: Vec<tsq_dft::Complex64> = x1067
+                .iter()
+                .map(|&v| tsq_dft::Complex64::from_real(v))
+                .collect();
+            b.iter(|| {
+                p1067.forward(&mut buf);
+                black_box(&buf);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

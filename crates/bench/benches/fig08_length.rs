@@ -1,0 +1,33 @@
+//! Figure 8: range-query time vs sequence length (1,000 sequences),
+//! identity transformation — transformed traversal vs plain traversal.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, random_walks};
+use tsq_core::{LinearTransform, QueryWindow};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_length");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for &len in &[64usize, 256, 1024] {
+        let idx = build_index(random_walks(1000, len, 8_000 + len as u64));
+        let t = LinearTransform::identity(len);
+        let q = idx.series(17).unwrap().clone();
+        let w = QueryWindow::default();
+        group.bench_with_input(BenchmarkId::new("with_transform", len), &len, |b, _| {
+            b.iter(|| black_box(idx.range_query_forced(&q, 1.0, &t, &w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("plain", len), &len, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, 1.0, &t, &w).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 9: range-query time vs relation size (length 128), identity
+//! transformation — transformed traversal vs plain traversal.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, random_walks};
+use tsq_core::{LinearTransform, QueryWindow};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_cardinality");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for &count in &[500usize, 2000, 12000] {
+        let idx = build_index(random_walks(count, 128, 9_000 + count as u64));
+        let t = LinearTransform::identity(128);
+        let q = idx.series(17).unwrap().clone();
+        let w = QueryWindow::default();
+        group.bench_with_input(BenchmarkId::new("with_transform", count), &count, |b, _| {
+            b.iter(|| black_box(idx.range_query_forced(&q, 1.0, &t, &w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("plain", count), &count, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, 1.0, &t, &w).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

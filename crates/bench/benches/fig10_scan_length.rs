@@ -1,0 +1,33 @@
+//! Figure 10: transformed index query vs sequential scan, varying the
+//! sequence length (1,000 sequences, T_mavg20).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, random_walks};
+use tsq_core::{LinearTransform, QueryWindow, ScanMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scan_length");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for &len in &[64usize, 256, 1024] {
+        let idx = build_index(random_walks(1000, len, 10_000 + len as u64));
+        let t = LinearTransform::moving_average(len, 20.min(len / 2));
+        let q = idx.series(17).unwrap().clone();
+        let w = QueryWindow::default();
+        group.bench_with_input(BenchmarkId::new("index", len), &len, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, 1.0, &t, &w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", len), &len, |b, _| {
+            b.iter(|| black_box(idx.scan_range(&q, 1.0, &t, ScanMode::EarlyAbandon).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

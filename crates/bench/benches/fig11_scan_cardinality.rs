@@ -1,0 +1,33 @@
+//! Figure 11: transformed index query vs sequential scan, varying the
+//! relation size (length 128, T_mavg20).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, random_walks};
+use tsq_core::{LinearTransform, QueryWindow, ScanMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_scan_cardinality");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for &count in &[500usize, 2000, 12000] {
+        let idx = build_index(random_walks(count, 128, 11_000 + count as u64));
+        let t = LinearTransform::moving_average(128, 20);
+        let q = idx.series(17).unwrap().clone();
+        let w = QueryWindow::default();
+        group.bench_with_input(BenchmarkId::new("index", count), &count, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, 1.0, &t, &w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", count), &count, |b, _| {
+            b.iter(|| black_box(idx.scan_range(&q, 1.0, &t, ScanMode::EarlyAbandon).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 12: index vs scan as the answer-set size grows (1067 stocks,
+//! length 128, T_mavg20). The paper's crossover sits near an answer set of
+//! ~300 (a third of the relation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, stock_relation};
+use tsq_core::{LinearTransform, QueryWindow, ScanMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_selectivity");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let idx = build_index(stock_relation());
+    let t = LinearTransform::moving_average(128, 20);
+    let q = idx.series(17).unwrap().clone();
+    let w = QueryWindow::default();
+    // Thresholds derived from the sorted distance distribution so the
+    // answer sizes land on the targets (the paper's x-axis).
+    let qf = idx.query_features(&q, &t).unwrap();
+    let mut dists: Vec<f64> = (0..idx.len())
+        .map(|id| idx.exact_distance(id, &t, &qf))
+        .collect();
+    dists.sort_by(f64::total_cmp);
+    for &target in &[10usize, 150, 400] {
+        let eps = 0.5 * (dists[target - 1] + dists[target]);
+        group.bench_with_input(BenchmarkId::new("index", target), &target, |b, _| {
+            b.iter(|| black_box(idx.range_query(&q, eps, &t, &w).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", target), &target, |b, _| {
+            b.iter(|| black_box(idx.scan_range(&q, eps, &t, ScanMode::EarlyAbandon).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1: the spatial self-join on the 1067-stock relation under
+//! T_mavg20, by all four of the paper's methods plus the tree-join
+//! extension.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsq_bench::{build_index, calibrate_join_eps, stock_relation};
+use tsq_core::{LinearTransform, ScanMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_join");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let idx = build_index(stock_relation());
+    let t = LinearTransform::moving_average(128, 20);
+    let identity = LinearTransform::identity(128);
+    let eps = calibrate_join_eps(&idx, &t, 12);
+
+    group.bench_function("a_scan_full", |b| {
+        b.iter(|| black_box(idx.join_scan(eps, &t, ScanMode::Naive).unwrap()))
+    });
+    group.bench_function("b_scan_early_abandon", |b| {
+        b.iter(|| black_box(idx.join_scan(eps, &t, ScanMode::EarlyAbandon).unwrap()))
+    });
+    group.bench_function("c_index_join_no_transform", |b| {
+        b.iter(|| black_box(idx.join_index(eps, &identity).unwrap()))
+    });
+    group.bench_function("d_index_join_mavg20", |b| {
+        b.iter(|| black_box(idx.join_index(eps, &t).unwrap()))
+    });
+    group.bench_function("e_tree_join_mavg20", |b| {
+        b.iter(|| black_box(idx.join_tree(eps, &t).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

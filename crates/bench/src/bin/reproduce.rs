@@ -1,0 +1,164 @@
+//! Regenerates every figure and table of the paper's evaluation section
+//! on this machine, printing paper-shaped rows.
+//!
+//! Usage: `cargo run --release -p tsq-bench --bin reproduce [fig8|fig9|fig10|fig11|fig12|table1|ablations|all]`
+
+use tsq_bench::*;
+use tsq_core::LinearTransform;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = arg == "all";
+    if all || arg == "fig8" {
+        fig8();
+    }
+    if all || arg == "fig9" {
+        fig9();
+    }
+    if all || arg == "fig10" {
+        fig10();
+    }
+    if all || arg == "fig11" {
+        fig11();
+    }
+    if all || arg == "fig12" {
+        fig12();
+    }
+    if all || arg == "table1" {
+        run_table1();
+    }
+    if all || arg == "ablations" {
+        ablations();
+    }
+}
+
+fn header(title: &str, cols: &str) {
+    println!("\n=== {title} ===");
+    println!("{cols}");
+}
+
+fn fig8() {
+    header(
+        "Figure 8: time per query vs sequence length (1000 sequences, identity transform)",
+        "len      with-T ms   plain ms   with-T accesses   plain accesses",
+    );
+    for &len in LENGTHS {
+        let p = fig8_point(1000, len, 8_000 + len as u64);
+        println!(
+            "{:5}    {:8.3}    {:8.3}   {:15}   {:14}",
+            len, p.with_transform_ms, p.baseline_ms, p.with_transform_accesses, p.baseline_accesses
+        );
+    }
+    println!("(paper: the two curves differ only by a constant CPU cost; same disk accesses)");
+}
+
+fn fig9() {
+    header(
+        "Figure 9: time per query vs number of sequences (length 128, identity transform)",
+        "count    with-T ms   plain ms   with-T accesses   plain accesses",
+    );
+    for &count in CARDINALITIES {
+        let p = fig9_point(count, 9_000 + count as u64);
+        println!(
+            "{:5}    {:8.3}    {:8.3}   {:15}   {:14}",
+            count,
+            p.with_transform_ms,
+            p.baseline_ms,
+            p.with_transform_accesses,
+            p.baseline_accesses
+        );
+    }
+}
+
+fn fig10() {
+    header(
+        "Figure 10: index vs sequential scan vs sequence length (1000 sequences, T_mavg20)",
+        "len      index ms    scan ms    speedup   index accesses",
+    );
+    for &len in LENGTHS {
+        let p = fig10_point(1000, len, 10_000 + len as u64);
+        println!(
+            "{:5}    {:8.3}   {:8.3}   {:6.1}x   {:14}",
+            len,
+            p.with_transform_ms,
+            p.baseline_ms,
+            p.baseline_ms / p.with_transform_ms.max(1e-9),
+            p.with_transform_accesses
+        );
+    }
+    println!("(paper: index much faster; the gap grows with sequence length)");
+}
+
+fn fig11() {
+    header(
+        "Figure 11: index vs sequential scan vs number of sequences (length 128, T_mavg20)",
+        "count    index ms    scan ms    speedup   index accesses",
+    );
+    for &count in CARDINALITIES {
+        let p = fig11_point(count, 11_000 + count as u64);
+        println!(
+            "{:5}    {:8.3}   {:8.3}   {:6.1}x   {:14}",
+            count,
+            p.with_transform_ms,
+            p.baseline_ms,
+            p.baseline_ms / p.with_transform_ms.max(1e-9),
+            p.with_transform_accesses
+        );
+    }
+}
+
+fn fig12() {
+    header(
+        "Figure 12: time per query vs answer-set size (1067 stocks, length 128, T_mavg20)",
+        "answers   index ms    scan ms    winner",
+    );
+    let targets = [0usize, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 500];
+    for p in fig12_curve(&targets) {
+        println!(
+            "{:6}    {:8.3}   {:8.3}    {}",
+            p.answers,
+            p.with_transform_ms,
+            p.baseline_ms,
+            if p.with_transform_ms <= p.baseline_ms { "index" } else { "scan" }
+        );
+    }
+    println!("(paper: the index wins until the answer set reaches roughly a third of the relation)");
+}
+
+fn run_table1() {
+    println!("\n=== Table 1: spatial self-join, 1067 stocks, length 128, T_mavg20 ===");
+    let idx = build_index(stock_relation());
+    let t = LinearTransform::moving_average(128, 20);
+    let eps = calibrate_join_eps(&idx, &t, 12);
+    println!("calibrated eps = {eps:.4} (targeting the paper's 12-pair answer)\n");
+    println!("method   time (ms)   simulated I/O   answer size   description");
+    for row in table1(eps) {
+        println!(
+            "{:6}   {:9.1}   {:13}   {:11}   {}",
+            row.method, row.time_ms, row.simulated_io, row.answers, row.description
+        );
+    }
+    println!("(paper: a 20:36min, b 2:31min, c 10.1s answers 3x2, d 17.7s answers 12x2)");
+}
+
+fn ablations() {
+    println!("\n=== Ablation: cut-off k vs filter power (stock relation, T_mavg20) ===");
+    println!("k    query ms   candidates   false hits");
+    for p in k_sweep(&[1, 2, 3, 4, 5]) {
+        println!(
+            "{:2}   {:8.3}   {:10.1}   {:10.1}",
+            p.k, p.query_ms, p.candidates, p.false_hits
+        );
+    }
+
+    let (p_ms, r_ms, p_acc, r_acc) = space_ablation();
+    println!("\n=== Ablation: polar vs rectangular space (T_rev) ===");
+    println!("polar:       {p_ms:8.3} ms, {p_acc} node accesses");
+    println!("rectangular: {r_ms:8.3} ms, {r_acc} node accesses");
+
+    let (bulk, incr, no_re) = build_ablation();
+    println!("\n=== Ablation: index construction (1067 stocks) ===");
+    println!("STR bulk load:                 {bulk:8.1} ms");
+    println!("repeated insert (R* reinsert): {incr:8.1} ms");
+    println!("repeated insert (no reinsert): {no_re:8.1} ms");
+}

@@ -1,0 +1,79 @@
+//! Error types for the query engine.
+
+use std::fmt;
+
+/// Errors raised by index construction and query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A transformation violates the safety condition (Definition 1) for
+    /// the coordinate space in use.
+    UnsafeTransform {
+        /// Human-readable reason (which theorem's precondition failed).
+        reason: String,
+    },
+    /// Series length differs from what the index was built for.
+    LengthMismatch {
+        /// Length the index expects.
+        expected: usize,
+        /// Length that was supplied.
+        got: usize,
+    },
+    /// The index cut-off `k` is invalid for the series length.
+    InvalidCutoff {
+        /// Requested number of coefficients.
+        k: usize,
+        /// Series length.
+        n: usize,
+    },
+    /// A query referenced an unknown series identifier.
+    UnknownSeries(usize),
+    /// Transformation vector lengths disagree with the series length.
+    TransformArity {
+        /// Expected coefficient-vector length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// Operation unsupported for this transformation (e.g. composing two
+    /// time warps).
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnsafeTransform { reason } => write!(f, "unsafe transformation: {reason}"),
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "series length mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidCutoff { k, n } => {
+                write!(f, "invalid cut-off: k = {k} for series of length {n}")
+            }
+            Error::UnknownSeries(id) => write!(f, "unknown series id {id}"),
+            Error::TransformArity { expected, got } => {
+                write!(f, "transformation arity mismatch: expected {expected}, got {got}")
+            }
+            Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::LengthMismatch { expected: 128, got: 64 };
+        assert!(e.to_string().contains("128"));
+        let e = Error::UnsafeTransform { reason: "complex multiplier in S_rect".into() };
+        assert!(e.to_string().contains("unsafe"));
+        let e = Error::InvalidCutoff { k: 9, n: 4 };
+        assert!(e.to_string().contains("k = 9"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Feature extraction: time series → point in a low-dimensional feature
+//! space (Section 3.1 / Section 5 of the paper).
+//!
+//! Two schemas are supported:
+//!
+//! - [`FeatureSchema::NormalForm`] — the paper's Section-5 layout: the mean
+//!   and standard deviation of the original series occupy the first two
+//!   index dimensions, and the first `k` non-trivial DFT coefficients of
+//!   the **normal form** (whose `X_0` is always zero and is dropped) occupy
+//!   the rest, two dimensions per coefficient.
+//! - [`FeatureSchema::Raw`] — the original AFS93 layout: the first `k` DFT
+//!   coefficients of the raw series.
+
+use tsq_dft::{Complex64, FftPlanner};
+use tsq_series::{NormalForm, TimeSeries};
+
+use crate::error::{Error, Result};
+
+/// Which representation the index stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSchema {
+    /// `[mean, std]` + coefficients `X_1..X_k` of the normal form
+    /// (the paper's experimental layout; `k = 2` gives the paper's
+    /// 6-dimensional index).
+    NormalForm {
+        /// Number of normal-form coefficients kept (`X_1..X_k`).
+        k: usize,
+    },
+    /// Coefficients `X_0..X_{k-1}` of the raw series (AFS93).
+    Raw {
+        /// Number of coefficients kept.
+        k: usize,
+    },
+}
+
+impl FeatureSchema {
+    /// Number of complex coefficients kept in the index.
+    pub fn k(&self) -> usize {
+        match self {
+            FeatureSchema::NormalForm { k } | FeatureSchema::Raw { k } => *k,
+        }
+    }
+
+    /// Number of real index dimensions.
+    pub fn dims(&self) -> usize {
+        match self {
+            FeatureSchema::NormalForm { k } => 2 + 2 * k,
+            FeatureSchema::Raw { k } => 2 * k,
+        }
+    }
+
+    /// Number of auxiliary (mean/std) dimensions preceding the coefficient
+    /// blocks.
+    pub fn aux_dims(&self) -> usize {
+        match self {
+            FeatureSchema::NormalForm { .. } => 2,
+            FeatureSchema::Raw { .. } => 0,
+        }
+    }
+
+    /// Spectrum indices of the kept coefficients, in index order.
+    pub fn coeff_indices(&self) -> std::ops::Range<usize> {
+        match self {
+            FeatureSchema::NormalForm { k } => 1..(k + 1),
+            FeatureSchema::Raw { k } => 0..*k,
+        }
+    }
+
+    /// Validates the cut-off against a series length.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        let k = self.k();
+        let max = match self {
+            FeatureSchema::NormalForm { .. } => n.saturating_sub(1),
+            FeatureSchema::Raw { .. } => n,
+        };
+        if k == 0 || k > max {
+            return Err(Error::InvalidCutoff { k, n });
+        }
+        Ok(())
+    }
+}
+
+/// The extracted features of one series: summary statistics plus the *full*
+/// spectrum of the indexed representation. The index uses only the first
+/// `k` coefficients; post-processing (Algorithm 2, step 3) uses the rest to
+/// compute exact distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Features {
+    /// Mean of the original series.
+    pub mean: f64,
+    /// Population standard deviation of the original series.
+    pub std: f64,
+    /// Unitary DFT of the indexed representation (normal form or raw).
+    pub spectrum: Vec<Complex64>,
+}
+
+impl Features {
+    /// Extracts features according to `schema`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidCutoff`] when the schema's `k` does not fit
+    /// the series length.
+    pub fn extract(
+        series: &TimeSeries,
+        schema: FeatureSchema,
+        planner: &mut FftPlanner,
+    ) -> Result<Features> {
+        schema.validate(series.len())?;
+        match schema {
+            FeatureSchema::NormalForm { .. } => {
+                let nf = NormalForm::of(series);
+                let spectrum = planner.dft_real(nf.series.values());
+                Ok(Features {
+                    mean: nf.mean,
+                    std: nf.std,
+                    spectrum,
+                })
+            }
+            FeatureSchema::Raw { .. } => {
+                let spectrum = planner.dft_real(series.values());
+                Ok(Features {
+                    mean: series.mean(),
+                    std: series.std(),
+                    spectrum,
+                })
+            }
+        }
+    }
+
+    /// The indexed coefficients (a slice of the spectrum).
+    pub fn indexed_coeffs(&self, schema: FeatureSchema) -> &[Complex64] {
+        let r = schema.coeff_indices();
+        &self.spectrum[r]
+    }
+
+    /// Series length this feature vector came from.
+    pub fn n(&self) -> usize {
+        self.spectrum.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::from([36.0, 38.0, 40.0, 38.0, 42.0, 38.0, 36.0, 36.0])
+    }
+
+    #[test]
+    fn schema_dimensions() {
+        let nf = FeatureSchema::NormalForm { k: 2 };
+        assert_eq!(nf.dims(), 6, "the paper's 6-d index");
+        assert_eq!(nf.aux_dims(), 2);
+        assert_eq!(nf.coeff_indices(), 1..3);
+        let raw = FeatureSchema::Raw { k: 3 };
+        assert_eq!(raw.dims(), 6);
+        assert_eq!(raw.aux_dims(), 0);
+        assert_eq!(raw.coeff_indices(), 0..3);
+    }
+
+    #[test]
+    fn normal_form_features() {
+        let mut planner = FftPlanner::new();
+        let s = series();
+        let f = Features::extract(&s, FeatureSchema::NormalForm { k: 2 }, &mut planner).unwrap();
+        assert!((f.mean - s.mean()).abs() < 1e-12);
+        assert!((f.std - s.std()).abs() < 1e-12);
+        // X_0 of a normal form is zero.
+        assert!(f.spectrum[0].abs() < 1e-10);
+        assert_eq!(f.indexed_coeffs(FeatureSchema::NormalForm { k: 2 }).len(), 2);
+    }
+
+    #[test]
+    fn raw_features_keep_dc() {
+        let mut planner = FftPlanner::new();
+        let s = series();
+        let f = Features::extract(&s, FeatureSchema::Raw { k: 2 }, &mut planner).unwrap();
+        // X_0 = sqrt(n) * mean.
+        let expect = (8f64).sqrt() * s.mean();
+        assert!((f.spectrum[0].re - expect).abs() < 1e-9);
+        assert!(f.spectrum[0].im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn cutoff_validation() {
+        let mut planner = FftPlanner::new();
+        let s = TimeSeries::from([1.0, 2.0, 3.0]);
+        assert!(Features::extract(&s, FeatureSchema::NormalForm { k: 2 }, &mut planner).is_ok());
+        assert!(matches!(
+            Features::extract(&s, FeatureSchema::NormalForm { k: 3 }, &mut planner),
+            Err(Error::InvalidCutoff { .. })
+        ));
+        assert!(Features::extract(&s, FeatureSchema::Raw { k: 3 }, &mut planner).is_ok());
+        assert!(matches!(
+            Features::extract(&s, FeatureSchema::Raw { k: 0 }, &mut planner),
+            Err(Error::InvalidCutoff { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_series_features() {
+        let mut planner = FftPlanner::new();
+        let s = TimeSeries::from([5.0, 5.0, 5.0, 5.0]);
+        let f = Features::extract(&s, FeatureSchema::NormalForm { k: 2 }, &mut planner).unwrap();
+        assert_eq!(f.std, 0.0);
+        for c in &f.spectrum {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! The similarity index: Algorithms 1 and 2 of the paper.
+//!
+//! [`SimilarityIndex`] stores a relation of equal-length time series. Each
+//! series is mapped to a feature point (mean, std, first `k` DFT
+//! coefficients of its normal form — or raw coefficients, per the schema)
+//! and inserted into an R\*-tree. Queries that involve a safe
+//! transformation `T` never materialize the transformed index `I' = T(I)`:
+//! the traversal applies `T` to every node MBR on the fly (Algorithm 1) and
+//! tests the result against the search rectangle (Algorithm 2), then
+//! post-processes candidates against full records. Lemma 1 guarantees no
+//! false dismissals; tests assert exact agreement with linear scans.
+
+use tsq_dft::energy::{euclidean_complex, euclidean_complex_early_abandon};
+use tsq_dft::FftPlanner;
+use tsq_rtree::{RStarTree, RTreeConfig, Rect, SearchStats};
+use tsq_series::{NormalForm, TimeSeries};
+
+use crate::error::{Error, Result};
+use crate::features::{FeatureSchema, Features};
+use crate::space::{QueryWindow, SpaceKind};
+use crate::transform::LinearTransform;
+
+/// Configuration of a [`SimilarityIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexConfig {
+    /// Feature schema (default: the paper's NormalForm layout with `k = 2`,
+    /// i.e. a 6-dimensional index).
+    pub schema: FeatureSchema,
+    /// Coordinate space (default: polar, as in the paper's experiments).
+    pub space: SpaceKind,
+    /// R\*-tree tuning.
+    pub rtree: RTreeConfig,
+    /// Build the tree with STR bulk loading (faster) instead of repeated
+    /// insertion.
+    pub bulk_load: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            schema: FeatureSchema::NormalForm { k: 2 },
+            space: SpaceKind::Polar,
+            rtree: RTreeConfig::default(),
+            bulk_load: true,
+        }
+    }
+}
+
+/// A stored series with its extracted features.
+#[derive(Debug, Clone)]
+pub struct StoredSeries {
+    /// The original series.
+    pub series: TimeSeries,
+    /// Extracted features (full spectrum of the indexed representation).
+    pub features: Features,
+}
+
+/// One query answer: a series id and its exact distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Position of the series in the relation (insertion order).
+    pub id: usize,
+    /// Exact Euclidean distance (between transformed representations).
+    pub distance: f64,
+}
+
+/// Statistics of one query, extending the R-tree counters with
+/// post-processing effort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Index traversal counters (nodes visited = simulated disk accesses).
+    pub index: SearchStats,
+    /// Candidates produced by the index level.
+    pub candidates: usize,
+    /// Candidates rejected by the exact check (false hits of the k-index).
+    pub false_hits: usize,
+    /// Exact distance computations performed.
+    pub exact_checks: usize,
+}
+
+/// The similarity index over a relation of equal-length time series.
+#[derive(Debug, Clone)]
+pub struct SimilarityIndex {
+    config: IndexConfig,
+    series_len: usize,
+    tree: RStarTree<usize>,
+    store: Vec<StoredSeries>,
+}
+
+impl SimilarityIndex {
+    /// Builds an index over a relation.
+    ///
+    /// # Errors
+    /// - [`Error::InvalidCutoff`] if the schema's `k` does not fit;
+    /// - [`Error::LengthMismatch`] if the series differ in length.
+    pub fn build(config: IndexConfig, relation: Vec<TimeSeries>) -> Result<Self> {
+        let series_len = relation.first().map_or(0, TimeSeries::len);
+        if !relation.is_empty() {
+            config.schema.validate(series_len)?;
+        }
+        let mut planner = FftPlanner::new();
+        let mut store = Vec::with_capacity(relation.len());
+        let mut points = Vec::with_capacity(relation.len());
+        for (id, series) in relation.into_iter().enumerate() {
+            if series.len() != series_len {
+                return Err(Error::LengthMismatch {
+                    expected: series_len,
+                    got: series.len(),
+                });
+            }
+            let features = Features::extract(&series, config.schema, &mut planner)?;
+            let coords = config.space.point(&features, config.schema);
+            points.push((Rect::from_point(&coords), id));
+            store.push(StoredSeries { series, features });
+        }
+        let tree = if config.bulk_load {
+            RStarTree::bulk_load(config.rtree, points)
+        } else {
+            let mut t = RStarTree::new(config.rtree);
+            for (rect, id) in points {
+                t.insert(rect, id);
+            }
+            t
+        };
+        Ok(SimilarityIndex {
+            config,
+            series_len,
+            tree,
+            store,
+        })
+    }
+
+    /// Appends one series, returning its id.
+    ///
+    /// # Errors
+    /// [`Error::LengthMismatch`] if the length differs from the relation's.
+    pub fn insert(&mut self, series: TimeSeries) -> Result<usize> {
+        if self.store.is_empty() {
+            self.series_len = series.len();
+            self.config.schema.validate(self.series_len)?;
+        }
+        if series.len() != self.series_len {
+            return Err(Error::LengthMismatch {
+                expected: self.series_len,
+                got: series.len(),
+            });
+        }
+        let mut planner = FftPlanner::new();
+        let features = Features::extract(&series, self.config.schema, &mut planner)?;
+        let coords = self.config.space.point(&features, self.config.schema);
+        let id = self.store.len();
+        self.tree.insert(Rect::from_point(&coords), id);
+        self.store.push(StoredSeries { series, features });
+        Ok(id)
+    }
+
+    /// Number of stored series.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Length of every stored series.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Stored series by id.
+    pub fn series(&self, id: usize) -> Option<&TimeSeries> {
+        self.store.get(id).map(|s| &s.series)
+    }
+
+    /// Stored features by id.
+    pub fn features(&self, id: usize) -> Option<&Features> {
+        self.store.get(id).map(|s| &s.features)
+    }
+
+    /// All stored entries.
+    pub fn entries(&self) -> &[StoredSeries] {
+        &self.store
+    }
+
+    /// Access to the underlying R\*-tree (read-only).
+    pub fn tree(&self) -> &RStarTree<usize> {
+        &self.tree
+    }
+
+    /// Extracts query features for a query series, validating its length
+    /// against the transformation's warp factor: a warp-by-`m` query must
+    /// be `m` times as long as the indexed series (Example 1.2: daily
+    /// query series vs. every-other-day data).
+    pub fn query_features(&self, q: &TimeSeries, t: &LinearTransform) -> Result<Features> {
+        let expected = self.series_len * t.warp();
+        if q.len() != expected {
+            return Err(Error::LengthMismatch {
+                expected,
+                got: q.len(),
+            });
+        }
+        let mut planner = FftPlanner::new();
+        Features::extract(q, self.config.schema, &mut planner)
+    }
+
+    /// **Algorithm 2** — range query with a transformation: find all stored
+    /// series `o` such that `D(T(o), q) <= eps`, where `T` acts on the
+    /// indexed representation (the normal-form spectrum under the default
+    /// schema) and `q` is compared via its own representation.
+    ///
+    /// Results are sorted by id. Stats report the on-the-fly transformed
+    /// traversal (same node accesses as an ordinary query, per Figure 8).
+    ///
+    /// # Errors
+    /// Unsafe transformations ([`Error::UnsafeTransform`]) and length
+    /// mismatches are rejected.
+    pub fn range_query(
+        &self,
+        q: &TimeSeries,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+    ) -> Result<(Vec<Match>, QueryStats)> {
+        let qf = self.query_features(q, t)?;
+        self.range_query_features(&qf, eps, t, window)
+    }
+
+    /// Range query against precomputed query features (used by joins,
+    /// where the query point is a transformed stored series).
+    pub fn range_query_features(
+        &self,
+        qf: &Features,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+    ) -> Result<(Vec<Match>, QueryStats)> {
+        self.range_query_features_opts(qf, eps, t, window, false)
+    }
+
+    /// Range query that *always* exercises the transformed traversal, even
+    /// for the identity transformation. This exists for the Figure-8/9
+    /// experiment, which measures the pure CPU overhead of applying `T_i =
+    /// (I, 0)` to every rectangle against an otherwise identical plain
+    /// query.
+    pub fn range_query_forced(
+        &self,
+        q: &TimeSeries,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+    ) -> Result<(Vec<Match>, QueryStats)> {
+        let qf = self.query_features(q, t)?;
+        self.range_query_features_opts(&qf, eps, t, window, true)
+    }
+
+    fn range_query_features_opts(
+        &self,
+        qf: &Features,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+        force_transform: bool,
+    ) -> Result<(Vec<Match>, QueryStats)> {
+        if eps < 0.0 {
+            return Err(Error::Unsupported("negative threshold".to_string()));
+        }
+        self.check_transform(t)?;
+        let schema = self.config.schema;
+        let space = self.config.space;
+        let qrect = space.search_rect(qf, schema, eps, window);
+        // 2. Search: transform every MBR on the fly; collect candidates.
+        let mut candidates: Vec<usize> = Vec::new();
+        let identity = !force_transform && t.is_identity(1e-12);
+        let index_stats = if identity {
+            // Fast path: no per-rectangle transformation needed.
+            self.tree
+                .search_with(|r| r.intersects(&qrect), |_, &id| candidates.push(id))
+        } else {
+            self.tree.search_with(
+                |r| space.transformed_intersects(r, t, schema, &qrect),
+                |_, &id| candidates.push(id),
+            )
+        };
+        // 3. Post-processing: exact distance on full records.
+        let mut stats = QueryStats {
+            index: index_stats,
+            candidates: candidates.len(),
+            ..QueryStats::default()
+        };
+        let mut matches = Vec::new();
+        for id in candidates {
+            stats.exact_checks += 1;
+            match self.exact_distance_bounded(id, t, qf, eps) {
+                Some(d) => matches.push(Match { id, distance: d }),
+                None => stats.false_hits += 1,
+            }
+        }
+        matches.sort_by_key(|m| m.id);
+        Ok((matches, stats))
+    }
+
+    /// Nearest-neighbor query under a transformation: the `k` stored series
+    /// minimizing `D(T(o), q)`, via best-first search with transformed
+    /// MBR lower bounds (the RKV95 scheme generalized per Section 4).
+    ///
+    /// # Errors
+    /// Same failure modes as [`SimilarityIndex::range_query`].
+    pub fn knn_query(
+        &self,
+        q: &TimeSeries,
+        k: usize,
+        t: &LinearTransform,
+    ) -> Result<(Vec<Match>, QueryStats)> {
+        let qf = self.query_features(q, t)?;
+        self.check_transform(t)?;
+        let schema = self.config.schema;
+        let space = self.config.space;
+        let mut exact_checks = 0usize;
+        let (neighbors, index_stats) = self.tree.nearest_with(
+            k,
+            |rect| space.transformed_lower_bound(rect, t, schema, &qf),
+            |_, &id| {
+                exact_checks += 1;
+                self.exact_distance(id, t, &qf)
+            },
+        );
+        let stats = QueryStats {
+            index: index_stats,
+            candidates: neighbors.len(),
+            false_hits: 0,
+            exact_checks,
+        };
+        Ok((
+            neighbors
+                .into_iter()
+                .map(|n| Match {
+                    id: *n.item,
+                    distance: n.distance,
+                })
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Validates a transformation against the index (safety + arity).
+    pub fn check_transform(&self, t: &LinearTransform) -> Result<()> {
+        if !self.store.is_empty() && t.n() != self.series_len {
+            return Err(Error::TransformArity {
+                expected: self.series_len,
+                got: t.n(),
+            });
+        }
+        self.config.space.check_safety(t, self.config.schema)
+    }
+
+    /// Exact distance `D(T(o_id), q)`, or `None` if it exceeds `eps`
+    /// (early abandoning, as in the paper's optimized sequential scan).
+    pub fn exact_distance_bounded(
+        &self,
+        id: usize,
+        t: &LinearTransform,
+        qf: &Features,
+        eps: f64,
+    ) -> Option<f64> {
+        if t.warp() > 1 {
+            let d = self.warp_distance(id, t, qf);
+            if d <= eps {
+                return Some(d);
+            }
+            return None;
+        }
+        let x = &self.store[id].features.spectrum;
+        let transformed = t.apply_spectrum(x);
+        euclidean_complex_early_abandon(&transformed, &qf.spectrum, eps)
+    }
+
+    /// Exact distance `D(T(o_id), q)` without a bound.
+    pub fn exact_distance(&self, id: usize, t: &LinearTransform, qf: &Features) -> f64 {
+        if t.warp() > 1 {
+            return self.warp_distance(id, t, qf);
+        }
+        let x = &self.store[id].features.spectrum;
+        let transformed = t.apply_spectrum(x);
+        euclidean_complex(&transformed, &qf.spectrum)
+    }
+
+    /// Warp distances are computed in the time domain: the stored
+    /// representation is stretched by the warp factor and compared against
+    /// the query's representation (both normal forms under the default
+    /// schema — stretching commutes with normalization).
+    fn warp_distance(&self, id: usize, t: &LinearTransform, qf: &Features) -> f64 {
+        let m = t.warp();
+        let repr = self.representation(id);
+        let q_repr = self.query_representation(qf);
+        debug_assert_eq!(repr.len() * m, q_repr.len());
+        let mut acc = 0.0;
+        for (i, &qv) in q_repr.iter().enumerate() {
+            let d = repr[i / m] - qv;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Time-domain values of the indexed representation of a stored series.
+    fn representation(&self, id: usize) -> Vec<f64> {
+        let s = &self.store[id].series;
+        match self.config.schema {
+            FeatureSchema::NormalForm { .. } => NormalForm::of(s).series.into_values(),
+            FeatureSchema::Raw { .. } => s.values().to_vec(),
+        }
+    }
+
+    /// Time-domain values of the query's representation, reconstructed from
+    /// its spectrum (exact up to FFT rounding).
+    fn query_representation(&self, qf: &Features) -> Vec<f64> {
+        let mut planner = FftPlanner::new();
+        planner.idft_real(&qf.spectrum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    fn small_relation(count: usize, len: usize, seed: u64) -> Vec<TimeSeries> {
+        RandomWalkGenerator::new(seed).relation(count, len)
+    }
+
+    fn build_default(rel: Vec<TimeSeries>) -> SimilarityIndex {
+        SimilarityIndex::build(IndexConfig::default(), rel).unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let rel = small_relation(50, 64, 1);
+        let idx = build_default(rel.clone());
+        assert_eq!(idx.len(), 50);
+        assert_eq!(idx.series_len(), 64);
+        assert_eq!(idx.series(7), Some(&rel[7]));
+        assert!(idx.series(50).is_none());
+        idx.tree().validate();
+    }
+
+    #[test]
+    fn empty_relation() {
+        let idx = build_default(Vec::new());
+        assert!(idx.is_empty());
+        let t = LinearTransform::identity(0);
+        // Querying an empty index with a zero-length query succeeds trivially.
+        let q = TimeSeries::new(vec![]);
+        let err = idx.range_query(&q, 1.0, &t, &QueryWindow::default());
+        // Zero-length features are invalid; the engine reports a cutoff error.
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn mixed_lengths_rejected() {
+        let mut rel = small_relation(3, 32, 2);
+        rel.push(TimeSeries::new(vec![1.0; 16]));
+        let err = SimilarityIndex::build(IndexConfig::default(), rel).unwrap_err();
+        assert!(matches!(err, Error::LengthMismatch { expected: 32, got: 16 }));
+    }
+
+    #[test]
+    fn identity_range_query_matches_scan() {
+        let rel = small_relation(120, 64, 3);
+        let idx = build_default(rel.clone());
+        let t = LinearTransform::identity(64);
+        let q = &rel[5];
+        let eps = 2.0;
+        let (matches, stats) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        // Brute force over normal forms.
+        let mut planner = FftPlanner::new();
+        let qf = Features::extract(q, FeatureSchema::NormalForm { k: 2 }, &mut planner).unwrap();
+        let mut want = Vec::new();
+        for (id, s) in rel.iter().enumerate() {
+            let f = Features::extract(s, FeatureSchema::NormalForm { k: 2 }, &mut planner).unwrap();
+            let d = euclidean_complex(&f.spectrum, &qf.spectrum);
+            if d <= eps {
+                want.push(id);
+            }
+        }
+        let got: Vec<usize> = matches.iter().map(|m| m.id).collect();
+        assert_eq!(got, want, "no false dismissals, no spurious answers");
+        assert!(matches.iter().any(|m| m.id == 5 && m.distance < 1e-9));
+        assert!(stats.index.nodes_visited > 0);
+    }
+
+    #[test]
+    fn moving_average_query_matches_scan() {
+        let rel = small_relation(100, 32, 4);
+        let idx = build_default(rel.clone());
+        let t = LinearTransform::moving_average(32, 5);
+        let q = &rel[0];
+        let eps = 1.5;
+        let (matches, _) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        let mut planner = FftPlanner::new();
+        let schema = FeatureSchema::NormalForm { k: 2 };
+        let qf = Features::extract(q, schema, &mut planner).unwrap();
+        let mut want = Vec::new();
+        for (id, s) in rel.iter().enumerate() {
+            let f = Features::extract(s, schema, &mut planner).unwrap();
+            let d = euclidean_complex(&t.apply_spectrum(&f.spectrum), &qf.spectrum);
+            if d <= eps {
+                want.push(id);
+            }
+        }
+        let got: Vec<usize> = matches.iter().map(|m| m.id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unsafe_transform_rejected() {
+        let rel = small_relation(10, 16, 5);
+        let config = IndexConfig {
+            space: SpaceKind::Rectangular,
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(config, rel.clone()).unwrap();
+        let t = LinearTransform::moving_average(16, 3); // complex multipliers
+        let err = idx
+            .range_query(&rel[0], 1.0, &t, &QueryWindow::default())
+            .unwrap_err();
+        assert!(matches!(err, Error::UnsafeTransform { .. }));
+    }
+
+    #[test]
+    fn knn_matches_scan_under_transform() {
+        let rel = small_relation(80, 32, 6);
+        let idx = build_default(rel.clone());
+        let t = LinearTransform::moving_average(32, 4);
+        let q = &rel[3];
+        let (got, _) = idx.knn_query(q, 5, &t).unwrap();
+        assert_eq!(got.len(), 5);
+        // Brute force.
+        let mut planner = FftPlanner::new();
+        let schema = FeatureSchema::NormalForm { k: 2 };
+        let qf = Features::extract(q, schema, &mut planner).unwrap();
+        let mut dists: Vec<(f64, usize)> = rel
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                let f = Features::extract(s, schema, &mut planner).unwrap();
+                (
+                    euclidean_complex(&t.apply_spectrum(&f.spectrum), &qf.spectrum),
+                    id,
+                )
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (m, (d, _)) in got.iter().zip(&dists) {
+            assert!((m.distance - d).abs() < 1e-9, "{} vs {d}", m.distance);
+        }
+    }
+
+    #[test]
+    fn identity_and_plain_query_same_disk_accesses() {
+        // Figure 8/9's observation: "The number of disk accesses is the
+        // same in both cases."
+        let rel = small_relation(500, 64, 7);
+        let idx = build_default(rel.clone());
+        let q = &rel[11];
+        let eps = 1.0;
+        let t = LinearTransform::identity(64);
+        let (_, with_t) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        // Plain query: same search rectangle, no transformation hook.
+        let schema = idx.config().schema;
+        let space = idx.config().space;
+        let qf = idx.query_features(q, &t).unwrap();
+        let qrect = space.search_rect(&qf, schema, eps, &QueryWindow::default());
+        let plain = idx.tree().search(&qrect, |_, _| {});
+        assert_eq!(with_t.index.nodes_visited, plain.nodes_visited);
+    }
+
+    #[test]
+    fn warp_query_finds_stretched_series() {
+        // Example 1.2: data sampled every other day, query sampled daily.
+        let mut rel = small_relation(40, 16, 8);
+        let special = TimeSeries::from([
+            20.0, 21.0, 20.0, 23.0, 25.0, 24.0, 22.0, 21.0, 20.0, 19.0, 21.0, 22.0, 23.0, 25.0,
+            24.0, 23.0,
+        ]);
+        rel.push(special.clone());
+        let idx = build_default(rel);
+        let t = LinearTransform::time_warp(16, 2);
+        // The query is the stretched special series (length 32).
+        let q = tsq_series::warp::stretch(&special, 2);
+        let (matches, _) = idx.range_query(&q, 1e-6, &t, &QueryWindow::default()).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].id, 40);
+        assert!(matches[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn insert_after_build() {
+        let rel = small_relation(20, 32, 9);
+        let mut idx = build_default(rel.clone());
+        let extra = RandomWalkGenerator::new(99).series(32);
+        let id = idx.insert(extra.clone()).unwrap();
+        assert_eq!(id, 20);
+        let t = LinearTransform::identity(32);
+        let (matches, _) = idx.range_query(&extra, 1e-9, &t, &QueryWindow::default()).unwrap();
+        assert!(matches.iter().any(|m| m.id == id));
+        // Wrong length rejected.
+        assert!(idx.insert(TimeSeries::new(vec![0.0; 5])).is_err());
+    }
+
+    #[test]
+    fn query_window_filters_by_mean() {
+        let rel = small_relation(60, 32, 10);
+        let idx = build_default(rel.clone());
+        let t = LinearTransform::identity(32);
+        let q = &rel[0];
+        let all = idx
+            .range_query(q, 50.0, &t, &QueryWindow::default())
+            .unwrap()
+            .0;
+        let m = rel[0].mean();
+        let window = QueryWindow {
+            mean: Some((m - 1.0, m + 1.0)),
+            std: None,
+        };
+        let filtered = idx.range_query(q, 50.0, &t, &window).unwrap().0;
+        assert!(filtered.len() <= all.len());
+        for mt in &filtered {
+            let mm = rel[mt.id].mean();
+            assert!(mm >= m - 1.0 && mm <= m + 1.0);
+        }
+        // The reference series itself always qualifies.
+        assert!(filtered.iter().any(|mt| mt.id == 0));
+    }
+
+    #[test]
+    fn rectangular_space_with_real_transform_matches_scan() {
+        let rel = small_relation(70, 32, 11);
+        let config = IndexConfig {
+            space: SpaceKind::Rectangular,
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(config, rel.clone()).unwrap();
+        let t = LinearTransform::reverse(32); // a = -1: real, safe in S_rect
+        let q = &rel[2];
+        let eps = 3.0;
+        let (matches, _) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        let mut planner = FftPlanner::new();
+        let schema = FeatureSchema::NormalForm { k: 2 };
+        let qf = Features::extract(q, schema, &mut planner).unwrap();
+        let mut want = Vec::new();
+        for (id, s) in rel.iter().enumerate() {
+            let f = Features::extract(s, schema, &mut planner).unwrap();
+            let d = euclidean_complex(&t.apply_spectrum(&f.spectrum), &qf.spectrum);
+            if d <= eps {
+                want.push(id);
+            }
+        }
+        let got: Vec<usize> = matches.iter().map(|m| m.id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_and_incremental_agree() {
+        let rel = small_relation(90, 32, 12);
+        let bulk = build_default(rel.clone());
+        let cfg = IndexConfig {
+            bulk_load: false,
+            ..IndexConfig::default()
+        };
+        let incr = SimilarityIndex::build(cfg, rel.clone()).unwrap();
+        let t = LinearTransform::moving_average(32, 3);
+        let q = &rel[7];
+        let a = bulk.range_query(q, 2.0, &t, &QueryWindow::default()).unwrap().0;
+        let b = incr.range_query(q, 2.0, &t, &QueryWindow::default()).unwrap().0;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! # tsq-core — Similarity-Based Queries for Time Series Data
+//!
+//! A faithful Rust implementation of **Rafiei & Mendelzon, "Similarity-
+//! Based Queries for Time Series Data", SIGMOD 1997**: linear
+//! transformations on Fourier-series representations as a similarity
+//! language, processed efficiently over an R\*-tree index that is
+//! transformed *on the fly* during traversal.
+//!
+//! ## The pipeline
+//!
+//! 1. Every series is reduced to a feature point ([`features`]): its mean
+//!    and standard deviation plus the first `k` DFT coefficients of its
+//!    normal form (the paper's Section-5 layout; a raw AFS93 schema is also
+//!    available).
+//! 2. Feature points live in a coordinate space ([`space`]): rectangular
+//!    (`S_rect`, re/im) or polar (`S_pol`, magnitude/angle). Safety of a
+//!    transformation — rectangles map to rectangles, insides stay inside
+//!    (Definition 1) — depends on the space: Theorems 1–3 are enforced by
+//!    [`space::SpaceKind::check_safety`].
+//! 3. Queries carry a [`transform::LinearTransform`] `T = (a, b)`:
+//!    moving averages, reversal, shifts/scales (negative allowed), time
+//!    warps. The R\*-tree is never rebuilt: every node MBR is mapped through
+//!    `T` during the search (Algorithms 1–2, [`index::SimilarityIndex`]),
+//!    and candidates are verified against full records. Lemma 1 guarantees
+//!    the index level never dismisses a true answer.
+//! 4. Range, nearest-neighbor and all-pairs queries ([`queries`]) all
+//!    support transformations; sequential-scan baselines ([`scan`]) and the
+//!    cost-bounded Equation-10 dissimilarity ([`cost`]) complete the
+//!    paper's toolbox.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod features;
+pub mod geometry;
+pub mod index;
+pub mod queries;
+pub mod relation;
+pub mod scan;
+pub mod space;
+pub mod transform;
+
+pub use error::{Error, Result};
+pub use features::{FeatureSchema, Features};
+pub use index::{IndexConfig, Match, QueryStats, SimilarityIndex, StoredSeries};
+pub use queries::{JoinOutcome, JoinPair, JoinStats};
+pub use relation::SeriesRelation;
+pub use scan::{ScanMode, ScanStats};
+pub use space::{QueryWindow, SpaceKind};
+pub use transform::LinearTransform;

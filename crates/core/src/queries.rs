@@ -1,0 +1,323 @@
+//! All-pairs (spatial join) queries — the paper's Table 1 experiment.
+//!
+//! Four strategies, mirroring methods (a)–(d) of Section 5, plus a
+//! synchronized tree↔tree join as an extension:
+//!
+//! | method | strategy |
+//! |--------|----------|
+//! | (a) | [`SimilarityIndex::join_scan`] with [`ScanMode::Naive`] — scan all pairs, full distances |
+//! | (b) | [`SimilarityIndex::join_scan`] with [`ScanMode::EarlyAbandon`] |
+//! | (c) | [`SimilarityIndex::join_index`] with the identity transformation |
+//! | (d) | [`SimilarityIndex::join_index`] with the transformation — a range query per sequence against the on-the-fly transformed index |
+//! | (e) | [`SimilarityIndex::join_tree`] — synchronized R-tree join (extension) |
+//!
+//! Scan joins report each unordered pair **once**; index joins report each
+//! pair **twice** (once per direction), exactly as the paper tabulates
+//! (`12` for methods a/b vs `12 x 2 = 24` for method d).
+
+use tsq_rtree::{spatial_join_with, SearchStats};
+
+use crate::error::{Error, Result};
+use crate::features::Features;
+use crate::index::SimilarityIndex;
+use crate::scan::ScanMode;
+use crate::space::QueryWindow;
+use crate::transform::LinearTransform;
+
+/// One join answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPair {
+    /// First series id.
+    pub a: usize,
+    /// Second series id.
+    pub b: usize,
+    /// Exact distance between the transformed representations.
+    pub distance: f64,
+}
+
+/// Counters for a join run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinStats {
+    /// Exact distance computations.
+    pub exact_checks: usize,
+    /// Early-abandoned distance computations.
+    pub abandoned: usize,
+    /// Index traversal counters summed over sub-queries (zero for scans).
+    pub index: SearchStats,
+    /// Index-level candidates before exact checking.
+    pub candidates: usize,
+}
+
+/// Join answer set plus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// Qualifying pairs.
+    pub pairs: Vec<JoinPair>,
+    /// Counters.
+    pub stats: JoinStats,
+}
+
+impl SimilarityIndex {
+    /// Transformed feature point of a stored series (query side of join
+    /// method (d): both the index *and* the search rectangle are
+    /// transformed).
+    pub fn transformed_features(&self, id: usize, t: &LinearTransform) -> Result<Features> {
+        let f = self.features(id).ok_or(Error::UnknownSeries(id))?;
+        let (ma, mb) = t.mean_map();
+        let (sa, sb) = t.std_map();
+        Ok(Features {
+            mean: ma * f.mean + mb,
+            std: sa * f.std + sb,
+            spectrum: t.apply_spectrum(&f.spectrum),
+        })
+    }
+
+    /// Table 1 methods (a)/(b): sequential-scan self-join. Every unordered
+    /// pair `{i, j}` with `D(T(x_i), T(x_j)) <= eps` is reported once, with
+    /// `a < b`.
+    ///
+    /// # Errors
+    /// Warping transformations are rejected (a self-join between
+    /// different-length representations is undefined).
+    pub fn join_scan(
+        &self,
+        eps: f64,
+        t: &LinearTransform,
+        mode: ScanMode,
+    ) -> Result<JoinOutcome> {
+        if t.warp() > 1 {
+            return Err(Error::Unsupported("self-join under time warp".to_string()));
+        }
+        if !self.is_empty() && t.n() != self.series_len() {
+            return Err(Error::TransformArity {
+                expected: self.series_len(),
+                got: t.n(),
+            });
+        }
+        // Transform every spectrum once; the quadratic pair loop dominates.
+        let transformed: Vec<Vec<tsq_dft::Complex64>> = (0..self.len())
+            .map(|id| t.apply_spectrum(&self.features(id).expect("valid id").spectrum))
+            .collect();
+        let mut out = JoinOutcome::default();
+        for i in 0..self.len() {
+            for j in (i + 1)..self.len() {
+                out.stats.exact_checks += 1;
+                match mode {
+                    ScanMode::Naive => {
+                        let d = tsq_dft::energy::euclidean_complex(&transformed[i], &transformed[j]);
+                        if d <= eps {
+                            out.pairs.push(JoinPair { a: i, b: j, distance: d });
+                        }
+                    }
+                    ScanMode::EarlyAbandon => {
+                        match tsq_dft::energy::euclidean_complex_early_abandon(
+                            &transformed[i],
+                            &transformed[j],
+                            eps,
+                        ) {
+                            Some(d) => out.pairs.push(JoinPair { a: i, b: j, distance: d }),
+                            None => out.stats.abandoned += 1,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Table 1 methods (c)/(d): index-nested-loop self-join. For every
+    /// sequence a search rectangle is built (around its *transformed*
+    /// feature point) and posed to the on-the-fly transformed index as a
+    /// range query. Pass the identity transformation for method (c).
+    ///
+    /// Each qualifying unordered pair appears twice (`(i, j)` and
+    /// `(j, i)`), matching the paper's `12 x 2 = 24` accounting.
+    pub fn join_index(&self, eps: f64, t: &LinearTransform) -> Result<JoinOutcome> {
+        if t.warp() > 1 {
+            return Err(Error::Unsupported("self-join under time warp".to_string()));
+        }
+        self.check_transform(t)?;
+        let mut out = JoinOutcome::default();
+        let window = QueryWindow::default();
+        for i in 0..self.len() {
+            let qf = self.transformed_features(i, t)?;
+            let (matches, qstats) = self.range_query_features(&qf, eps, t, &window)?;
+            out.stats.index.absorb(&qstats.index);
+            out.stats.candidates += qstats.candidates;
+            out.stats.exact_checks += qstats.exact_checks;
+            for m in matches {
+                if m.id != i {
+                    out.pairs.push(JoinPair {
+                        a: i,
+                        b: m.id,
+                        distance: m.distance,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Synchronized tree↔tree self-join (extension beyond the paper's
+    /// index-nested-loop): both subtrees are pruned simultaneously using
+    /// transformed-MBR distance bounds (annular-sector geometry in
+    /// `S_pol`). Answer semantics match [`SimilarityIndex::join_index`].
+    pub fn join_tree(&self, eps: f64, t: &LinearTransform) -> Result<JoinOutcome> {
+        if t.warp() > 1 {
+            return Err(Error::Unsupported("self-join under time warp".to_string()));
+        }
+        self.check_transform(t)?;
+        let schema = self.config().schema;
+        let space = self.config().space;
+        let mut out = JoinOutcome::default();
+        let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
+        // The synchronized join revisits the same node MBRs many times (once
+        // per pairing); memoize their transformed images by address. Stored
+        // rectangles are pinned for the duration of the traversal, so the
+        // address is a stable key.
+        let mut cache: std::collections::HashMap<usize, tsq_rtree::Rect> =
+            std::collections::HashMap::new();
+        let mut transformed = |r: &tsq_rtree::Rect| -> tsq_rtree::Rect {
+            cache
+                .entry(r as *const tsq_rtree::Rect as usize)
+                .or_insert_with(|| space.transform_mbr(r, t, schema))
+                .clone()
+        };
+        let stats = spatial_join_with(
+            self.tree(),
+            self.tree(),
+            |ra, rb| space.pair_lower_bound_pretransformed(&transformed(ra), &transformed(rb), schema),
+            eps,
+            |_, &ia, _, &ib| candidate_pairs.push((ia, ib)),
+        );
+        out.stats.index = stats;
+        out.stats.candidates = candidate_pairs.len();
+        for (i, j) in candidate_pairs {
+            out.stats.exact_checks += 1;
+            let qf = self.transformed_features(i, t)?;
+            match self.exact_distance_bounded(j, t, &qf, eps) {
+                Some(d) => out.pairs.push(JoinPair { a: i, b: j, distance: d }),
+                None => out.stats.abandoned += 1,
+            }
+        }
+        out.pairs.sort_by_key(|p| (p.a, p.b));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::space::SpaceKind;
+    use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
+
+    fn index(count: usize, len: usize, seed: u64) -> SimilarityIndex {
+        let rel = RandomWalkGenerator::new(seed).relation(count, len);
+        SimilarityIndex::build(IndexConfig::default(), rel).unwrap()
+    }
+
+    fn key_once(pairs: &[JoinPair]) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = pairs.iter().map(|p| (p.a, p.b)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn key_undirected(pairs: &[JoinPair]) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|p| (p.a.min(p.b), p.a.max(p.b)))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn scan_modes_agree_on_pairs() {
+        let idx = index(40, 32, 31);
+        let t = LinearTransform::moving_average(32, 4);
+        let a = idx.join_scan(1.5, &t, ScanMode::Naive).unwrap();
+        let b = idx.join_scan(1.5, &t, ScanMode::EarlyAbandon).unwrap();
+        assert_eq!(key_once(&a.pairs), key_once(&b.pairs));
+        assert!(b.stats.abandoned > 0);
+    }
+
+    #[test]
+    fn index_join_doubles_scan_answer() {
+        // The paper's accounting: method (d) reports each pair twice.
+        let idx = index(60, 32, 32);
+        let t = LinearTransform::moving_average(32, 4);
+        let eps = 1.8;
+        let scan = idx.join_scan(eps, &t, ScanMode::Naive).unwrap();
+        let via_index = idx.join_index(eps, &t).unwrap();
+        assert_eq!(via_index.pairs.len(), 2 * scan.pairs.len());
+        assert_eq!(key_undirected(&via_index.pairs), key_once(&scan.pairs));
+    }
+
+    #[test]
+    fn tree_join_matches_index_join() {
+        let idx = index(70, 32, 33);
+        let t = LinearTransform::moving_average(32, 5);
+        let eps = 1.6;
+        let a = idx.join_index(eps, &t).unwrap();
+        let b = idx.join_tree(eps, &t).unwrap();
+        assert_eq!(key_once(&a.pairs), key_once(&b.pairs));
+    }
+
+    #[test]
+    fn tree_join_rectangular_space() {
+        let rel = RandomWalkGenerator::new(34).relation(50, 32);
+        let cfg = IndexConfig {
+            space: SpaceKind::Rectangular,
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(cfg, rel).unwrap();
+        let t = LinearTransform::reverse(32);
+        let eps = 2.5;
+        let a = idx.join_index(eps, &t).unwrap();
+        let b = idx.join_tree(eps, &t).unwrap();
+        assert_eq!(key_once(&a.pairs), key_once(&b.pairs));
+        let scan = idx.join_scan(eps, &t, ScanMode::EarlyAbandon).unwrap();
+        assert_eq!(key_undirected(&a.pairs), key_once(&scan.pairs));
+    }
+
+    #[test]
+    fn identity_join_is_method_c() {
+        // Method (c) finds *untransformed* close pairs — typically fewer
+        // than the smoothed (d) answer on stock-like data.
+        let rel = StockGenerator::new(35).relation(80, 64);
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel).unwrap();
+        let eps = 2.0;
+        let c = idx.join_index(eps, &LinearTransform::identity(64)).unwrap();
+        let d = idx
+            .join_index(eps, &LinearTransform::moving_average(64, 20))
+            .unwrap();
+        assert!(
+            d.pairs.len() >= c.pairs.len(),
+            "smoothing admits at least as many pairs ({} vs {})",
+            d.pairs.len(),
+            c.pairs.len()
+        );
+    }
+
+    #[test]
+    fn warp_join_rejected() {
+        let idx = index(10, 16, 36);
+        let t = LinearTransform::time_warp(16, 2);
+        assert!(matches!(
+            idx.join_scan(1.0, &t, ScanMode::Naive),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(idx.join_index(1.0, &t), Err(Error::Unsupported(_))));
+        assert!(matches!(idx.join_tree(1.0, &t), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn empty_join() {
+        let idx = SimilarityIndex::build(IndexConfig::default(), Vec::new()).unwrap();
+        let t = LinearTransform::identity(0);
+        let out = idx.join_scan(1.0, &t, ScanMode::Naive).unwrap();
+        assert!(out.pairs.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Named relations of time series.
+//!
+//! The paper treats relations as "simply sets of sequences; in practice of
+//! course they may have other attributes, such as source of the data, time
+//! period covered, etc." (Section 3). [`SeriesRelation`] carries per-series
+//! names (ticker symbols in the stock examples) and builds
+//! [`SimilarityIndex`]es; the query language resolves identifiers against
+//! it.
+
+use std::collections::HashMap;
+
+use tsq_series::TimeSeries;
+
+use crate::error::{Error, Result};
+use crate::index::{IndexConfig, SimilarityIndex};
+
+/// A named collection of equal-length time series.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesRelation {
+    name: String,
+    series: Vec<TimeSeries>,
+    labels: Vec<String>,
+    by_label: HashMap<String, usize>,
+}
+
+impl SeriesRelation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<String>) -> Self {
+        SeriesRelation {
+            name: name.into(),
+            ..SeriesRelation::default()
+        }
+    }
+
+    /// Builds a relation from `(label, series)` pairs.
+    ///
+    /// # Errors
+    /// [`Error::LengthMismatch`] if lengths disagree; duplicate labels are
+    /// rejected as [`Error::Unsupported`].
+    pub fn from_labeled(
+        name: impl Into<String>,
+        items: Vec<(String, TimeSeries)>,
+    ) -> Result<Self> {
+        let mut rel = SeriesRelation::new(name);
+        for (label, series) in items {
+            rel.push(label, series)?;
+        }
+        Ok(rel)
+    }
+
+    /// Builds a relation with synthesized labels `s0, s1, ...`.
+    pub fn from_series(name: impl Into<String>, series: Vec<TimeSeries>) -> Result<Self> {
+        let items = series
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (format!("s{i}"), s))
+            .collect();
+        Self::from_labeled(name, items)
+    }
+
+    /// Appends one labeled series, returning its id.
+    pub fn push(&mut self, label: impl Into<String>, series: TimeSeries) -> Result<usize> {
+        let label = label.into();
+        if let Some(first) = self.series.first() {
+            if first.len() != series.len() {
+                return Err(Error::LengthMismatch {
+                    expected: first.len(),
+                    got: series.len(),
+                });
+            }
+        }
+        if self.by_label.contains_key(&label) {
+            return Err(Error::Unsupported(format!("duplicate label {label:?}")));
+        }
+        let id = self.series.len();
+        self.by_label.insert(label.clone(), id);
+        self.labels.push(label);
+        self.series.push(series);
+        Ok(id)
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Series by id.
+    pub fn get(&self, id: usize) -> Option<&TimeSeries> {
+        self.series.get(id)
+    }
+
+    /// Series by label.
+    pub fn get_by_label(&self, label: &str) -> Option<&TimeSeries> {
+        self.by_label.get(label).map(|&i| &self.series[i])
+    }
+
+    /// Id of a label.
+    pub fn id_of(&self, label: &str) -> Option<usize> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Label of an id.
+    pub fn label(&self, id: usize) -> Option<&str> {
+        self.labels.get(id).map(String::as_str)
+    }
+
+    /// All series, in id order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Builds a [`SimilarityIndex`] over this relation.
+    pub fn index(&self, config: IndexConfig) -> Result<SimilarityIndex> {
+        SimilarityIndex::build(config, self.series.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut rel = SeriesRelation::new("stocks");
+        let a = rel.push("BBA", TimeSeries::from([1.0, 2.0])).unwrap();
+        let b = rel.push("ZTR", TimeSeries::from([3.0, 4.0])).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(rel.label(1), Some("ZTR"));
+        assert_eq!(rel.id_of("BBA"), Some(0));
+        assert_eq!(rel.get_by_label("ZTR").unwrap().values(), &[3.0, 4.0]);
+        assert_eq!(rel.name(), "stocks");
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut rel = SeriesRelation::new("r");
+        rel.push("X", TimeSeries::from([1.0])).unwrap();
+        assert!(rel.push("X", TimeSeries::from([2.0])).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut rel = SeriesRelation::new("r");
+        rel.push("X", TimeSeries::from([1.0, 2.0])).unwrap();
+        assert!(matches!(
+            rel.push("Y", TimeSeries::from([1.0])),
+            Err(Error::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_series_synthesizes_labels() {
+        let rel =
+            SeriesRelation::from_series("r", vec![TimeSeries::from([1.0]), TimeSeries::from([2.0])])
+                .unwrap();
+        assert_eq!(rel.label(0), Some("s0"));
+        assert_eq!(rel.label(1), Some("s1"));
+    }
+
+    #[test]
+    fn builds_index() {
+        let series: Vec<TimeSeries> = (0..20)
+            .map(|i| {
+                TimeSeries::new((0..16).map(|t| ((i + t) as f64 * 0.7).sin() * 3.0 + i as f64).collect())
+            })
+            .collect();
+        let rel = SeriesRelation::from_series("r", series).unwrap();
+        let idx = rel.index(IndexConfig::default()).unwrap();
+        assert_eq!(idx.len(), 20);
+    }
+}

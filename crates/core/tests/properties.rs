@@ -1,0 +1,189 @@
+//! Property-based tests of the query engine's central guarantees.
+
+use proptest::prelude::*;
+use tsq_core::{
+    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex,
+    SpaceKind,
+};
+use tsq_series::TimeSeries;
+
+/// A relation of bounded random series plus a query index.
+fn relation_strategy() -> impl Strategy<Value = (Vec<TimeSeries>, usize)> {
+    (4usize..40, 8usize..33).prop_flat_map(|(count, len)| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, len..=len).prop_map(TimeSeries::new),
+                count..=count,
+            ),
+            0..count,
+        )
+    })
+}
+
+/// An arbitrary polar-safe transformation for length `n`.
+fn polar_transform(n: usize, pick: u8, param: usize, scale: f64) -> LinearTransform {
+    match pick % 6 {
+        0 => LinearTransform::identity(n),
+        1 => LinearTransform::moving_average(n, 1 + param % (n / 2).max(1)),
+        2 => LinearTransform::reverse(n),
+        3 => LinearTransform::scale(n, scale),
+        4 => LinearTransform::difference(n),
+        _ => LinearTransform::moving_average(n, 1 + param % (n / 2).max(1))
+            .then(&LinearTransform::reverse(n))
+            .unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Lemma 1 end-to-end: indexed answers equal scan answers for random
+    /// data, random transformations and random thresholds (polar space).
+    #[test]
+    fn no_false_dismissals_polar((rel, qid) in relation_strategy(),
+                                 pick in 0u8..6,
+                                 param in 0usize..32,
+                                 scale in -3.0f64..3.0,
+                                 eps in 0.0f64..50.0) {
+        let n = rel[0].len();
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let t = polar_transform(n, pick, param, scale);
+        let q = rel[qid].clone();
+        let (scan, _) = idx.scan_range(&q, eps, &t, ScanMode::Naive).unwrap();
+        let (indexed, _) = idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
+        prop_assert_eq!(scan, indexed);
+    }
+
+    /// Same property in the rectangular space with rect-safe transforms.
+    #[test]
+    fn no_false_dismissals_rect((rel, qid) in relation_strategy(),
+                                pick in 0u8..3,
+                                c in -3.0f64..3.0,
+                                eps in 0.0f64..50.0) {
+        let n = rel[0].len();
+        let cfg = IndexConfig { space: SpaceKind::Rectangular, ..IndexConfig::default() };
+        let idx = SimilarityIndex::build(cfg, rel.clone()).unwrap();
+        let t = match pick % 3 {
+            0 => LinearTransform::identity(n),
+            1 => LinearTransform::reverse(n),
+            _ => LinearTransform::scale(n, c),
+        };
+        let q = rel[qid].clone();
+        let (scan, _) = idx.scan_range(&q, eps, &t, ScanMode::Naive).unwrap();
+        let (indexed, _) = idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
+        prop_assert_eq!(scan, indexed);
+    }
+
+    /// KNN distances equal brute-force distances under random transforms.
+    #[test]
+    fn knn_equals_scan((rel, qid) in relation_strategy(),
+                       pick in 0u8..6,
+                       param in 0usize..32,
+                       k in 1usize..10) {
+        let n = rel[0].len();
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let t = polar_transform(n, pick, param, 1.5);
+        let q = rel[qid].clone();
+        let (got, _) = idx.knn_query(&q, k, &t).unwrap();
+        let want = idx.scan_knn(&q, k, &t).unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.distance - w.distance).abs() < 1e-6);
+        }
+    }
+
+    /// Raw schema: prefix distances are true lower bounds, so indexed
+    /// queries match scans there too.
+    #[test]
+    fn no_false_dismissals_raw_schema((rel, qid) in relation_strategy(),
+                                      eps in 0.0f64..100.0) {
+        let n = rel[0].len();
+        let cfg = IndexConfig {
+            schema: FeatureSchema::Raw { k: 3.min(n) },
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(cfg, rel.clone()).unwrap();
+        let t = LinearTransform::identity(n);
+        let q = rel[qid].clone();
+        let (scan, _) = idx.scan_range(&q, eps, &t, ScanMode::Naive).unwrap();
+        let (indexed, _) = idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
+        prop_assert_eq!(scan, indexed);
+    }
+
+    /// Join symmetry: the index join reports (i, j) iff it reports (j, i),
+    /// and the undirected pair set equals the scan join's.
+    #[test]
+    fn join_symmetry((rel, _) in relation_strategy(),
+                     param in 0usize..16,
+                     eps in 0.0f64..10.0) {
+        let n = rel[0].len();
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel).unwrap();
+        let t = LinearTransform::moving_average(n, 1 + param % (n / 2).max(1));
+        let via_index = idx.join_index(eps, &t).unwrap();
+        let mut directed: Vec<(usize, usize)> =
+            via_index.pairs.iter().map(|p| (p.a, p.b)).collect();
+        directed.sort_unstable();
+        for &(a, b) in &directed {
+            prop_assert!(directed.binary_search(&(b, a)).is_ok(),
+                "pair ({a},{b}) present but ({b},{a}) missing");
+        }
+        let scan = idx.join_scan(eps, &t, ScanMode::EarlyAbandon).unwrap();
+        let mut undirected: Vec<(usize, usize)> = directed
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        undirected.sort_unstable();
+        undirected.dedup();
+        let mut want: Vec<(usize, usize)> = scan.pairs.iter().map(|p| (p.a, p.b)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(undirected, want);
+    }
+
+    /// Transform composition is associative in its action on spectra.
+    #[test]
+    fn composition_associative(xs in prop::collection::vec(-50.0f64..50.0, 8..24),
+                               w1 in 1usize..4, w2 in 1usize..4) {
+        let n = xs.len();
+        let t1 = LinearTransform::moving_average(n, w1.min(n));
+        let t2 = LinearTransform::reverse(n);
+        let t3 = LinearTransform::moving_average(n, w2.min(n));
+        let left = t1.then(&t2).unwrap().then(&t3).unwrap();
+        let right = t1.then(&t2.then(&t3).unwrap()).unwrap();
+        let mut planner = tsq_dft::FftPlanner::new();
+        let spec = planner.dft_real(&xs);
+        let a = left.apply_spectrum(&spec);
+        let b = right.apply_spectrum(&spec);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((*x - *y).abs() < 1e-8);
+        }
+    }
+
+    /// The exact engine distance under a transformation agrees with the
+    /// literal definition: transform in the frequency domain, invert,
+    /// measure in the time domain.
+    #[test]
+    fn engine_distance_matches_definition((rel, qid) in relation_strategy(),
+                                          param in 0usize..16) {
+        let n = rel[0].len();
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let t = LinearTransform::moving_average(n, 1 + param % (n / 2).max(1));
+        let q = rel[qid].clone();
+        let qf = idx.query_features(&q, &t).unwrap();
+        let mut planner = tsq_dft::FftPlanner::new();
+        for id in 0..idx.len().min(5) {
+            let engine = idx.exact_distance(id, &t, &qf);
+            // Definition: circular moving average of the normal form of x,
+            // compared to the normal form of q, in the time domain.
+            let nf_x = tsq_series::normal::normal_form(idx.series(id).unwrap());
+            let nf_q = tsq_series::normal::normal_form(&q);
+            let smoothed = t.apply_time_domain(&mut planner, nf_x.values());
+            let d: f64 = smoothed
+                .iter()
+                .zip(nf_q.values())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            prop_assert!((engine - d).abs() < 1e-6, "id {id}: {engine} vs {d}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the Fourier substrate.
+
+use proptest::prelude::*;
+use tsq_dft::complex::Complex64;
+use tsq_dft::convolution::{conv, conv_fft};
+use tsq_dft::dft::{dft, idft};
+use tsq_dft::energy::{energy_complex, euclidean_complex, euclidean_real};
+use tsq_dft::FftPlanner;
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex64::new(re, im)),
+        1..=max_len,
+    )
+}
+
+fn real_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `idft(dft(x)) == x` for arbitrary lengths (exercises naive, radix-2
+    /// and Bluestein paths through the planner).
+    #[test]
+    fn planner_roundtrip(x in complex_vec(200)) {
+        let mut planner = FftPlanner::new();
+        let spec = planner.dft(&x);
+        let back = planner.idft(&spec);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// The planner agrees with the defining sums.
+    #[test]
+    fn planner_matches_reference(x in complex_vec(64)) {
+        let mut planner = FftPlanner::new();
+        let fast = planner.dft(&x);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: energy is invariant under the unitary DFT.
+    #[test]
+    fn parseval(x in complex_vec(128)) {
+        let spec = dft(&x);
+        let et = energy_complex(&x);
+        let ef = energy_complex(&spec);
+        prop_assert!((et - ef).abs() <= 1e-6 * et.max(1.0));
+    }
+
+    /// Distance is invariant under the unitary DFT (Equation 8).
+    #[test]
+    fn distance_invariance(xy in (1usize..64).prop_flat_map(|n| (
+        prop::collection::vec(-1e3f64..1e3, n),
+        prop::collection::vec(-1e3f64..1e3, n),
+    ))) {
+        let (x, y) = xy;
+        let dt = euclidean_real(&x, &y);
+        let fx: Vec<Complex64> = tsq_dft::dft::dft_real(&x);
+        let fy: Vec<Complex64> = tsq_dft::dft::dft_real(&y);
+        let df = euclidean_complex(&fx, &fy);
+        prop_assert!((dt - df).abs() <= 1e-6 * dt.max(1.0));
+    }
+
+    /// Prefix distances are monotone lower bounds of the full distance
+    /// (Equation 13 — the heart of Lemma 1).
+    #[test]
+    fn prefix_lower_bound(xy in (1usize..64).prop_flat_map(|n| (
+        prop::collection::vec(-1e3f64..1e3, n),
+        prop::collection::vec(-1e3f64..1e3, n),
+    ))) {
+        let (x, y) = xy;
+        let fx = tsq_dft::dft::dft_real(&x);
+        let fy = tsq_dft::dft::dft_real(&y);
+        let full = euclidean_complex(&fx, &fy);
+        let mut prev = 0.0;
+        for k in 0..=fx.len() {
+            let d = euclidean_complex(&fx[..k], &fy[..k]);
+            prop_assert!(d + 1e-9 >= prev, "prefix distance must be monotone");
+            prop_assert!(d <= full + 1e-6);
+            prev = d;
+        }
+    }
+
+    /// The FFT-based convolution agrees with the direct sum.
+    #[test]
+    fn conv_fft_matches_direct(xy in (1usize..48).prop_flat_map(|n| (
+        prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), n),
+        prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), n),
+    ))) {
+        let (xr, yr) = xy;
+        let x: Vec<Complex64> = xr.into_iter().map(|(a, b)| Complex64::new(a, b)).collect();
+        let y: Vec<Complex64> = yr.into_iter().map(|(a, b)| Complex64::new(a, b)).collect();
+        let mut planner = FftPlanner::new();
+        let direct = conv(&x, &y);
+        let fast = conv_fft(&mut planner, &x, &y);
+        let scale: f64 = direct.iter().map(|c| c.abs()).fold(1.0, f64::max);
+        for (d, f) in direct.iter().zip(&fast) {
+            prop_assert!((*d - *f).abs() < 1e-7 * scale);
+        }
+    }
+
+    /// Real input spectra are conjugate-symmetric: X_{n-f} = conj(X_f).
+    #[test]
+    fn real_input_conjugate_symmetry(x in real_vec(64)) {
+        let spec = tsq_dft::dft::dft_real(&x);
+        let n = spec.len();
+        for f in 1..n {
+            let a = spec[f];
+            let b = spec[n - f].conj();
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Time-domain circular shift only changes coefficient phases, not
+    /// magnitudes.
+    #[test]
+    fn shift_preserves_magnitudes(x in real_vec(48), s in 0usize..48) {
+        let n = x.len();
+        let shift = s % n;
+        let shifted: Vec<f64> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let fa = tsq_dft::dft::dft_real(&x);
+        let fb = tsq_dft::dft::dft_real(&shifted);
+        for (a, b) in fa.iter().zip(&fb) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    /// idft is the left inverse of dft for the reference implementation too.
+    #[test]
+    fn reference_roundtrip(x in complex_vec(48)) {
+        let back = idft(&dft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+}

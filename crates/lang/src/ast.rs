@@ -1,0 +1,94 @@
+//! Abstract syntax of the query language.
+//!
+//! The language is the (P, T, L) specialization the paper describes
+//! (Section 1.2): patterns are either constant objects (a literal sequence
+//! or a labeled series) or whole relations; transformations are named
+//! members of the paper's linear-transformation class; and the query
+//! language offers range, nearest-neighbor and all-pairs forms.
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `FIND SIMILAR TO <source> IN <relation> WITHIN <eps> [APPLY ...]
+    /// [WHERE ...]` — range query.
+    Similar {
+        /// Query object.
+        source: Source,
+        /// Relation searched.
+        relation: String,
+        /// Distance threshold.
+        eps: f64,
+        /// Transformations applied to the data side, in order.
+        transforms: Vec<TransformSpec>,
+        /// Optional mean/std windows.
+        window: WindowSpec,
+    },
+    /// `FIND <k> NEAREST TO <source> IN <relation> [APPLY ...]`.
+    Nearest {
+        /// Query object.
+        source: Source,
+        /// Relation searched.
+        relation: String,
+        /// Number of neighbors.
+        k: usize,
+        /// Transformations applied to the data side.
+        transforms: Vec<TransformSpec>,
+    },
+    /// `JOIN <relation> WITHIN <eps> [APPLY ...] [USING <method>]`.
+    Join {
+        /// Relation self-joined.
+        relation: String,
+        /// Distance threshold.
+        eps: f64,
+        /// Transformations applied to both sides.
+        transforms: Vec<TransformSpec>,
+        /// Execution strategy.
+        method: JoinMethod,
+    },
+}
+
+/// The query object of a FIND.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// `relation.label` — a stored series.
+    Ref {
+        /// Relation name.
+        relation: String,
+        /// Series label.
+        label: String,
+    },
+    /// `[v1, v2, ...]` — an inline literal sequence.
+    Literal(Vec<f64>),
+}
+
+/// A named transformation with numeric arguments, e.g. `mavg(20)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformSpec {
+    /// Lower-cased name.
+    pub name: String,
+    /// Arguments.
+    pub args: Vec<f64>,
+}
+
+/// Mean/std windows from the WHERE clause.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowSpec {
+    /// `MEAN BETWEEN a AND b`.
+    pub mean: Option<(f64, f64)>,
+    /// `STD BETWEEN a AND b`.
+    pub std: Option<(f64, f64)>,
+}
+
+/// Join strategies (Table 1 methods).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// Sequential scan with full distances (method a).
+    ScanFull,
+    /// Sequential scan with early abandoning (method b).
+    Scan,
+    /// Index-nested-loop over the transformed index (methods c/d).
+    #[default]
+    Index,
+    /// Synchronized tree↔tree join (extension).
+    Tree,
+}

@@ -1,0 +1,159 @@
+//! `tsq` — an interactive shell for similarity queries over time-series
+//! relations.
+//!
+//! ```text
+//! $ cargo run --release -p tsq-lang --bin tsq
+//! tsq> .gen walks rw 1000 128 42
+//! tsq> FIND 5 NEAREST TO walks.s17 IN walks APPLY mavg(10)
+//! tsq> .load stocks /tmp/prices.csv
+//! tsq> JOIN stocks WITHIN 1.5 APPLY mavg(20) USING INDEX
+//! tsq> .quit
+//! ```
+//!
+//! Meta-commands start with a dot; everything else is parsed as a query
+//! (see `tsq-lang` docs for the grammar).
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use tsq_core::SeriesRelation;
+use tsq_lang::Catalog;
+use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
+
+const HELP: &str = "\
+meta-commands:
+  .gen <name> rw <count> <len> [seed]       generate random walks
+  .gen <name> stocks <count> <len> [seed]   generate synthetic stocks
+  .load <name> <path>                       load a CSV relation (one series per line)
+  .save <name> <path>                       write a relation back to CSV
+  .rel                                      list registered relations
+  .help                                     this text
+  .quit                                     exit
+queries:
+  FIND SIMILAR TO <rel>.<label> IN <rel> WITHIN <eps> [APPLY t1, t2, ...] [WHERE ...]
+  FIND <k> NEAREST TO <rel>.<label>|[v1, v2, ...] IN <rel> [APPLY ...]
+  JOIN <rel> WITHIN <eps> [APPLY ...] [USING SCAN|SCANFULL|INDEX|TREE]
+transformations:
+  identity | mavg(w) | wmavg(w1, w2, ...) | reverse | shift(c) | scale(c) | warp(m)";
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let mut names: Vec<String> = Vec::new();
+    let stdin = io::stdin();
+    let interactive = true;
+    if interactive {
+        println!("tsq — similarity-based queries for time series data (SIGMOD '97)");
+        println!("type .help for help, .quit to exit");
+    }
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("tsq> ");
+        io::stdout().flush().ok();
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            _ => break,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            if !meta(rest, &mut catalog, &mut names) {
+                break;
+            }
+            continue;
+        }
+        match catalog.run(line) {
+            Ok(out) => {
+                for row in out.rows.iter().take(20) {
+                    match &row.b {
+                        Some(b) => println!("  {}  ~  {}   D = {:.4}", row.a, b, row.distance),
+                        None => println!("  {}   D = {:.4}", row.a, row.distance),
+                    }
+                }
+                if out.rows.len() > 20 {
+                    println!("  ... {} more row(s)", out.rows.len() - 20);
+                }
+                println!(
+                    "  ({} row(s), {} simulated disk accesses)",
+                    out.rows.len(),
+                    out.nodes_visited
+                );
+            }
+            Err(e) => println!("  error: {e}"),
+        }
+    }
+}
+
+/// Handles a meta-command; returns false to exit the shell.
+fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
+    let parts: Vec<&str> = cmd.split_whitespace().collect();
+    match parts.as_slice() {
+        ["quit"] | ["exit"] | ["q"] => return false,
+        ["help"] | ["h"] => println!("{HELP}"),
+        ["rel"] => {
+            if names.is_empty() {
+                println!("  (no relations registered)");
+            }
+            for n in names.iter() {
+                if let Some(rel) = catalog.relation(n) {
+                    let len = rel.series().first().map_or(0, |s| s.len());
+                    println!("  {n}: {} series of length {len}", rel.len());
+                }
+            }
+        }
+        ["gen", name, kind, count, len, rest @ ..] => {
+            let seed: u64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+            let (count, len) = match (count.parse::<usize>(), len.parse::<usize>()) {
+                (Ok(c), Ok(l)) if c > 0 && l > 2 => (c, l),
+                _ => {
+                    println!("  usage: .gen <name> rw|stocks <count> <len> [seed]");
+                    return true;
+                }
+            };
+            let series = match *kind {
+                "rw" | "walks" => RandomWalkGenerator::new(seed).relation(count, len),
+                "stocks" => StockGenerator::new(seed).relation(count, len),
+                other => {
+                    println!("  unknown generator {other:?} (use rw or stocks)");
+                    return true;
+                }
+            };
+            register(catalog, names, name, series);
+        }
+        ["load", name, path] => match tsq_series::io::load_csv(Path::new(path)) {
+            Ok(series) => register(catalog, names, name, series),
+            Err(e) => println!("  error: {e}"),
+        },
+        ["save", name, path] => match catalog.relation(name) {
+            Some(rel) => match tsq_series::io::save_csv(Path::new(path), rel.series()) {
+                Ok(()) => println!("  wrote {} series to {path}", rel.len()),
+                Err(e) => println!("  error: {e}"),
+            },
+            None => println!("  unknown relation {name:?}"),
+        },
+        _ => println!("  unknown meta-command; try .help"),
+    }
+    true
+}
+
+fn register(
+    catalog: &mut Catalog,
+    names: &mut Vec<String>,
+    name: &str,
+    series: Vec<tsq_series::TimeSeries>,
+) {
+    let count = series.len();
+    match SeriesRelation::from_series(name, series) {
+        Ok(rel) => match catalog.register(rel) {
+            Ok(()) => {
+                if !names.iter().any(|n| n == name) {
+                    names.push(name.to_string());
+                }
+                println!("  registered {name} ({count} series); labels are s0..s{}", count - 1);
+            }
+            Err(e) => println!("  error: {e}"),
+        },
+        Err(e) => println!("  error: {e}"),
+    }
+}

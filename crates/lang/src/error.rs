@@ -1,0 +1,60 @@
+//! Errors of the query language.
+
+use std::fmt;
+
+/// Errors across the lex → parse → plan → execute pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Tokenizer failure.
+    Lex {
+        /// Byte offset.
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parser failure.
+    Parse {
+        /// Byte offset.
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// Name-resolution failure (unknown relation, label, transformation).
+    Resolve(String),
+    /// Query-engine failure.
+    Engine(tsq_core::Error),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            LangError::Parse { pos, message } => {
+                write!(f, "parse error at byte {pos}: {message}")
+            }
+            LangError::Resolve(m) => write!(f, "resolution error: {m}"),
+            LangError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<tsq_core::Error> for LangError {
+    fn from(e: tsq_core::Error) -> Self {
+        LangError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LangError::Parse { pos: 3, message: "expected TO".into() };
+        assert!(e.to_string().contains("byte 3"));
+        let e: LangError = tsq_core::Error::UnknownSeries(7).into();
+        assert!(e.to_string().contains("unknown series"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Planning and execution: AST → `tsq-core` calls.
+
+use std::collections::HashMap;
+
+use tsq_core::{
+    IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation, SimilarityIndex,
+};
+use tsq_series::TimeSeries;
+
+use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
+use crate::error::LangError;
+
+/// A catalog of named relations with lazily-built similarity indexes.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: HashMap<String, SeriesRelation>,
+    indexes: HashMap<String, SimilarityIndex>,
+    config: IndexConfig,
+}
+
+impl Catalog {
+    /// Creates an empty catalog with the default index configuration.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a catalog whose indexes use `config`.
+    pub fn with_config(config: IndexConfig) -> Self {
+        Catalog {
+            config,
+            ..Catalog::default()
+        }
+    }
+
+    /// Registers a relation (replacing any previous one of the same name)
+    /// and builds its index.
+    ///
+    /// # Errors
+    /// Propagates index-construction failures.
+    pub fn register(&mut self, relation: SeriesRelation) -> Result<(), LangError> {
+        let name = relation.name().to_string();
+        let index = relation.index(self.config)?;
+        self.relations.insert(name.clone(), relation);
+        self.indexes.insert(name, index);
+        Ok(())
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Option<&SeriesRelation> {
+        self.relations.get(name)
+    }
+
+    fn resolve_relation(&self, name: &str) -> Result<(&SeriesRelation, &SimilarityIndex), LangError> {
+        match (self.relations.get(name), self.indexes.get(name)) {
+            (Some(r), Some(i)) => Ok((r, i)),
+            _ => Err(LangError::Resolve(format!("unknown relation {name:?}"))),
+        }
+    }
+
+    fn resolve_source(&self, source: &Source) -> Result<TimeSeries, LangError> {
+        match source {
+            Source::Literal(values) => Ok(TimeSeries::new(values.clone())),
+            Source::Ref { relation, label } => {
+                let rel = self
+                    .relations
+                    .get(relation)
+                    .ok_or_else(|| LangError::Resolve(format!("unknown relation {relation:?}")))?;
+                rel.get_by_label(label)
+                    .cloned()
+                    .ok_or_else(|| {
+                        LangError::Resolve(format!("unknown series {relation}.{label}"))
+                    })
+            }
+        }
+    }
+
+    /// Parses and executes a query.
+    pub fn run(&self, src: &str) -> Result<QueryOutput, LangError> {
+        let query = crate::parser::parse(src)?;
+        self.execute(&query)
+    }
+
+    /// Executes a parsed query.
+    pub fn execute(&self, query: &Query) -> Result<QueryOutput, LangError> {
+        match query {
+            Query::Similar {
+                source,
+                relation,
+                eps,
+                transforms,
+                window,
+            } => {
+                let (rel, index) = self.resolve_relation(relation)?;
+                let q = self.resolve_source(source)?;
+                let t = resolve_transforms(transforms, index.series_len())?;
+                let w = to_window(window);
+                let (matches, stats) = index.range_query(&q, *eps, &t, &w)?;
+                Ok(QueryOutput {
+                    rows: matches
+                        .into_iter()
+                        .map(|m| Row {
+                            a: rel.label(m.id).unwrap_or("?").to_string(),
+                            b: None,
+                            distance: m.distance,
+                        })
+                        .collect(),
+                    nodes_visited: stats.index.nodes_visited,
+                })
+            }
+            Query::Nearest {
+                source,
+                relation,
+                k,
+                transforms,
+            } => {
+                let (rel, index) = self.resolve_relation(relation)?;
+                let q = self.resolve_source(source)?;
+                let t = resolve_transforms(transforms, index.series_len())?;
+                let (matches, stats) = index.knn_query(&q, *k, &t)?;
+                Ok(QueryOutput {
+                    rows: matches
+                        .into_iter()
+                        .map(|m| Row {
+                            a: rel.label(m.id).unwrap_or("?").to_string(),
+                            b: None,
+                            distance: m.distance,
+                        })
+                        .collect(),
+                    nodes_visited: stats.index.nodes_visited,
+                })
+            }
+            Query::Join {
+                relation,
+                eps,
+                transforms,
+                method,
+            } => {
+                let (rel, index) = self.resolve_relation(relation)?;
+                let t = resolve_transforms(transforms, index.series_len())?;
+                let outcome = match method {
+                    JoinMethod::ScanFull => index.join_scan(*eps, &t, ScanMode::Naive)?,
+                    JoinMethod::Scan => index.join_scan(*eps, &t, ScanMode::EarlyAbandon)?,
+                    JoinMethod::Index => index.join_index(*eps, &t)?,
+                    JoinMethod::Tree => index.join_tree(*eps, &t)?,
+                };
+                Ok(QueryOutput {
+                    rows: outcome
+                        .pairs
+                        .into_iter()
+                        .map(|p| Row {
+                            a: rel.label(p.a).unwrap_or("?").to_string(),
+                            b: Some(rel.label(p.b).unwrap_or("?").to_string()),
+                            distance: p.distance,
+                        })
+                        .collect(),
+                    nodes_visited: outcome.stats.index.nodes_visited,
+                })
+            }
+        }
+    }
+}
+
+/// One output row: a label (and a second one for joins) plus the distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// First (or only) series label.
+    pub a: String,
+    /// Second label for join rows.
+    pub b: Option<String>,
+    /// Exact distance.
+    pub distance: f64,
+}
+
+/// Query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Answer rows.
+    pub rows: Vec<Row>,
+    /// Simulated disk accesses of the index traversal (0 for scans).
+    pub nodes_visited: u64,
+}
+
+fn to_window(w: &WindowSpec) -> QueryWindow {
+    QueryWindow {
+        mean: w.mean,
+        std: w.std,
+    }
+}
+
+/// Resolves the APPLY list to a single composed transformation for series
+/// length `n`. Transformations compose left to right; `warp(m)` must be
+/// the only transformation (it changes the series length).
+pub fn resolve_transforms(specs: &[TransformSpec], n: usize) -> Result<LinearTransform, LangError> {
+    if specs.is_empty() {
+        return Ok(LinearTransform::identity(n));
+    }
+    let mut result: Option<LinearTransform> = None;
+    for spec in specs {
+        let t = resolve_one(spec, n)?;
+        result = Some(match result {
+            None => t,
+            Some(prev) => prev.then(&t)?,
+        });
+    }
+    Ok(result.expect("non-empty specs"))
+}
+
+fn resolve_one(spec: &TransformSpec, n: usize) -> Result<LinearTransform, LangError> {
+    let arity = |want: usize| -> Result<(), LangError> {
+        if spec.args.len() == want {
+            Ok(())
+        } else {
+            Err(LangError::Resolve(format!(
+                "{} expects {want} argument(s), got {}",
+                spec.name,
+                spec.args.len()
+            )))
+        }
+    };
+    let positive_int = |v: f64, what: &str| -> Result<usize, LangError> {
+        if v.fract() == 0.0 && v >= 1.0 {
+            Ok(v as usize)
+        } else {
+            Err(LangError::Resolve(format!(
+                "{what} must be a positive integer, got {v}"
+            )))
+        }
+    };
+    match spec.name.as_str() {
+        "identity" => {
+            arity(0)?;
+            Ok(LinearTransform::identity(n))
+        }
+        "mavg" => {
+            arity(1)?;
+            let w = positive_int(spec.args[0], "mavg window")?;
+            if w > n {
+                return Err(LangError::Resolve(format!(
+                    "mavg window {w} exceeds series length {n}"
+                )));
+            }
+            Ok(LinearTransform::moving_average(n, w))
+        }
+        "wmavg" => {
+            if spec.args.is_empty() || spec.args.len() > n {
+                return Err(LangError::Resolve(
+                    "wmavg expects between 1 and n weights".to_string(),
+                ));
+            }
+            Ok(LinearTransform::weighted_moving_average(n, &spec.args))
+        }
+        "reverse" => {
+            arity(0)?;
+            Ok(LinearTransform::reverse(n))
+        }
+        "shift" => {
+            arity(1)?;
+            Ok(LinearTransform::shift(n, spec.args[0]))
+        }
+        "scale" => {
+            arity(1)?;
+            Ok(LinearTransform::scale(n, spec.args[0]))
+        }
+        "warp" => {
+            arity(1)?;
+            let m = positive_int(spec.args[0], "warp factor")?;
+            Ok(LinearTransform::time_warp(n, m))
+        }
+        other => Err(LangError::Resolve(format!("unknown transformation {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let rel = SeriesRelation::from_series(
+            "walks",
+            RandomWalkGenerator::new(51).relation(60, 32),
+        )
+        .unwrap();
+        cat.register(rel).unwrap();
+        cat
+    }
+
+    #[test]
+    fn similar_query_runs() {
+        let cat = catalog();
+        // Identity: the query series matches itself at distance zero.
+        let out = cat
+            .run("FIND SIMILAR TO walks.s0 IN walks WITHIN 2")
+            .unwrap();
+        assert!(out.rows.iter().any(|r| r.a == "s0" && r.distance < 1e-9));
+        assert!(out.nodes_visited > 0);
+        // With a data-side transformation the self-distance is
+        // D(mavg(nf(s0)), nf(s0)) — nonzero; the query must still run and
+        // agree with the sequential scan.
+        let smoothed = cat
+            .run("FIND SIMILAR TO walks.s0 IN walks WITHIN 5 APPLY mavg(4)")
+            .unwrap();
+        assert!(!smoothed.rows.is_empty());
+    }
+
+    #[test]
+    fn nearest_query_runs() {
+        let cat = catalog();
+        let out = cat.run("FIND 4 NEAREST TO walks.s3 IN walks").unwrap();
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(out.rows[0].a, "s3");
+    }
+
+    #[test]
+    fn literal_source() {
+        let cat = catalog();
+        let values: Vec<String> = cat
+            .relation("walks")
+            .unwrap()
+            .get_by_label("s1")
+            .unwrap()
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        let q = format!(
+            "FIND 1 NEAREST TO [{}] IN walks",
+            values.join(", ")
+        );
+        let out = cat.run(&q).unwrap();
+        assert_eq!(out.rows[0].a, "s1");
+        assert!(out.rows[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn join_methods_agree() {
+        let cat = catalog();
+        let scan = cat.run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING SCAN").unwrap();
+        let index = cat.run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING INDEX").unwrap();
+        let tree = cat.run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING TREE").unwrap();
+        // Scan reports each pair once; index/tree twice.
+        assert_eq!(index.rows.len(), 2 * scan.rows.len());
+        assert_eq!(tree.rows.len(), index.rows.len());
+    }
+
+    #[test]
+    fn unknown_names_resolve_errors() {
+        let cat = catalog();
+        assert!(matches!(
+            cat.run("FIND SIMILAR TO walks.nope IN walks WITHIN 1"),
+            Err(LangError::Resolve(_))
+        ));
+        assert!(matches!(
+            cat.run("FIND SIMILAR TO walks.s0 IN nothere WITHIN 1"),
+            Err(LangError::Resolve(_))
+        ));
+        assert!(matches!(
+            cat.run("JOIN walks WITHIN 1 APPLY frobnicate"),
+            Err(LangError::Resolve(_))
+        ));
+    }
+
+    #[test]
+    fn transform_argument_validation() {
+        let cat = catalog();
+        assert!(matches!(
+            cat.run("JOIN walks WITHIN 1 APPLY mavg"),
+            Err(LangError::Resolve(_))
+        ));
+        assert!(matches!(
+            cat.run("JOIN walks WITHIN 1 APPLY mavg(0)"),
+            Err(LangError::Resolve(_))
+        ));
+        assert!(matches!(
+            cat.run("JOIN walks WITHIN 1 APPLY mavg(100)"),
+            Err(LangError::Resolve(_))
+        ));
+    }
+
+    #[test]
+    fn composition_left_to_right() {
+        let t = resolve_transforms(
+            &[
+                TransformSpec { name: "mavg".into(), args: vec![4.0] },
+                TransformSpec { name: "reverse".into(), args: vec![] },
+            ],
+            32,
+        )
+        .unwrap();
+        assert_eq!(t.name(), "reverse . mavg(4)");
+    }
+
+    #[test]
+    fn warp_composition_rejected_via_engine_error() {
+        let err = resolve_transforms(
+            &[
+                TransformSpec { name: "warp".into(), args: vec![2.0] },
+                TransformSpec { name: "reverse".into(), args: vec![] },
+            ],
+            16,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Engine(tsq_core::Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn where_window_filters() {
+        let cat = catalog();
+        let all = cat
+            .run("FIND SIMILAR TO walks.s0 IN walks WITHIN 100")
+            .unwrap();
+        let filtered = cat
+            .run("FIND SIMILAR TO walks.s0 IN walks WITHIN 100 WHERE STD BETWEEN 0 AND 1")
+            .unwrap();
+        assert!(filtered.rows.len() <= all.rows.len());
+    }
+}

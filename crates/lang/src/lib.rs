@@ -1,0 +1,34 @@
+//! # tsq-lang — a query language for similarity-based time-series queries
+//!
+//! A concrete realization of the (P, T, L) framework of Jagadish,
+//! Mendelzon & Milo that the paper specializes (Section 1.2): the pattern
+//! language P denotes constant objects (literal sequences, labeled stored
+//! series) or whole relations; the transformation language T names members
+//! of the paper's linear-transformation class (`mavg`, `reverse`, `shift`,
+//! `scale`, `warp`, compositions); and the query language L offers range
+//! (`FIND SIMILAR`), nearest-neighbor (`FIND k NEAREST`) and all-pairs
+//! (`JOIN`) forms.
+//!
+//! ```text
+//! FIND SIMILAR TO stocks.BBA IN stocks WITHIN 2.75 APPLY mavg(20)
+//! FIND 5 NEAREST TO [36, 38, 40, ...] IN stocks APPLY reverse
+//! JOIN stocks WITHIN 1.5 APPLY mavg(20) USING INDEX
+//! ```
+//!
+//! Queries run against a [`Catalog`] of named [`tsq_core::SeriesRelation`]s
+//! whose similarity indexes are built on registration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
+pub use error::LangError;
+pub use exec::{Catalog, QueryOutput, Row};
+pub use parser::parse;

@@ -1,0 +1,389 @@
+//! Recursive-descent parser.
+//!
+//! ```text
+//! query      := find_query | join_query
+//! find_query := FIND SIMILAR TO source IN ident WITHIN number
+//!               [APPLY tlist] [WHERE window (AND window)*]
+//!             | FIND number NEAREST TO source IN ident [APPLY tlist]
+//! join_query := JOIN ident WITHIN number [APPLY tlist]
+//!               [USING (SCAN | SCANFULL | INDEX | TREE)]
+//! source     := ident . ident | '[' number (, number)* ']'
+//! tlist      := t (',' t)* ; t := ident [ '(' number (, number)* ')' ]
+//! window     := MEAN BETWEEN number AND number
+//!             | STD BETWEEN number AND number
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive.
+
+use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
+use crate::error::LangError;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parses a query string.
+///
+/// # Errors
+/// [`LangError::Lex`] / [`LangError::Parse`] with byte positions.
+pub fn parse(src: &str) -> Result<Query, LangError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, at: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, LangError> {
+        Err(LangError::Parse {
+            pos: self.peek().pos,
+            message: message.into(),
+        })
+    }
+
+    /// Consumes a keyword (case-insensitive) or fails.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        if self.at_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {kw}, found {}", self.peek().kind))
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn take_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, LangError> {
+        match self.peek().kind {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => self.error(format!("expected number, found {other}")),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), LangError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LangError> {
+        if matches!(self.peek().kind, TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.error(format!("unexpected trailing input {}", self.peek().kind))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, LangError> {
+        if self.take_kw("FIND") {
+            self.find_query()
+        } else if self.take_kw("JOIN") {
+            self.join_query()
+        } else {
+            self.error("expected FIND or JOIN")
+        }
+    }
+
+    fn find_query(&mut self) -> Result<Query, LangError> {
+        if self.take_kw("SIMILAR") {
+            self.expect_kw("TO")?;
+            let source = self.source()?;
+            self.expect_kw("IN")?;
+            let relation = self.ident()?;
+            self.expect_kw("WITHIN")?;
+            let eps = self.number()?;
+            let transforms = self.apply_clause()?;
+            let window = self.where_clause()?;
+            Ok(Query::Similar {
+                source,
+                relation,
+                eps,
+                transforms,
+                window,
+            })
+        } else if matches!(self.peek().kind, TokenKind::Number(_)) {
+            let kf = self.number()?;
+            if kf.fract() != 0.0 || kf < 1.0 {
+                return self.error("NEAREST count must be a positive integer");
+            }
+            self.expect_kw("NEAREST")?;
+            self.expect_kw("TO")?;
+            let source = self.source()?;
+            self.expect_kw("IN")?;
+            let relation = self.ident()?;
+            let transforms = self.apply_clause()?;
+            Ok(Query::Nearest {
+                source,
+                relation,
+                k: kf as usize,
+                transforms,
+            })
+        } else {
+            self.error("expected SIMILAR or a neighbor count after FIND")
+        }
+    }
+
+    fn join_query(&mut self) -> Result<Query, LangError> {
+        let relation = self.ident()?;
+        self.expect_kw("WITHIN")?;
+        let eps = self.number()?;
+        let transforms = self.apply_clause()?;
+        let method = if self.take_kw("USING") {
+            if self.take_kw("SCANFULL") {
+                JoinMethod::ScanFull
+            } else if self.take_kw("SCAN") {
+                JoinMethod::Scan
+            } else if self.take_kw("INDEX") {
+                JoinMethod::Index
+            } else if self.take_kw("TREE") {
+                JoinMethod::Tree
+            } else {
+                return self.error("expected SCAN, SCANFULL, INDEX or TREE after USING");
+            }
+        } else {
+            JoinMethod::default()
+        };
+        Ok(Query::Join {
+            relation,
+            eps,
+            transforms,
+            method,
+        })
+    }
+
+    fn source(&mut self) -> Result<Source, LangError> {
+        if matches!(self.peek().kind, TokenKind::LBracket) {
+            self.bump();
+            let mut values = vec![self.number()?];
+            while matches!(self.peek().kind, TokenKind::Comma) {
+                self.bump();
+                values.push(self.number()?);
+            }
+            self.expect(&TokenKind::RBracket)?;
+            return Ok(Source::Literal(values));
+        }
+        let relation = self.ident()?;
+        self.expect(&TokenKind::Dot)?;
+        let label = self.ident()?;
+        Ok(Source::Ref { relation, label })
+    }
+
+    fn apply_clause(&mut self) -> Result<Vec<TransformSpec>, LangError> {
+        if !self.take_kw("APPLY") {
+            return Ok(Vec::new());
+        }
+        let mut out = vec![self.transform()?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.bump();
+            out.push(self.transform()?);
+        }
+        Ok(out)
+    }
+
+    fn transform(&mut self) -> Result<TransformSpec, LangError> {
+        let name = self.ident()?.to_ascii_lowercase();
+        let mut args = Vec::new();
+        if matches!(self.peek().kind, TokenKind::LParen) {
+            self.bump();
+            if !matches!(self.peek().kind, TokenKind::RParen) {
+                args.push(self.number()?);
+                while matches!(self.peek().kind, TokenKind::Comma) {
+                    self.bump();
+                    args.push(self.number()?);
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(TransformSpec { name, args })
+    }
+
+    fn where_clause(&mut self) -> Result<WindowSpec, LangError> {
+        let mut window = WindowSpec::default();
+        if !self.take_kw("WHERE") {
+            return Ok(window);
+        }
+        loop {
+            if self.take_kw("MEAN") {
+                window.mean = Some(self.between()?);
+            } else if self.take_kw("STD") {
+                window.std = Some(self.between()?);
+            } else {
+                return self.error("expected MEAN or STD in WHERE clause");
+            }
+            if !self.take_kw("AND") {
+                break;
+            }
+        }
+        Ok(window)
+    }
+
+    fn between(&mut self) -> Result<(f64, f64), LangError> {
+        self.expect_kw("BETWEEN")?;
+        let lo = self.number()?;
+        self.expect_kw("AND")?;
+        let hi = self.number()?;
+        if lo > hi {
+            return self.error("BETWEEN bounds out of order");
+        }
+        Ok((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_similar() {
+        let q = parse("FIND SIMILAR TO stocks.BBA IN stocks WITHIN 2.75 APPLY mavg(20)").unwrap();
+        match q {
+            Query::Similar {
+                source,
+                relation,
+                eps,
+                transforms,
+                window,
+            } => {
+                assert_eq!(
+                    source,
+                    Source::Ref { relation: "stocks".into(), label: "BBA".into() }
+                );
+                assert_eq!(relation, "stocks");
+                assert_eq!(eps, 2.75);
+                assert_eq!(transforms, vec![TransformSpec { name: "mavg".into(), args: vec![20.0] }]);
+                assert_eq!(window, WindowSpec::default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_nearest_with_literal() {
+        let q = parse("find 3 nearest to [1, 2, 3.5] in walks apply reverse").unwrap();
+        match q {
+            Query::Nearest { source, relation, k, transforms } => {
+                assert_eq!(source, Source::Literal(vec![1.0, 2.0, 3.5]));
+                assert_eq!(relation, "walks");
+                assert_eq!(k, 3);
+                assert_eq!(transforms.len(), 1);
+                assert_eq!(transforms[0].name, "reverse");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join_with_method() {
+        let q = parse("JOIN stocks WITHIN 1.5 APPLY mavg(20) USING TREE").unwrap();
+        match q {
+            Query::Join { relation, eps, transforms, method } => {
+                assert_eq!(relation, "stocks");
+                assert_eq!(eps, 1.5);
+                assert_eq!(transforms.len(), 1);
+                assert_eq!(method, JoinMethod::Tree);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_where_windows() {
+        let q = parse(
+            "FIND SIMILAR TO r.a IN r WITHIN 1 WHERE MEAN BETWEEN 5 AND 10 AND STD BETWEEN 0 AND 2",
+        )
+        .unwrap();
+        match q {
+            Query::Similar { window, .. } => {
+                assert_eq!(window.mean, Some((5.0, 10.0)));
+                assert_eq!(window.std, Some((0.0, 2.0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_transforms_in_order() {
+        let q = parse("JOIN r WITHIN 1 APPLY mavg(5), reverse, scale(-1)").unwrap();
+        match q {
+            Query::Join { transforms, .. } => {
+                let names: Vec<&str> = transforms.iter().map(|t| t.name.as_str()).collect();
+                assert_eq!(names, vec!["mavg", "reverse", "scale"]);
+                assert_eq!(transforms[2].args, vec![-1.0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_positions() {
+        assert!(matches!(parse("SELECT 1"), Err(LangError::Parse { .. })));
+        assert!(matches!(
+            parse("FIND SIMILAR stocks.BBA IN s WITHIN 1"),
+            Err(LangError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("FIND 0 NEAREST TO r.a IN r"),
+            Err(LangError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("JOIN r WITHIN 1 USING HASH"),
+            Err(LangError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("FIND SIMILAR TO r.a IN r WITHIN 1 garbage"),
+            Err(LangError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn between_order_checked() {
+        assert!(matches!(
+            parse("FIND SIMILAR TO r.a IN r WITHIN 1 WHERE MEAN BETWEEN 10 AND 5"),
+            Err(LangError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Building the index over a whole relation at once (the common case in the
+//! paper's experiments, where the data set is loaded and then queried) is
+//! much faster with bottom-up packing than with repeated insertion, and
+//! produces well-clustered leaves. Used by the benchmark harness; repeated
+//! insertion remains available for incremental workloads, and an ablation
+//! benchmark compares the two.
+
+use crate::config::RTreeConfig;
+use crate::node::{Entry, Node};
+use crate::rect::Rect;
+use crate::tree::RStarTree;
+
+impl<T> RStarTree<T> {
+    /// Builds a tree from `(rect, item)` pairs using STR packing.
+    ///
+    /// # Panics
+    /// Panics if rectangles disagree in dimensionality.
+    pub fn bulk_load(config: RTreeConfig, items: Vec<(Rect, T)>) -> Self {
+        config.validate();
+        let mut tree = RStarTree::new(config);
+        if items.is_empty() {
+            return tree;
+        }
+        let dims = items[0].0.dims();
+        for (r, _) in &items {
+            assert_eq!(r.dims(), dims, "dimensionality mismatch in bulk load");
+        }
+        let n = items.len();
+        // Pack leaf level.
+        let mut entries: Vec<Entry<T>> = items
+            .into_iter()
+            .map(|(rect, item)| Entry::Leaf { rect, item })
+            .collect();
+        let cap = config.max_entries;
+        let mut level = 0u32;
+        loop {
+            if entries.len() <= cap {
+                tree.set_root_from_entries(level, entries, dims, n);
+                return tree;
+            }
+            str_sort(&mut entries, 0, dims, cap);
+            let next_level = level + 1;
+            let chunks = chunk_sizes(entries.len(), cap);
+            let mut next: Vec<Entry<T>> = Vec::with_capacity(chunks.len());
+            let mut drain = entries.into_iter();
+            for size in chunks {
+                let group: Vec<Entry<T>> = drain.by_ref().take(size).collect();
+                let node = Node::new(level, group);
+                next.push(Entry::Node {
+                    rect: node.mbr(),
+                    child: Box::new(node),
+                });
+            }
+            entries = next;
+            level = next_level;
+        }
+    }
+}
+
+impl<T> RStarTree<T> {
+    fn set_root_from_entries(&mut self, level: u32, entries: Vec<Entry<T>>, dims: usize, n: usize) {
+        self.root = Node::new(level, entries);
+        self.force_size(n, dims);
+    }
+}
+
+/// Recursively orders entries in STR fashion: sort the current dimension,
+/// slice into vertical slabs sized so each slab packs into roughly equal
+/// tiles, recurse on the next dimension within each slab.
+fn str_sort<T>(entries: &mut [Entry<T>], dim: usize, dims: usize, cap: usize) {
+    let n = entries.len();
+    if n <= cap || dim >= dims {
+        return;
+    }
+    entries.sort_by(|a, b| center_coord(a.rect(), dim).total_cmp(&center_coord(b.rect(), dim)));
+    if dim + 1 == dims {
+        return;
+    }
+    // Number of leaf pages and vertical slabs (Leutenegger et al.).
+    let pages = n.div_ceil(cap);
+    let slabs = (pages as f64)
+        .powf(1.0 / (dims - dim) as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let slab_len = n.div_ceil(slabs);
+    for chunk in entries.chunks_mut(slab_len) {
+        str_sort(chunk, dim + 1, dims, cap);
+    }
+}
+
+#[inline]
+fn center_coord(r: &Rect, dim: usize) -> f64 {
+    0.5 * (r.lo()[dim] + r.hi()[dim])
+}
+
+/// Splits `n` entries into chunks of at most `cap`, sized as evenly as
+/// possible so that every chunk (not just all but the last) meets the 40%
+/// minimum fill: with `k = ceil(n / cap)` chunks, sizes are `n/k` or
+/// `n/k + 1`, and `n/k >= cap/2 >= min_entries`.
+fn chunk_sizes(n: usize, cap: usize) -> Vec<usize> {
+    debug_assert!(n > cap);
+    let k = n.div_ceil(cap);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        out.push(if i < extra { base + 1 } else { base });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize) -> Vec<(Rect, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 211) as f64;
+                let y = ((i * 73) % 197) as f64;
+                (Rect::from_point(&[x, y]), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_roundtrip() {
+        let t = RStarTree::bulk_load(RTreeConfig::with_max_entries(8), points(500));
+        assert_eq!(t.len(), 500);
+        t.validate();
+        let mut ids: Vec<usize> = t.iter().map(|(_, &i)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_small_fits_in_root() {
+        let t = RStarTree::bulk_load(RTreeConfig::with_max_entries(8), points(5));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t: RStarTree<usize> = RStarTree::bulk_load(RTreeConfig::default(), Vec::new());
+        assert!(t.is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn bulk_load_queries_agree_with_incremental() {
+        let data = points(300);
+        let bulk = RStarTree::bulk_load(RTreeConfig::with_max_entries(8), data.clone());
+        let mut incr = RStarTree::new(RTreeConfig::with_max_entries(8));
+        for (r, i) in data {
+            incr.insert(r, i);
+        }
+        let q = Rect::new(vec![20.0, 20.0], vec![120.0, 120.0]);
+        let (mut a, _) = bulk.search_collect(&q);
+        let (mut b, _) = incr.search_collect(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_supports_inserts_afterwards() {
+        let mut t = RStarTree::bulk_load(RTreeConfig::with_max_entries(8), points(100));
+        for i in 100..150 {
+            t.insert_point(&[i as f64, i as f64], i);
+        }
+        assert_eq!(t.len(), 150);
+        t.validate();
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        for n in [9usize, 33, 100, 1067] {
+            for cap in [8usize, 32] {
+                if n <= cap {
+                    continue;
+                }
+                let sizes = chunk_sizes(n, cap);
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+                for &s in &sizes {
+                    assert!(s <= cap);
+                    assert!(s >= cap / 2, "chunk {s} below half fill (cap {cap}, n {n})");
+                }
+            }
+        }
+    }
+}

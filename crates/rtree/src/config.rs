@@ -1,0 +1,90 @@
+//! Tree tuning parameters.
+
+/// Tuning parameters of an [`crate::RStarTree`].
+///
+/// The defaults correspond to a simulated 4 KiB disk page holding
+/// 6-dimensional `f64` rectangles plus a child pointer (~100 bytes/entry →
+/// fanout ≈ 40; we use 32 to leave header room), with the R\*-tree paper's
+/// recommended 40% minimum fill and 30% forced-reinsert fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (`M`). Must be at least 4.
+    pub max_entries: usize,
+    /// Minimum entries per non-root node (`m`). Must satisfy
+    /// `1 <= m <= M/2`.
+    pub min_entries: usize,
+    /// Number of entries removed and re-inserted on the first overflow of
+    /// each level per insertion (`p`, the R\*-tree forced reinsert). Zero
+    /// disables forced reinsertion (degrading to a quadratic-style split-only
+    /// R-tree) — exposed for the ablation benchmarks.
+    pub reinsert_count: usize,
+}
+
+impl RTreeConfig {
+    /// Config with the given fanout, deriving `m = 40%` and `p = 30%` as the
+    /// R\*-tree paper recommends.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        let min_entries = ((max_entries as f64 * 0.4) as usize).max(2);
+        let reinsert_count = ((max_entries as f64 * 0.3) as usize).max(1);
+        Self {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
+    }
+
+    /// Disables forced reinsertion (ablation).
+    pub fn without_reinsert(mut self) -> Self {
+        self.reinsert_count = 0;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries must be at least 4");
+        assert!(
+            self.min_entries >= 1 && self.min_entries <= self.max_entries / 2,
+            "min_entries must be in 1..=max_entries/2"
+        );
+        assert!(
+            self.reinsert_count < self.max_entries,
+            "reinsert_count must be below max_entries"
+        );
+    }
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self::with_max_entries(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RTreeConfig::default().validate();
+    }
+
+    #[test]
+    fn derived_fractions() {
+        let c = RTreeConfig::with_max_entries(10);
+        assert_eq!(c.min_entries, 4);
+        assert_eq!(c.reinsert_count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_fanout_rejected() {
+        let _ = RTreeConfig::with_max_entries(3);
+    }
+
+    #[test]
+    fn without_reinsert() {
+        let c = RTreeConfig::default().without_reinsert();
+        assert_eq!(c.reinsert_count, 0);
+        c.validate();
+    }
+}

@@ -1,0 +1,290 @@
+//! Spatial joins.
+//!
+//! The paper processes all-pairs queries "as a spatial join using the index"
+//! where "we transform all objects used in the join predicate before we
+//! compute the predicate" (Section 4). Two strategies are provided:
+//!
+//! - [`spatial_join`] / [`spatial_join_with`] — synchronized tree↔tree
+//!   traversal pruning pairs of subtrees whose (transformed) MBRs are
+//!   farther apart than the distance threshold;
+//! - index-nested-loop joins are composed by callers from
+//!   [`RStarTree::search_with`], which is what the paper's Table 1 methods
+//!   (c) and (d) do.
+
+use crate::node::{Entry, Node};
+use crate::rect::Rect;
+use crate::stats::SearchStats;
+use crate::tree::RStarTree;
+
+/// Synchronized R-tree join with a caller-supplied **lower bound** on the
+/// distance between the objects inside two stored rectangles.
+///
+/// `pair_bound(ra, rb)` receives *stored* rectangles from either tree and
+/// must return a value that never exceeds the true distance between any
+/// object in `ra` and any object in `rb` (after whatever transformation the
+/// caller applies inside the closure). Pairs with `pair_bound > eps` are
+/// pruned; every surviving leaf pair is passed to `out`.
+///
+/// This generalization matters for the paper's polar coordinate space,
+/// where coordinate-wise rectangle distance is *not* a valid bound of the
+/// complex-plane distance (angles wrap), and an annular-sector bound must
+/// be used instead.
+///
+/// When both arguments are the *same* tree, identical entries (`a` is the
+/// very same slot as `b`) are skipped, but each unordered pair is still
+/// reported twice — once in each order — matching the paper's Table 1
+/// accounting, where the transformed self-join answer of 12 pairs is listed
+/// as `12 x 2 = 24`.
+pub fn spatial_join_with<'a, T, U, B, OUT>(
+    a: &'a RStarTree<T>,
+    b: &'a RStarTree<U>,
+    mut pair_bound: B,
+    eps: f64,
+    mut out: OUT,
+) -> SearchStats
+where
+    B: FnMut(&Rect, &Rect) -> f64,
+    OUT: FnMut(&'a Rect, &'a T, &'a Rect, &'a U),
+{
+    assert!(eps >= 0.0, "join distance must be non-negative");
+    let mut stats = SearchStats::default();
+    if a.is_empty() || b.is_empty() {
+        return stats;
+    }
+    join_rec(&a.root, &b.root, &mut pair_bound, eps, &mut out, &mut stats);
+    stats
+}
+
+/// Plain Euclidean-space join: invokes `out` for every pair of leaf entries
+/// `(a, b)` whose transformed rectangles `ta(ra)`, `tb(rb)` lie within
+/// Euclidean distance `eps` of each other (MBR-to-MBR distance; exact
+/// point-level filtering is the caller's post-processing step, mirroring
+/// Algorithm 2's structure).
+pub fn spatial_join<'a, T, U, FA, FB, OUT>(
+    a: &'a RStarTree<T>,
+    b: &'a RStarTree<U>,
+    mut ta: FA,
+    mut tb: FB,
+    eps: f64,
+    out: OUT,
+) -> SearchStats
+where
+    FA: FnMut(&Rect) -> Rect,
+    FB: FnMut(&Rect) -> Rect,
+    OUT: FnMut(&'a Rect, &'a T, &'a Rect, &'a U),
+{
+    spatial_join_with(
+        a,
+        b,
+        move |ra, rb| ta(ra).rect_min_dist2(&tb(rb)).sqrt(),
+        eps,
+        out,
+    )
+}
+
+fn join_rec<'a, T, U, B, OUT>(
+    na: &'a Node<T>,
+    nb: &'a Node<U>,
+    pair_bound: &mut B,
+    eps: f64,
+    out: &mut OUT,
+    stats: &mut SearchStats,
+) where
+    B: FnMut(&Rect, &Rect) -> f64,
+    OUT: FnMut(&'a Rect, &'a T, &'a Rect, &'a U),
+{
+    stats.nodes_visited += 1;
+    match (na.is_leaf(), nb.is_leaf()) {
+        (true, true) => {
+            stats.leaves_visited += 1;
+            for ea in &na.entries {
+                let (ra, ia) = match ea {
+                    Entry::Leaf { rect, item } => (rect, item),
+                    Entry::Node { .. } => unreachable!("node entry in leaf"),
+                };
+                for eb in &nb.entries {
+                    let (rb, ib) = match eb {
+                        Entry::Leaf { rect, item } => (rect, item),
+                        Entry::Node { .. } => unreachable!("node entry in leaf"),
+                    };
+                    // Skip the literally-same entry in a self-join.
+                    if std::ptr::eq(ra as *const Rect, rb as *const Rect) {
+                        continue;
+                    }
+                    stats.entries_tested += 1;
+                    if pair_bound(ra, rb) <= eps {
+                        stats.candidates += 1;
+                        out(ra, ia, rb, ib);
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            for ea in &na.entries {
+                if let Entry::Node { rect, child } = ea {
+                    stats.entries_tested += 1;
+                    if pair_bound(rect, &nb.mbr()) <= eps {
+                        join_rec(child, nb, pair_bound, eps, out, stats);
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            for eb in &nb.entries {
+                if let Entry::Node { rect, child } = eb {
+                    stats.entries_tested += 1;
+                    if pair_bound(&na.mbr(), rect) <= eps {
+                        join_rec(na, child, pair_bound, eps, out, stats);
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            for ea in &na.entries {
+                let (ra, ca) = match ea {
+                    Entry::Node { rect, child } => (rect, child),
+                    Entry::Leaf { .. } => unreachable!("leaf entry in internal node"),
+                };
+                for eb in &nb.entries {
+                    let (rb, cb) = match eb {
+                        Entry::Node { rect, child } => (rect, child),
+                        Entry::Leaf { .. } => unreachable!("leaf entry in internal node"),
+                    };
+                    stats.entries_tested += 1;
+                    if pair_bound(ra, rb) <= eps {
+                        join_rec(ca, cb, pair_bound, eps, out, stats);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+
+    fn tree_from(points: &[[f64; 2]]) -> RStarTree<usize> {
+        let mut t = RStarTree::new(RTreeConfig::with_max_entries(5));
+        for (i, p) in points.iter().enumerate() {
+            t.insert_point(p, i);
+        }
+        t
+    }
+
+    fn id(r: &Rect) -> Rect {
+        r.clone()
+    }
+
+    #[test]
+    fn join_finds_close_pairs() {
+        let a = tree_from(&[[0.0, 0.0], [10.0, 10.0], [20.0, 20.0]]);
+        let b = tree_from(&[[0.5, 0.0], [15.0, 15.0]]);
+        let mut pairs = Vec::new();
+        spatial_join(&a, &b, id, id, 1.0, |_, &x, _, &y| pairs.push((x, y)));
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        // Deterministic pseudo-random point clouds.
+        let pts_a: Vec<[f64; 2]> = (0..80)
+            .map(|i| [((i * 37) % 101) as f64, ((i * 53) % 97) as f64])
+            .collect();
+        let pts_b: Vec<[f64; 2]> = (0..60)
+            .map(|i| [((i * 71) % 103) as f64, ((i * 29) % 89) as f64])
+            .collect();
+        let a = tree_from(&pts_a);
+        let b = tree_from(&pts_b);
+        let eps = 7.5;
+        let mut got = Vec::new();
+        spatial_join(&a, &b, id, id, eps, |_, &x, _, &y| got.push((x, y)));
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (i, pa) in pts_a.iter().enumerate() {
+            for (j, pb) in pts_b.iter().enumerate() {
+                let d2 = (pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2);
+                if d2 <= eps * eps {
+                    want.push((i, j));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn self_join_reports_each_pair_twice() {
+        let pts: Vec<[f64; 2]> = vec![[0.0, 0.0], [0.5, 0.0], [100.0, 100.0]];
+        let t = tree_from(&pts);
+        let mut pairs = Vec::new();
+        spatial_join(&t, &t, id, id, 1.0, |_, &x, _, &y| pairs.push((x, y)));
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn transformed_join() {
+        // Side b is reflected through the origin before matching: pairs are
+        // (p, q) with |p + q| <= eps — the paper's T_rev hedging query.
+        let a = tree_from(&[[1.0, 2.0], [5.0, 5.0]]);
+        let b = tree_from(&[[-1.0, -2.0], [4.0, 4.0]]);
+        let mut pairs = Vec::new();
+        spatial_join(
+            &a,
+            &b,
+            id,
+            |r| r.affine(&[-1.0, -1.0], &[0.0, 0.0]),
+            0.1,
+            |_, &x, _, &y| pairs.push((x, y)),
+        );
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn join_with_empty_tree() {
+        let a = tree_from(&[[0.0, 0.0]]);
+        let b: RStarTree<usize> = RStarTree::default();
+        let mut called = false;
+        spatial_join(&a, &b, id, id, 10.0, |_, _, _, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_eps_panics() {
+        let a = tree_from(&[[0.0, 0.0]]);
+        spatial_join(&a, &a, id, id, -1.0, |_, _, _, _| {});
+    }
+
+    #[test]
+    fn join_prunes_subtrees() {
+        // Two distant clusters: the cross-cluster subtree pairs must be
+        // pruned, so entry tests stay far below the n*m worst case.
+        let pts_a: Vec<[f64; 2]> = (0..100).map(|i| [i as f64 % 10.0, (i / 10) as f64]).collect();
+        let pts_b: Vec<[f64; 2]> = pts_a
+            .iter()
+            .map(|p| [p[0] + 1000.0, p[1] + 1000.0])
+            .collect();
+        let mut both = pts_a.clone();
+        both.extend_from_slice(&pts_b);
+        let t = tree_from(&both);
+        let stats = spatial_join(&t, &t, id, id, 2.0, |_, _, _, _| {});
+        assert!(
+            stats.entries_tested < 200 * 200 / 4,
+            "join should prune: {} tests",
+            stats.entries_tested
+        );
+    }
+
+    #[test]
+    fn custom_bound_join() {
+        // A bound of zero disables pruning: every cross pair is reported.
+        let a = tree_from(&[[0.0, 0.0], [5.0, 5.0]]);
+        let b = tree_from(&[[100.0, 100.0]]);
+        let mut n = 0;
+        spatial_join_with(&a, &b, |_, _| 0.0, 0.5, |_, _, _, _| n += 1);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Best-first nearest-neighbor search (Roussopoulos–Kelley–Vincent style
+//! pruning generalized to the incremental best-first algorithm).
+//!
+//! Distances are pluggable: the caller supplies a *lower bound* for node
+//! MBRs and an *exact* distance for leaf entries. For plain Euclidean KNN
+//! these are `MINDIST` and the point distance; for the paper's transformed
+//! queries (`find the k series most similar to q under T`), `tsq-core`
+//! passes bounds computed on transformed rectangles, which keeps the search
+//! correct with no false dismissals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{Entry, Node};
+use crate::rect::Rect;
+use crate::stats::SearchStats;
+use crate::tree::RStarTree;
+
+/// One nearest-neighbor result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor<'a, T> {
+    /// Exact distance reported by the caller's distance function.
+    pub distance: f64,
+    /// Stored bounding rectangle of the item.
+    pub rect: &'a Rect,
+    /// The item.
+    pub item: &'a T,
+}
+
+enum HeapPayload<'a, T> {
+    Node(&'a Node<T>),
+    Item(&'a Rect, &'a T),
+}
+
+struct HeapEntry<'a, T> {
+    dist: f64,
+    payload: HeapPayload<'a, T>,
+}
+
+impl<T> PartialEq for HeapEntry<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T> Eq for HeapEntry<'_, T> {}
+impl<T> PartialOrd for HeapEntry<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need smallest distance first.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl<T> RStarTree<T> {
+    /// Returns the `k` items minimizing `exact_dist`, using `bound_dist` as
+    /// an admissible (never over-estimating) lower bound on node MBRs.
+    ///
+    /// Results are sorted by ascending distance. If the tree holds fewer
+    /// than `k` items, all of them are returned.
+    pub fn nearest_with<'a, B, E>(
+        &'a self,
+        k: usize,
+        mut bound_dist: B,
+        mut exact_dist: E,
+    ) -> (Vec<Neighbor<'a, T>>, SearchStats)
+    where
+        B: FnMut(&Rect) -> f64,
+        E: FnMut(&Rect, &T) -> f64,
+    {
+        let mut stats = SearchStats::default();
+        let mut results: Vec<Neighbor<'a, T>> = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return (results, stats);
+        }
+        let mut heap: BinaryHeap<HeapEntry<'a, T>> = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            payload: HeapPayload::Node(&self.root),
+        });
+        while let Some(HeapEntry { dist, payload }) = heap.pop() {
+            if results.len() == k && dist > results[k - 1].distance {
+                break; // nothing on the heap can beat the current k-th
+            }
+            match payload {
+                HeapPayload::Node(node) => {
+                    stats.nodes_visited += 1;
+                    if node.is_leaf() {
+                        stats.leaves_visited += 1;
+                    }
+                    for entry in &node.entries {
+                        stats.entries_tested += 1;
+                        match entry {
+                            Entry::Leaf { rect, item } => {
+                                let d = exact_dist(rect, item);
+                                heap.push(HeapEntry {
+                                    dist: d,
+                                    payload: HeapPayload::Item(rect, item),
+                                });
+                            }
+                            Entry::Node { rect, child } => {
+                                let d = bound_dist(rect);
+                                heap.push(HeapEntry {
+                                    dist: d,
+                                    payload: HeapPayload::Node(child),
+                                });
+                            }
+                        }
+                    }
+                }
+                HeapPayload::Item(rect, item) => {
+                    stats.candidates += 1;
+                    insert_sorted(&mut results, Neighbor { distance: dist, rect, item }, k);
+                    // When the k-th distance is settled, the loop's break
+                    // condition prunes the remaining heap.
+                }
+            }
+        }
+        (results, stats)
+    }
+
+    /// Euclidean k-nearest-neighbors of a query point, using `MINDIST`
+    /// pruning on MBRs.
+    pub fn nearest_to_point<'a>(
+        &'a self,
+        k: usize,
+        point: &[f64],
+    ) -> (Vec<Neighbor<'a, T>>, SearchStats) {
+        self.nearest_with(
+            k,
+            |rect| rect.min_dist2(point).sqrt(),
+            |rect, _| rect.min_dist2(point).sqrt(),
+        )
+    }
+}
+
+fn insert_sorted<'a, T>(results: &mut Vec<Neighbor<'a, T>>, n: Neighbor<'a, T>, k: usize) {
+    let pos = results
+        .binary_search_by(|p| p.distance.total_cmp(&n.distance))
+        .unwrap_or_else(|p| p);
+    results.insert(pos, n);
+    if results.len() > k {
+        results.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+
+    fn grid_tree(n: usize) -> RStarTree<(usize, usize)> {
+        let mut t = RStarTree::new(RTreeConfig::with_max_entries(8));
+        for i in 0..n {
+            for j in 0..n {
+                t.insert_point(&[i as f64, j as f64], (i, j));
+            }
+        }
+        t
+    }
+
+    /// Brute-force reference.
+    fn brute_knn(n: usize, k: usize, q: [f64; 2]) -> Vec<f64> {
+        let mut d: Vec<f64> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                let dx = i as f64 - q[0];
+                let dy = j as f64 - q[1];
+                (dx * dx + dy * dy).sqrt()
+            })
+            .collect();
+        d.sort_by(f64::total_cmp);
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let t = grid_tree(15);
+        for q in [[0.0, 0.0], [7.3, 7.9], [20.0, -3.0], [14.0, 14.0]] {
+            for k in [1usize, 5, 17] {
+                let (got, _) = t.nearest_to_point(k, &q);
+                let want = brute_knn(15, k, q);
+                assert_eq!(got.len(), k);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g.distance - w).abs() < 1e-9,
+                        "q={q:?} k={k}: {} vs {w}",
+                        g.distance
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_prunes() {
+        let t = grid_tree(30); // 900 points
+        let (_, stats) = t.nearest_to_point(3, &[15.0, 15.0]);
+        assert!(
+            stats.nodes_visited < 40,
+            "best-first should visit few nodes, visited {}",
+            stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn k_larger_than_tree() {
+        let t = grid_tree(3);
+        let (got, _) = t.nearest_to_point(100, &[0.0, 0.0]);
+        assert_eq!(got.len(), 9);
+        // Sorted ascending.
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let t = grid_tree(3);
+        assert!(t.nearest_to_point(0, &[0.0, 0.0]).0.is_empty());
+        let empty: RStarTree<u8> = RStarTree::default();
+        assert!(empty.nearest_to_point(5, &[0.0]).0.is_empty());
+    }
+
+    #[test]
+    fn transformed_knn_via_custom_metric() {
+        // Nearest under T(x) = -x (the paper's reversing transformation):
+        // the item minimizing |T(p) - q| differs from the plain nearest.
+        let t = grid_tree(10);
+        let q = [-3.0, -7.0];
+        let (got, _) = t.nearest_with(
+            1,
+            |rect| rect.affine(&[-1.0, -1.0], &[0.0, 0.0]).min_dist2(&q).sqrt(),
+            |rect, _| {
+                let c = rect.center();
+                let dx = -c[0] - q[0];
+                let dy = -c[1] - q[1];
+                (dx * dx + dy * dy).sqrt()
+            },
+        );
+        assert_eq!(*got[0].item, (3, 7));
+        assert!(got[0].distance < 1e-12);
+    }
+
+    #[test]
+    fn ties_all_returned() {
+        // Four symmetric points around the query at identical distance.
+        let mut t = RStarTree::new(RTreeConfig::with_max_entries(4));
+        t.insert_point(&[1.0, 0.0], 0);
+        t.insert_point(&[-1.0, 0.0], 1);
+        t.insert_point(&[0.0, 1.0], 2);
+        t.insert_point(&[0.0, -1.0], 3);
+        let (got, _) = t.nearest_to_point(4, &[0.0, 0.0]);
+        assert_eq!(got.len(), 4);
+        for n in &got {
+            assert!((n.distance - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # tsq-rtree — R\*-tree substrate for similarity-based time-series queries
+//!
+//! A from-scratch implementation of the R\*-tree (Beckmann, Kriegel,
+//! Schneider, Seeger, SIGMOD 1990), the index the paper *Similarity-Based
+//! Queries for Time Series Data* (Rafiei & Mendelzon, SIGMOD 1997) builds
+//! on. The pieces the paper's Algorithms 1 and 2 need are first-class:
+//!
+//! - [`RStarTree::search_with`] exposes every stored MBR to a caller-supplied
+//!   acceptance test, so a safe transformation can be applied to the index
+//!   *on the fly* during traversal (Algorithm 1's `I' = T(I)` without
+//!   materializing `I'`);
+//! - [`RStarTree::nearest_with`] runs best-first nearest-neighbor search
+//!   with pluggable lower-bound metrics (MINDIST et al., Roussopoulos 1995),
+//!   again allowing transformed metrics;
+//! - [`join::spatial_join`] prunes all-pairs queries through both trees with
+//!   per-side rectangle transforms;
+//! - [`RStarTree::bulk_load`] packs a whole relation with STR;
+//! - every query returns [`stats::SearchStats`], whose node-visit counter
+//!   stands in for the paper's disk-access measurements.
+//!
+//! The tree stores arbitrary payloads under dynamic-dimensional rectangles
+//! ([`rect::Rect`]); leaf entries may be points (degenerate rectangles),
+//! which is how feature vectors are stored by `tsq-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod config;
+pub mod join;
+pub mod knn;
+pub mod rect;
+pub mod search;
+pub mod stats;
+pub mod tree;
+
+mod node;
+mod split;
+
+pub use config::RTreeConfig;
+pub use join::{spatial_join, spatial_join_with};
+pub use knn::Neighbor;
+pub use rect::Rect;
+pub use stats::SearchStats;
+pub use tree::RStarTree;

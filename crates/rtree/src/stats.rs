@@ -1,0 +1,58 @@
+//! Access statistics.
+//!
+//! The paper reports the *number of disk accesses* alongside wall-clock
+//! times; we model one node visit as one (simulated) page read. Every query
+//! method returns a [`SearchStats`] so callers can assert claims like
+//! "the number of disk accesses is the same with and without
+//! transformations" (Section 5, Figure 8 discussion).
+
+/// Counters collected during a single query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes (internal + leaf) visited — the simulated disk-access count.
+    pub nodes_visited: u64,
+    /// Leaf nodes visited.
+    pub leaves_visited: u64,
+    /// Entries whose rectangle was tested against the query.
+    pub entries_tested: u64,
+    /// Leaf entries that passed the index-level test (candidates handed to
+    /// post-processing).
+    pub candidates: u64,
+}
+
+impl SearchStats {
+    /// Merges another stats record into this one (useful for joins, which
+    /// run many sub-queries).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.entries_tested += other.entries_tested;
+        self.candidates += other.candidates;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = SearchStats {
+            nodes_visited: 1,
+            leaves_visited: 2,
+            entries_tested: 3,
+            candidates: 4,
+        };
+        let b = SearchStats {
+            nodes_visited: 10,
+            leaves_visited: 20,
+            entries_tested: 30,
+            candidates: 40,
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes_visited, 11);
+        assert_eq!(a.leaves_visited, 22);
+        assert_eq!(a.entries_tested, 33);
+        assert_eq!(a.candidates, 44);
+    }
+}

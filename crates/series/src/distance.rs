@@ -1,0 +1,112 @@
+//! Distances between equal-length time series.
+
+use crate::series::TimeSeries;
+
+/// Euclidean distance `D(x, y) = sqrt(sum (x_i - y_i)^2)` — the paper's
+/// baseline dissimilarity (Section 1).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn euclidean(x: &TimeSeries, y: &TimeSeries) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Early-abandoning Euclidean distance: returns `None` as soon as the
+/// accumulated squared distance exceeds `threshold^2`. This is the
+/// optimization the paper applies to make sequential scanning competitive
+/// (Table 1, method (b): "stop the distance computation as soon as the
+/// distance exceeds eps" — 10x faster than method (a)).
+pub fn euclidean_early_abandon(x: &TimeSeries, y: &TimeSeries, threshold: f64) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    let limit = threshold * threshold;
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let d = a - b;
+        acc += d * d;
+        if acc > limit {
+            return None;
+        }
+    }
+    Some(acc.sqrt())
+}
+
+/// City-block (L1) distance, mentioned in Section 1 as an alternative
+/// dissimilarity.
+pub fn city_block(x: &TimeSeries, y: &TimeSeries) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    x.iter().zip(y.iter()).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Maximum (L∞) distance.
+pub fn chebyshev(x: &TimeSeries, y: &TimeSeries) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_by_hand() {
+        let x = TimeSeries::from([0.0, 0.0]);
+        let y = TimeSeries::from([3.0, 4.0]);
+        assert_eq!(euclidean(&x, &y), 5.0);
+        assert_eq!(city_block(&x, &y), 7.0);
+        assert_eq!(chebyshev(&x, &y), 4.0);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let x = TimeSeries::from([1.0, -2.0, 3.5]);
+        assert_eq!(euclidean(&x, &x), 0.0);
+        assert_eq!(city_block(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_consistency() {
+        let x = TimeSeries::from([1.0, 2.0, 3.0, 4.0]);
+        let y = TimeSeries::from([2.0, 4.0, 1.0, 0.0]);
+        let d = euclidean(&x, &y);
+        assert_eq!(euclidean_early_abandon(&x, &y, d + 0.1), Some(d));
+        assert_eq!(euclidean_early_abandon(&x, &y, d - 0.1), None);
+    }
+
+    #[test]
+    fn metric_inequalities() {
+        // chebyshev <= euclidean <= city_block for any pair.
+        let x = TimeSeries::from([1.0, 5.0, -3.0, 0.5]);
+        let y = TimeSeries::from([0.0, 2.0, 2.0, 2.0]);
+        assert!(chebyshev(&x, &y) <= euclidean(&x, &y) + 1e-12);
+        assert!(euclidean(&x, &y) <= city_block(&x, &y) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        let _ = euclidean(&TimeSeries::from([1.0]), &TimeSeries::from([1.0, 2.0]));
+    }
+
+    #[test]
+    fn paper_example_1_1_distance() {
+        // D(s1, s2) = 11.92 for the sequences of Example 1.1.
+        let s1 = TimeSeries::from([
+            36.0, 38.0, 40.0, 38.0, 42.0, 38.0, 36.0, 36.0, 37.0, 38.0, 39.0, 38.0, 40.0, 38.0,
+            37.0,
+        ]);
+        let s2 = TimeSeries::from([
+            40.0, 37.0, 37.0, 42.0, 41.0, 35.0, 40.0, 35.0, 34.0, 42.0, 38.0, 35.0, 45.0, 36.0,
+            34.0,
+        ]);
+        let d = euclidean(&s1, &s2);
+        assert!((d - 11.92).abs() < 0.005, "got {d}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Workload generators.
+//!
+//! Two sources of data drive the paper's experiments:
+//!
+//! 1. **Synthetic random walks** (Section 5): `x_0 = y` with `y` drawn from
+//!    `[20, 99]`, then `x_i = x_{i-1} + z_i` with steps `z_i` drawn from
+//!    `[-4, 4]`. [`RandomWalkGenerator`] reproduces this exactly.
+//! 2. **Real stock closing prices** from `ftp.ai.mit.edu/pub/stocks/results/`
+//!    (1067 series of length 128). That archive no longer exists, so
+//!    [`StockGenerator`] substitutes a synthetic market: geometric random
+//!    walks driven by a small set of latent market/sector factors, which
+//!    plants realistic groups of co-moving and oppositely-moving stocks.
+//!    The substitution preserves what the experiments rely on — energy
+//!    concentrated in low DFT coefficients plus a small population of
+//!    strongly-(anti)correlated pairs for the join and hedging queries.
+//!
+//! All generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::series::TimeSeries;
+
+/// Generates the paper's random-walk sequences (Section 5).
+#[derive(Debug)]
+pub struct RandomWalkGenerator {
+    rng: StdRng,
+    /// Start-value range (paper: `[20, 99]`).
+    pub start_range: (f64, f64),
+    /// Step range (paper: `[-4, 4]`).
+    pub step_range: (f64, f64),
+}
+
+impl RandomWalkGenerator {
+    /// Creates a generator with the paper's parameters.
+    pub fn new(seed: u64) -> Self {
+        RandomWalkGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            start_range: (20.0, 99.0),
+            step_range: (-4.0, 4.0),
+        }
+    }
+
+    /// Generates one series of the given length.
+    pub fn series(&mut self, len: usize) -> TimeSeries {
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return TimeSeries::new(out);
+        }
+        let mut v = self.rng.random_range(self.start_range.0..=self.start_range.1);
+        out.push(v);
+        for _ in 1..len {
+            v += self.rng.random_range(self.step_range.0..=self.step_range.1);
+            out.push(v);
+        }
+        TimeSeries::new(out)
+    }
+
+    /// Generates a whole relation of `count` series of equal length.
+    pub fn relation(&mut self, count: usize, len: usize) -> Vec<TimeSeries> {
+        (0..count).map(|_| self.series(len)).collect()
+    }
+}
+
+/// Synthetic stock-market generator (substitution for the paper's real
+/// stock data; see the crate docs and DESIGN.md).
+///
+/// Each stock's daily log-return is a mix of a market factor, one of
+/// `sectors` sector factors (with either positive or negative loading —
+/// negative loadings create the "opposite movement" pairs of Example 2.2),
+/// and idiosyncratic noise; prices follow the exponentiated cumulative
+/// returns from a per-stock base price.
+#[derive(Debug)]
+pub struct StockGenerator {
+    rng: StdRng,
+    /// Number of sector factors.
+    pub sectors: usize,
+    /// Daily market volatility.
+    pub market_vol: f64,
+    /// Daily sector volatility.
+    pub sector_vol: f64,
+    /// Daily idiosyncratic volatility.
+    pub idio_vol: f64,
+    /// Fraction of stocks loading *negatively* on their sector (hedging
+    /// candidates).
+    pub inverse_fraction: f64,
+    /// Fraction of stocks that are *twins*: noisy near-copies of an earlier
+    /// stock (index trackers / dual listings). Twins give all-pairs joins a
+    /// small population of genuinely similar pairs, as the paper's real
+    /// stock relation had (Table 1 finds 12 similar pairs among 1067).
+    pub twin_fraction: f64,
+    /// Range of market-factor loadings (heterogeneous betas spread the
+    /// pairwise-distance distribution, as in real markets).
+    pub beta_range: (f64, f64),
+    /// Range of daily log-drifts (strong trends differentiate smoothed
+    /// shapes).
+    pub drift_range: (f64, f64),
+}
+
+impl StockGenerator {
+    /// Creates a generator with realistic default parameters.
+    pub fn new(seed: u64) -> Self {
+        StockGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            sectors: 12,
+            market_vol: 0.008,
+            sector_vol: 0.012,
+            idio_vol: 0.006,
+            inverse_fraction: 0.1,
+            twin_fraction: 0.02,
+            beta_range: (0.3, 2.0),
+            drift_range: (-0.004, 0.004),
+        }
+    }
+
+    /// Standard normal via Box–Muller (rand's core crate has no normal
+    /// distribution; this keeps us inside the approved dependency list).
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.random_range(f64::EPSILON..1.0f64);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Generates `count` stock price series of `len` days.
+    pub fn relation(&mut self, count: usize, len: usize) -> Vec<TimeSeries> {
+        if len == 0 {
+            return vec![TimeSeries::new(Vec::new()); count];
+        }
+        // Latent factor paths.
+        let market: Vec<f64> = (0..len).map(|_| self.gauss() * self.market_vol).collect();
+        let sector_paths: Vec<Vec<f64>> = (0..self.sectors)
+            .map(|_| (0..len).map(|_| self.gauss() * self.sector_vol).collect())
+            .collect();
+
+        let mut out: Vec<TimeSeries> = Vec::with_capacity(count);
+        for i in 0..count {
+            // Twin: a small-tracking-error copy of a random earlier stock.
+            // (The draw is skipped entirely when the feature is disabled so
+            // that twin_fraction = 0 reproduces the pre-twin random stream.)
+            if self.twin_fraction > 0.0
+                && !out.is_empty()
+                && self.rng.random_range(0.0..1.0) < self.twin_fraction
+            {
+                let src = self.rng.random_range(0..out.len());
+                let scale = self.rng.random_range(0.25..4.0f64);
+                // Tracking error varies per twin: the tightest twins stay
+                // similar even without smoothing (the paper's method (c)
+                // finds 3 raw-similar pairs); looser twins only match after
+                // a moving average (method (d) finds 12).
+                // Log-uniform: a substantial share of twins track tightly
+                // enough to be similar even without smoothing.
+                let lo = (5e-5f64).ln();
+                let hi = (4e-3f64).ln();
+                let tracking = self.rng.random_range(lo..hi).exp();
+                let vals: Vec<f64> = out[src]
+                    .iter()
+                    .map(|&v| v * scale * (self.gauss() * tracking).exp())
+                    .collect();
+                out.push(TimeSeries::new(vals));
+                continue;
+            }
+            let sector = i % self.sectors.max(1);
+            let load: f64 = if self.rng.random_range(0.0..1.0) < self.inverse_fraction {
+                -1.0
+            } else {
+                1.0
+            };
+            let beta = self.rng.random_range(self.beta_range.0..=self.beta_range.1);
+            let drift = self.rng.random_range(self.drift_range.0..=self.drift_range.1);
+            let base = self.rng.random_range(5.0..80.0);
+            let mut price = base;
+            let mut vals = Vec::with_capacity(len);
+            for t in 0..len {
+                let r = drift
+                    + beta * market[t]
+                    + load * sector_paths[sector][t]
+                    + self.gauss() * self.idio_vol;
+                price *= r.exp();
+                vals.push(price);
+            }
+            out.push(TimeSeries::new(vals));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normal_form;
+    use crate::stats::pearson;
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let mut a = RandomWalkGenerator::new(7);
+        let mut b = RandomWalkGenerator::new(7);
+        assert_eq!(a.series(50), b.series(50));
+        let mut c = RandomWalkGenerator::new(8);
+        assert_ne!(a.series(50), c.series(50));
+    }
+
+    #[test]
+    fn random_walk_respects_parameters() {
+        let mut g = RandomWalkGenerator::new(42);
+        for _ in 0..20 {
+            let s = g.series(100);
+            assert!(s[0] >= 20.0 && s[0] <= 99.0, "start {}", s[0]);
+            for w in s.values().windows(2) {
+                let step = w[1] - w[0];
+                assert!((-4.0..=4.0).contains(&step), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn relation_shape() {
+        let mut g = RandomWalkGenerator::new(1);
+        let rel = g.relation(10, 64);
+        assert_eq!(rel.len(), 10);
+        assert!(rel.iter().all(|s| s.len() == 64));
+    }
+
+    #[test]
+    fn zero_length_series() {
+        let mut g = RandomWalkGenerator::new(1);
+        assert!(g.series(0).is_empty());
+    }
+
+    #[test]
+    fn stocks_have_positive_prices() {
+        let mut g = StockGenerator::new(3);
+        let rel = g.relation(50, 128);
+        assert_eq!(rel.len(), 50);
+        for s in &rel {
+            assert!(s.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn stocks_deterministic_per_seed() {
+        let a = StockGenerator::new(11).relation(5, 32);
+        let b = StockGenerator::new(11).relation(5, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_sector_stocks_correlate() {
+        // Stocks i and i + sectors share a sector factor; with positive
+        // loadings their normal forms should correlate far more than
+        // cross-sector pairs on average.
+        let mut g = StockGenerator::new(5);
+        g.inverse_fraction = 0.0; // all-positive loadings for this test
+        g.twin_fraction = 0.0; // sector pairing must stay deterministic
+        g.drift_range = (0.0, 0.0); // no trends: isolate factor structure
+        g.beta_range = (1.0, 1.0);
+        let sectors = g.sectors;
+        let rel = g.relation(3 * sectors, 128);
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..sectors {
+            let a = normal_form(&rel[i]);
+            let b = normal_form(&rel[i + sectors]);
+            same.push(pearson(a.values(), b.values()));
+            let c = normal_form(&rel[(i + 1) % sectors + sectors]);
+            diff.push(pearson(a.values(), c.values()));
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&same) > avg(&diff) + 0.2,
+            "same-sector corr {} vs cross {}",
+            avg(&same),
+            avg(&diff)
+        );
+    }
+
+    #[test]
+    fn inverse_loadings_anticorrelate() {
+        let mut g = StockGenerator::new(9);
+        g.inverse_fraction = 1.0; // every stock inverse...
+        g.twin_fraction = 0.0;
+        let sectors = g.sectors;
+        let all_inverse = g.relation(sectors, 128);
+        let mut g2 = StockGenerator::new(9);
+        g2.inverse_fraction = 0.0;
+        g2.twin_fraction = 0.0;
+        let all_direct = g2.relation(sectors, 128);
+        // Different rng consumption patterns make exact pairing loose, so
+        // just verify the generator produces strongly negatively correlated
+        // pairs *somewhere* between the two relations.
+        let mut found = false;
+        'outer: for a in &all_inverse {
+            for b in &all_direct {
+                let c = pearson(normal_form(a).values(), normal_form(b).values());
+                if c < -0.5 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "expected at least one strongly anti-correlated pair");
+    }
+}

@@ -1,0 +1,137 @@
+//! Plain-text persistence for relations of time series.
+//!
+//! One series per line, comma-separated values — the natural format for
+//! dumping generated workloads and re-loading them in examples or external
+//! tools. Parsing is strict: any malformed number aborts with a descriptive
+//! error.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::series::TimeSeries;
+
+/// Errors arising while reading a relation from disk.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A value failed to parse as `f64`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, token } => {
+                write!(f, "line {line}: cannot parse {token:?} as a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes one series per line, values comma-separated.
+pub fn save_csv(path: &Path, relation: &[TimeSeries]) -> Result<(), IoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for s in relation {
+        let mut first = true;
+        for v in s.iter() {
+            if !first {
+                write!(out, ",")?;
+            }
+            write!(out, "{v}")?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a relation written by [`save_csv`]. Empty lines produce empty
+/// series.
+pub fn load_csv(path: &Path) -> Result<Vec<TimeSeries>, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut relation = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            relation.push(TimeSeries::new(Vec::new()));
+            continue;
+        }
+        let mut values = Vec::new();
+        for token in trimmed.split(',') {
+            let token = token.trim();
+            let v: f64 = token.parse().map_err(|_| IoError::Parse {
+                line: lineno + 1,
+                token: token.to_string(),
+            })?;
+            values.push(v);
+        }
+        relation.push(TimeSeries::new(values));
+    }
+    Ok(relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsq-series-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip.csv");
+        let rel = vec![
+            TimeSeries::from([1.0, 2.5, -3.0]),
+            TimeSeries::from([42.0]),
+            TimeSeries::new(vec![]),
+        ];
+        save_csv(&path, &rel).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(rel, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_error_reports_location() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0,oops\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        match err {
+            IoError::Parse { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "oops");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_csv(Path::new("/nonexistent/tsq.csv")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("I/O error"));
+    }
+}

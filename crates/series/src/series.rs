@@ -1,0 +1,179 @@
+//! The time-series value type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A time series: "a sequence of real numbers, each number representing a
+/// value at a time point" (Section 1 of the paper).
+///
+/// The type is a thin, immutable-by-convention wrapper over `Vec<f64>` with
+/// the statistics and transformations the query engine needs. Values must be
+/// finite; constructors enforce this so downstream geometry never sees NaN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Wraps a vector of finite values.
+    ///
+    /// # Panics
+    /// Panics if any value is not finite.
+    pub fn new(values: Vec<f64>) -> Self {
+        for (i, v) in values.iter().enumerate() {
+            assert!(v.is_finite(), "non-finite value at position {i}");
+        }
+        TimeSeries { values }
+    }
+
+    /// Number of time points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the empty series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the series, returning its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Iterator over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.values.iter()
+    }
+
+    /// Arithmetic mean; 0 for the empty series.
+    pub fn mean(&self) -> f64 {
+        crate::stats::mean(&self.values)
+    }
+
+    /// Population standard deviation; 0 for series shorter than 1.
+    pub fn std(&self) -> f64 {
+        crate::stats::std_population(&self.values)
+    }
+
+    /// Element-wise map, producing a new series.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> TimeSeries {
+        TimeSeries::new(self.values.iter().copied().map(f).collect())
+    }
+
+    /// The reversed series of Example 2.2: every value multiplied by −1
+    /// (price movements mirrored). Note this is *negation*, not reversal of
+    /// time order — the paper's `T_rev` flips the sign.
+    pub fn negate(&self) -> TimeSeries {
+        self.map(|v| -v)
+    }
+
+    /// Adds a constant to every value (a shift transformation).
+    pub fn shift(&self, c: f64) -> TimeSeries {
+        self.map(|v| v + c)
+    }
+
+    /// Multiplies every value by a constant (a scale transformation; the
+    /// paper explicitly allows negative scales).
+    pub fn scale(&self, c: f64) -> TimeSeries {
+        self.map(|v| v * c)
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(values: Vec<f64>) -> Self {
+        TimeSeries::new(values)
+    }
+}
+
+impl From<&[f64]> for TimeSeries {
+    fn from(values: &[f64]) -> Self {
+        TimeSeries::new(values.to_vec())
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for TimeSeries {
+    fn from(values: [f64; N]) -> Self {
+        TimeSeries::new(values.to_vec())
+    }
+}
+
+impl Index<usize> for TimeSeries {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = TimeSeries::from([1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s[1], 2.0);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.iter().sum::<f64>(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = TimeSeries::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = TimeSeries::from([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negate_shift_scale() {
+        let s = TimeSeries::from([1.0, -2.0]);
+        assert_eq!(s.negate().values(), &[-1.0, 2.0]);
+        assert_eq!(s.shift(3.0).values(), &[4.0, 1.0]);
+        assert_eq!(s.scale(-2.0).values(), &[-2.0, 4.0]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = TimeSeries::from([20.0, 21.0, 20.0, 23.0]);
+        assert_eq!(s.to_string(), "(20,21,20,23)");
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+    }
+}

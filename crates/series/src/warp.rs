@@ -1,0 +1,105 @@
+//! Time warping by integer stretch factors (Example 1.2 and Appendix A).
+//!
+//! The paper's warping replaces every value `v_i` by `m` copies of itself,
+//! turning a series sampled every `m` days into one comparable with a
+//! daily-sampled series. The frequency-domain coefficients of the warp are
+//! derived in Appendix A and implemented in `tsq-core`; this module provides
+//! the time-domain operation and its inverse.
+
+use crate::series::TimeSeries;
+
+/// Stretches the time dimension by factor `m >= 1`: each value is repeated
+/// `m` times (`s'_{mi} = ... = s'_{m(i+1)-1} = s_i`, Equation 16).
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn stretch(s: &TimeSeries, m: usize) -> TimeSeries {
+    assert!(m >= 1, "stretch factor must be at least 1");
+    let mut out = Vec::with_capacity(s.len() * m);
+    for &v in s.iter() {
+        for _ in 0..m {
+            out.push(v);
+        }
+    }
+    TimeSeries::new(out)
+}
+
+/// Inverse of [`stretch`] for exactly-stretched inputs: keeps every `m`-th
+/// value. Returns `None` if the length is not divisible by `m` or the series
+/// is not constant on every length-`m` block.
+pub fn compress_exact(s: &TimeSeries, m: usize) -> Option<TimeSeries> {
+    assert!(m >= 1, "stretch factor must be at least 1");
+    if m == 1 {
+        return Some(s.clone());
+    }
+    if s.len() % m != 0 {
+        return None;
+    }
+    let v = s.values();
+    let mut out = Vec::with_capacity(s.len() / m);
+    for block in v.chunks_exact(m) {
+        if block.iter().any(|&x| x != block[0]) {
+            return None;
+        }
+        out.push(block[0]);
+    }
+    Some(TimeSeries::new(out))
+}
+
+/// Downsamples by keeping every `m`-th value (no constancy requirement) —
+/// how a lower-frequency observer would have recorded the series.
+pub fn downsample(s: &TimeSeries, m: usize) -> TimeSeries {
+    assert!(m >= 1, "factor must be at least 1");
+    TimeSeries::new(s.iter().copied().step_by(m).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1_2() {
+        // p = (20, 21, 20, 23) stretched by 2 gives s = (20,20,21,21,20,20,23,23).
+        let p = TimeSeries::from([20.0, 21.0, 20.0, 23.0]);
+        let s = stretch(&p, 2);
+        assert_eq!(s.values(), &[20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]);
+    }
+
+    #[test]
+    fn stretch_by_one_is_identity() {
+        let p = TimeSeries::from([1.0, 2.0]);
+        assert_eq!(stretch(&p, 1), p);
+    }
+
+    #[test]
+    fn compress_inverts_stretch() {
+        let p = TimeSeries::from([5.0, -1.0, 3.0]);
+        for m in 1..=4 {
+            let s = stretch(&p, m);
+            assert_eq!(compress_exact(&s, m), Some(p.clone()));
+        }
+    }
+
+    #[test]
+    fn compress_rejects_non_stretched() {
+        let s = TimeSeries::from([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(compress_exact(&s, 2), None);
+        // Wrong divisibility.
+        let t = TimeSeries::from([1.0, 1.0, 2.0]);
+        assert_eq!(compress_exact(&t, 2), None);
+    }
+
+    #[test]
+    fn downsample_keeps_every_mth() {
+        let s = TimeSeries::from([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(downsample(&s, 2).values(), &[0.0, 2.0, 4.0]);
+        assert_eq!(downsample(&s, 3).values(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn stretch_preserves_mean() {
+        let p = TimeSeries::from([2.0, 4.0, 9.0]);
+        let s = stretch(&p, 3);
+        assert!((p.mean() - s.mean()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Time warping (Example 1.2 / Appendix A): comparing series sampled at
+//! different frequencies.
+//!
+//! The relation holds series sampled every other day; the query is a
+//! daily-sampled series twice as long. The warp transformation stretches
+//! the stored spectra by m = 2 *inside the index traversal* (Equation 19),
+//! so no stored series is ever re-sampled.
+//!
+//! Run with: `cargo run --release --example time_warping`
+
+use tsq_core::{IndexConfig, LinearTransform, QueryWindow, SimilarityIndex};
+use tsq_series::generate::RandomWalkGenerator;
+use tsq_series::warp::stretch;
+use tsq_series::TimeSeries;
+
+fn main() {
+    // Example 1.2's sequences.
+    let p = TimeSeries::from([20.0, 21.0, 20.0, 23.0]);
+    let s = TimeSeries::from([20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]);
+    println!("p           = {p}");
+    println!("s           = {s}");
+    println!("stretch(p,2)= {}", stretch(&p, 2));
+    assert_eq!(stretch(&p, 2), s, "Example 1.2: warping p by 2 gives s");
+
+    // A relation of every-other-day walks, plus one that matches the query
+    // exactly when warped.
+    let mut gen = RandomWalkGenerator::new(9);
+    let mut relation = gen.relation(500, 64);
+    let special = gen.series(64);
+    relation.push(special.clone());
+    let index = SimilarityIndex::build(IndexConfig::default(), relation).expect("index");
+
+    // The daily-sampled query: the special walk observed at 2x frequency.
+    let q = stretch(&special, 2);
+    assert_eq!(q.len(), 128);
+
+    let warp2 = LinearTransform::time_warp(64, 2);
+    let (matches, stats) = index
+        .range_query(&q, 1e-6, &warp2, &QueryWindow::default())
+        .expect("warp query");
+    println!(
+        "\nwarp(2) range query over {} series: {} match(es), {} node accesses",
+        index.len(),
+        matches.len(),
+        stats.index.nodes_visited
+    );
+    for m in &matches {
+        println!("  series {:3}  D = {:.2e}", m.id, m.distance);
+    }
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].id, 500);
+
+    // Nearest-neighbor form: the special series wins by a wide margin.
+    let (knn, _) = index.knn_query(&q, 3, &warp2).expect("warp knn");
+    println!("\n3 nearest under warp(2):");
+    for m in &knn {
+        println!("  series {:3}  D = {:.4}", m.id, m.distance);
+    }
+    assert_eq!(knn[0].id, 500);
+}

@@ -1,0 +1,101 @@
+//! Nearest-neighbor queries agree with exhaustive scans for every
+//! transformation and space (the RKV95 pruning generalized to transformed
+//! indexes must never dismiss a true neighbor).
+
+use tsq_core::{FeatureSchema, IndexConfig, LinearTransform, SimilarityIndex, SpaceKind};
+use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
+
+fn assert_knn_matches_scan(idx: &SimilarityIndex, t: &LinearTransform, k: usize, qid: usize) {
+    let q = idx.series(qid).unwrap().clone();
+    let (got, _) = idx.knn_query(&q, k, t).unwrap();
+    let want = idx.scan_knn(&q, k, t).unwrap();
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        // Distances must agree; ids may differ under exact ties.
+        assert!(
+            (g.distance - w.distance).abs() < 1e-9,
+            "transform {}: {} vs {}",
+            t.name(),
+            g.distance,
+            w.distance
+        );
+    }
+}
+
+#[test]
+fn knn_polar_normal_form() {
+    let rel = RandomWalkGenerator::new(4001).relation(250, 64);
+    let idx = SimilarityIndex::build(IndexConfig::default(), rel).unwrap();
+    for t in [
+        LinearTransform::identity(64),
+        LinearTransform::moving_average(64, 5),
+        LinearTransform::moving_average(64, 20),
+        LinearTransform::reverse(64),
+    ] {
+        for k in [1usize, 5, 25] {
+            assert_knn_matches_scan(&idx, &t, k, 13);
+        }
+    }
+}
+
+#[test]
+fn knn_rectangular() {
+    let rel = RandomWalkGenerator::new(4002).relation(200, 32);
+    let cfg = IndexConfig {
+        space: SpaceKind::Rectangular,
+        ..IndexConfig::default()
+    };
+    let idx = SimilarityIndex::build(cfg, rel).unwrap();
+    for t in [
+        LinearTransform::identity(32),
+        LinearTransform::reverse(32),
+        LinearTransform::scale(32, 3.0),
+    ] {
+        assert_knn_matches_scan(&idx, &t, 10, 77);
+    }
+}
+
+#[test]
+fn knn_raw_schema() {
+    let rel = StockGenerator::new(4003).relation(150, 64);
+    for space in [SpaceKind::Polar, SpaceKind::Rectangular] {
+        let cfg = IndexConfig {
+            schema: FeatureSchema::Raw { k: 3 },
+            space,
+            ..IndexConfig::default()
+        };
+        let idx = SimilarityIndex::build(cfg, rel.clone()).unwrap();
+        let t = LinearTransform::identity(64);
+        assert_knn_matches_scan(&idx, &t, 7, 0);
+    }
+}
+
+#[test]
+fn knn_prunes_against_scan() {
+    // Best-first search must touch far fewer entries than the relation
+    // size times tree fanout would suggest.
+    let rel = RandomWalkGenerator::new(4004).relation(2000, 64);
+    let idx = SimilarityIndex::build(IndexConfig::default(), rel).unwrap();
+    let q = idx.series(999).unwrap().clone();
+    let t = LinearTransform::identity(64);
+    let (_, stats) = idx.knn_query(&q, 3, &t).unwrap();
+    assert!(
+        stats.index.entries_tested < 2000,
+        "expected pruning, tested {} entries",
+        stats.index.entries_tested
+    );
+}
+
+#[test]
+fn knn_under_warp() {
+    let mut gen = RandomWalkGenerator::new(4005);
+    let mut rel = gen.relation(100, 32);
+    let special = gen.series(32);
+    rel.push(special.clone());
+    let idx = SimilarityIndex::build(IndexConfig::default(), rel).unwrap();
+    let t = LinearTransform::time_warp(32, 3);
+    let q = tsq_series::warp::stretch(&special, 3);
+    let (knn, _) = idx.knn_query(&q, 1, &t).unwrap();
+    assert_eq!(knn[0].id, 100);
+    assert!(knn[0].distance < 1e-9);
+}
