@@ -6,29 +6,44 @@
 use tsq_bench::*;
 use tsq_core::LinearTransform;
 
+/// Every runnable target, in `all` execution order. Validation, usage text
+/// and dispatch all derive from this one table.
+const TARGETS: [(&str, fn()); 7] = [
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("table1", run_table1),
+    ("ablations", ablations),
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = TARGETS.iter().map(|(name, _)| *name).collect();
+    format!(
+        "usage: reproduce [{}|all]\n\
+         Regenerates the paper's Section-5 figures and Table 1 on this machine,\n\
+         printing paper-shaped rows (wall-clock time plus simulated disk accesses).",
+        names.join("|")
+    )
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let all = arg == "all";
-    if all || arg == "fig8" {
-        fig8();
-    }
-    if all || arg == "fig9" {
-        fig9();
-    }
-    if all || arg == "fig10" {
-        fig10();
-    }
-    if all || arg == "fig11" {
-        fig11();
-    }
-    if all || arg == "fig12" {
-        fig12();
-    }
-    if all || arg == "table1" {
-        run_table1();
-    }
-    if all || arg == "ablations" {
-        ablations();
+    match arg.as_str() {
+        "--help" | "-h" | "help" => println!("{}", usage()),
+        "all" => {
+            for (_, run) in TARGETS {
+                run();
+            }
+        }
+        name => match TARGETS.iter().find(|(n, _)| *n == name) {
+            Some((_, run)) => run(),
+            None => {
+                eprintln!("unknown target {name:?}\n{}", usage());
+                std::process::exit(2);
+            }
+        },
     }
 }
 

@@ -1,0 +1,32 @@
+//! Smoke tests for the `reproduce` binary: `--help` and unknown-target
+//! rejection. (The figure targets themselves build 1067-series indexes and
+//! are exercised by `cargo run -p tsq-bench --bin reproduce`, not here.)
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_reproduce");
+
+#[test]
+fn help_lists_targets() {
+    let out = Command::new(BIN)
+        .arg("--help")
+        .output()
+        .expect("run reproduce");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("usage: reproduce"), "stdout: {stdout}");
+    for target in ["fig8", "fig12", "table1", "ablations", "all"] {
+        assert!(stdout.contains(target), "usage missing {target}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_target_is_rejected() {
+    let out = Command::new(BIN)
+        .arg("fig99")
+        .output()
+        .expect("run reproduce");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown target"), "stderr: {stderr}");
+}

@@ -9,7 +9,7 @@
 //! multi-threaded variant (an extension; the index must beat even a
 //! parallel scan to justify itself).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::Result;
 use crate::features::Features;
@@ -102,7 +102,7 @@ impl SimilarityIndex {
     }
 
     /// Parallel early-abandoning scan over `threads` worker threads
-    /// (crossbeam scoped threads; results merged and sorted by id).
+    /// (std scoped threads; results merged and sorted by id).
     pub fn scan_range_parallel(
         &self,
         q: &tsq_series::TimeSeries,
@@ -116,12 +116,12 @@ impl SimilarityIndex {
         let chunk = n.div_ceil(threads).max(1);
         let results: Mutex<(Vec<Match>, ScanStats)> =
             Mutex::new((Vec::new(), ScanStats::default()));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for start in (0..n).step_by(chunk) {
                 let end = (start + chunk).min(n);
                 let qf = &qf;
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     let mut stats = ScanStats::default();
                     for id in start..end {
@@ -131,15 +131,14 @@ impl SimilarityIndex {
                             None => stats.abandoned += 1,
                         }
                     }
-                    let mut guard = results.lock();
+                    let mut guard = results.lock().expect("scan worker panicked");
                     guard.0.extend(local);
                     guard.1.scanned += stats.scanned;
                     guard.1.abandoned += stats.abandoned;
                 });
             }
-        })
-        .expect("scan worker panicked");
-        let (mut matches, stats) = results.into_inner();
+        });
+        let (mut matches, stats) = results.into_inner().expect("scan worker panicked");
         matches.sort_by_key(|m| m.id);
         Ok((matches, stats))
     }

@@ -37,6 +37,19 @@ transformations:
   identity | mavg(w) | wmavg(w1, w2, ...) | reverse | shift(c) | scale(c) | warp(m)";
 
 fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        match arg.as_str() {
+            "--help" | "-h" | "help" => {
+                println!("{HELP}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; the shell reads queries from stdin");
+                eprintln!("{HELP}");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut catalog = Catalog::new();
     let mut names: Vec<String> = Vec::new();
     let stdin = io::stdin();

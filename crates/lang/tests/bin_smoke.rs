@@ -1,0 +1,54 @@
+//! Smoke tests for the `tsq` shell binary: `--help`, a tiny generate +
+//! query session, and rejection of unknown arguments.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_tsq");
+
+#[test]
+fn help_prints_grammar() {
+    let out = Command::new(BIN).arg("--help").output().expect("run tsq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("meta-commands"), "missing help text: {stdout}");
+    assert!(stdout.contains("FIND SIMILAR TO"), "missing grammar: {stdout}");
+}
+
+#[test]
+fn unknown_argument_is_rejected() {
+    let out = Command::new(BIN).arg("--bogus").output().expect("run tsq");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
+}
+
+#[test]
+fn tiny_session_generates_and_queries() {
+    let mut child = Command::new(BIN)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsq");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b".gen w rw 8 16 1\n\
+              FIND 2 NEAREST TO w.s0 IN w\n\
+              .rel\n\
+              .quit\n",
+        )
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait tsq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("registered w (8 series)"), "stdout: {stdout}");
+    assert!(stdout.contains("D = "), "query produced no rows: {stdout}");
+    assert!(
+        stdout.contains("w: 8 series of length 16"),
+        ".rel listing missing: {stdout}"
+    );
+}

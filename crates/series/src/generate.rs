@@ -247,29 +247,35 @@ mod tests {
     fn same_sector_stocks_correlate() {
         // Stocks i and i + sectors share a sector factor; with positive
         // loadings their normal forms should correlate far more than
-        // cross-sector pairs on average.
-        let mut g = StockGenerator::new(5);
-        g.inverse_fraction = 0.0; // all-positive loadings for this test
-        g.twin_fraction = 0.0; // sector pairing must stay deterministic
-        g.drift_range = (0.0, 0.0); // no trends: isolate factor structure
-        g.beta_range = (1.0, 1.0);
-        let sectors = g.sectors;
-        let rel = g.relation(3 * sectors, 128);
-        let mut same = Vec::new();
-        let mut diff = Vec::new();
-        for i in 0..sectors {
-            let a = normal_form(&rel[i]);
-            let b = normal_form(&rel[i + sectors]);
-            same.push(pearson(a.values(), b.values()));
-            let c = normal_form(&rel[(i + 1) % sectors + sectors]);
-            diff.push(pearson(a.values(), c.values()));
+        // cross-sector pairs on average. A single draw can violate this
+        // (the shared market factor occasionally dominates one relation),
+        // so the margin is averaged over several seeds to make the test a
+        // statement about the generator rather than about one RNG stream.
+        let mut margins = Vec::new();
+        for seed in 1..=6 {
+            let mut g = StockGenerator::new(seed);
+            g.inverse_fraction = 0.0; // all-positive loadings for this test
+            g.twin_fraction = 0.0; // sector pairing must stay deterministic
+            g.drift_range = (0.0, 0.0); // no trends: isolate factor structure
+            g.beta_range = (1.0, 1.0);
+            let sectors = g.sectors;
+            let rel = g.relation(3 * sectors, 128);
+            let mut same = Vec::new();
+            let mut diff = Vec::new();
+            for i in 0..sectors {
+                let a = normal_form(&rel[i]);
+                let b = normal_form(&rel[i + sectors]);
+                same.push(pearson(a.values(), b.values()));
+                let c = normal_form(&rel[(i + 1) % sectors + sectors]);
+                diff.push(pearson(a.values(), c.values()));
+            }
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            margins.push(avg(&same) - avg(&diff));
         }
-        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mean_margin = margins.iter().sum::<f64>() / margins.len() as f64;
         assert!(
-            avg(&same) > avg(&diff) + 0.2,
-            "same-sector corr {} vs cross {}",
-            avg(&same),
-            avg(&diff)
+            mean_margin > 0.2,
+            "mean same-vs-cross-sector correlation margin {mean_margin} (per-seed: {margins:?})"
         );
     }
 

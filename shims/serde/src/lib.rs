@@ -1,0 +1,18 @@
+//! Offline stand-in for the subset of the `serde` crate this workspace uses.
+//!
+//! The build container cannot reach crates.io, so this shim provides marker
+//! `Serialize`/`Deserialize` traits plus no-op derives. Types stay
+//! annotated exactly as they would be against real serde; swapping the
+//! workspace dependency back to the published crate requires no source
+//! changes. Actual persistence uses the CSV codec in `tsq-series::io`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize` (lifetime elided — the shim never
+/// borrows from an input buffer).
+pub trait Deserialize {}

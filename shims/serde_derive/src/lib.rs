@@ -1,0 +1,55 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace only needs `#[derive(Serialize, Deserialize)]` to compile;
+//! nothing serializes through the traits yet (persistence goes through the
+//! CSV codec in `tsq-series::io`). These derives emit marker impls so the
+//! traits are honest, without pulling in `syn`/`quote` (unavailable
+//! offline): the type name is extracted with a hand-rolled token scan that
+//! handles `struct`/`enum` items with optional generics.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the (non-generic) item a derive is attached to.
+///
+/// Returns the identifier following the `struct`/`enum` keyword; generic
+/// items yield `None` so no (ill-formed) impl is emitted for them.
+fn item_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => return None,
+                        _ => return Some(name.to_string()),
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Emits `impl serde::Serialize for <T>` (non-generic items only; generic
+/// items get no impl, which is all the workspace needs).
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match item_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the shim's marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derives the shim's marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

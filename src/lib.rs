@@ -1,0 +1,28 @@
+//! # tsq — similarity-based queries for time series data
+//!
+//! Umbrella crate over the workspace reproducing **Rafiei & Mendelzon,
+//! "Similarity-Based Queries for Time Series Data" (SIGMOD 1997)**. It
+//! re-exports every layer so downstream users need a single dependency,
+//! and it owns the top-level integration suites (`tests/`) and example
+//! programs (`examples/`).
+//!
+//! The crate DAG underneath:
+//!
+//! ```text
+//! tsq-series ─→ tsq-dft ─→ tsq-rtree ─→ tsq-core ─→ tsq-lang
+//!                                            └─────→ tsq-bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tsq_bench as bench;
+pub use tsq_core as core;
+pub use tsq_dft as dft;
+pub use tsq_lang as lang;
+pub use tsq_rtree as rtree;
+pub use tsq_series as series;
+
+pub use tsq_core::SimilarityIndex;
+pub use tsq_lang::Catalog;
+pub use tsq_series::TimeSeries;
