@@ -34,6 +34,19 @@ pub enum Error {
         /// Supplied length.
         got: usize,
     },
+    /// A distance threshold was negative. Raised at query construction so
+    /// a nonsensical query fails loudly instead of silently matching
+    /// nothing.
+    NegativeThreshold {
+        /// The offending threshold.
+        eps: f64,
+    },
+    /// A subsequence window length below 2 (a one-point "window" has no
+    /// spectrum to index and degenerates every distance to a point gap).
+    InvalidWindow {
+        /// The offending window length.
+        window: usize,
+    },
     /// Operation unsupported for this transformation (e.g. composing two
     /// time warps).
     Unsupported(String),
@@ -52,6 +65,12 @@ impl fmt::Display for Error {
             Error::UnknownSeries(id) => write!(f, "unknown series id {id}"),
             Error::TransformArity { expected, got } => {
                 write!(f, "transformation arity mismatch: expected {expected}, got {got}")
+            }
+            Error::NegativeThreshold { eps } => {
+                write!(f, "negative distance threshold: eps = {eps}")
+            }
+            Error::InvalidWindow { window } => {
+                write!(f, "invalid subsequence window: {window} (must be at least 2)")
             }
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
@@ -75,5 +94,9 @@ mod tests {
         assert!(e.to_string().contains("unsafe"));
         let e = Error::InvalidCutoff { k: 9, n: 4 };
         assert!(e.to_string().contains("k = 9"));
+        let e = Error::NegativeThreshold { eps: -1.5 };
+        assert!(e.to_string().contains("-1.5"));
+        let e = Error::InvalidWindow { window: 1 };
+        assert!(e.to_string().contains("window"));
     }
 }

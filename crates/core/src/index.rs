@@ -269,7 +269,7 @@ impl SimilarityIndex {
         force_transform: bool,
     ) -> Result<(Vec<Match>, QueryStats)> {
         if eps < 0.0 {
-            return Err(Error::Unsupported("negative threshold".to_string()));
+            return Err(Error::NegativeThreshold { eps });
         }
         self.check_transform(t)?;
         let schema = self.config.schema;

@@ -27,6 +27,22 @@
 //!    support transformations; sequential-scan baselines ([`scan`]) and the
 //!    cost-bounded Equation-10 dissimilarity ([`cost`]) complete the
 //!    paper's toolbox.
+//!
+//! ## Subsequence queries
+//!
+//! The [`subseq`] module extends the same feature-space machinery to
+//! *subsequence* matching (FRM-style ST-index): a window of length `w`
+//! slides over every stored series, each window's first `k` DFT
+//! coefficients — maintained incrementally in `O(k)` per step by
+//! `tsq_dft::sliding` — become a feature point, and runs of consecutive
+//! points are grouped into **trail MBRs** inserted into the R\*-tree.
+//! Because the unitary DFT preserves distances, the coefficient-prefix
+//! distance lower-bounds the true window distance, so the very same
+//! Lemma-1 argument applies: the trail-level traversal can produce false
+//! hits (discarded by an exact early-abandoning check on raw samples) but
+//! never false dismissals. [`SubseqIndex::subseq_range`] and
+//! [`SubseqIndex::subseq_knn`] are oracle-tested against naive sliding
+//! scans in `tests/subseq_consistency.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +56,7 @@ pub mod queries;
 pub mod relation;
 pub mod scan;
 pub mod space;
+pub mod subseq;
 pub mod transform;
 
 pub use error::{Error, Result};
@@ -49,4 +66,5 @@ pub use queries::{JoinOutcome, JoinPair, JoinStats};
 pub use relation::SeriesRelation;
 pub use scan::{ScanMode, ScanStats};
 pub use space::{QueryWindow, SpaceKind};
+pub use subseq::{SubseqConfig, SubseqIndex, SubseqMatch, SubseqScanStats, SubseqStats};
 pub use transform::LinearTransform;

@@ -1,0 +1,804 @@
+//! Subsequence similarity search: the **ST-index** over sliding-window
+//! feature trails.
+//!
+//! The paper's whole-sequence machinery (DFT prefix features + Lemma-1 safe
+//! index traversal) extends to *subsequence* matching in the style of
+//! Faloutsos–Ranganathan–Manolopoulos (FRM, SIGMOD 1994): slide a window of
+//! length `w` over every stored series, map each window to its first `k`
+//! unitary DFT coefficients (computed incrementally by the sliding DFT in
+//! `tsq-dft`, `O(k)` per step), and index the resulting *trail* of feature
+//! points in an R\*-tree. Because consecutive windows overlap in `w - 1`
+//! samples, consecutive feature points lie close together; grouping runs of
+//! them into a single trail MBR keeps the tree small (one entry per
+//! [`SubseqConfig::trail`] windows instead of one per window) at the cost
+//! of slightly looser rectangles.
+//!
+//! ## Why there are no false dismissals
+//!
+//! The unitary DFT preserves Euclidean distance (Parseval, Equation 8), so
+//! the distance restricted to the first `k` coefficients is a *lower bound*
+//! of the true window↔query distance. A window within `eps` of the query
+//! therefore has its feature point inside the `eps`-ball around the query's
+//! feature point, which is contained in the box `[c_i ± eps]` the range
+//! query searches — and the trail MBR containing that point must intersect
+//! the box. Candidates are verified against the raw samples (exact,
+//! early-abandoning), so false hits are discarded and the final match set
+//! equals the naive sliding scan's exactly. The oracle suite
+//! (`tests/subseq_consistency.rs`) asserts this equality on randomized
+//! relations.
+//!
+//! The query rectangle is widened by a tiny pad covering the sliding DFT's
+//! re-anchored numerical drift, so the guarantee survives floating-point
+//! rounding (same trick as the transformed-MBR padding in
+//! [`crate::space`]).
+
+use tsq_dft::dft::dft_prefix;
+use tsq_dft::energy::euclidean_real;
+use tsq_dft::sliding::sliding_prefix;
+use tsq_dft::Complex64;
+use tsq_rtree::{RStarTree, RTreeConfig, Rect, SearchStats};
+use tsq_series::TimeSeries;
+
+use crate::error::{Error, Result};
+use crate::scan::ScanMode;
+
+/// Configuration of a [`SubseqIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubseqConfig {
+    /// Sliding-window length `w` (the length of every query). Must be at
+    /// least 2.
+    pub window: usize,
+    /// Number of leading DFT coefficients indexed per window (`2k` real
+    /// dimensions). Must satisfy `1 <= k <= window`.
+    pub k: usize,
+    /// Number of consecutive windows grouped into one trail MBR. Must be
+    /// positive; 1 stores every feature point individually.
+    pub trail: usize,
+    /// R\*-tree tuning.
+    pub rtree: RTreeConfig,
+    /// Build the tree with STR bulk loading instead of repeated insertion.
+    pub bulk_load: bool,
+}
+
+impl SubseqConfig {
+    /// Default layout (`k = 3` clamped to the window, trails of 8) for a
+    /// given window length.
+    pub fn new(window: usize) -> Self {
+        let defaults = SubseqConfig::default();
+        SubseqConfig {
+            window,
+            k: defaults.k.min(window.max(1)),
+            ..defaults
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`Error::InvalidWindow`] when `window < 2`; [`Error::InvalidCutoff`]
+    /// when `k` does not fit the window; [`Error::Unsupported`] for a zero
+    /// trail size.
+    pub fn validate(&self) -> Result<()> {
+        if self.window < 2 {
+            return Err(Error::InvalidWindow {
+                window: self.window,
+            });
+        }
+        if self.k == 0 || self.k > self.window {
+            return Err(Error::InvalidCutoff {
+                k: self.k,
+                n: self.window,
+            });
+        }
+        if self.trail == 0 {
+            return Err(Error::Unsupported(
+                "trail size must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SubseqConfig {
+    fn default() -> Self {
+        SubseqConfig {
+            window: 32,
+            k: 3,
+            trail: 8,
+            rtree: RTreeConfig::default(),
+            bulk_load: true,
+        }
+    }
+}
+
+/// Payload of one R\*-tree entry: a run of consecutive windows of one
+/// stored series, bounded by the entry's MBR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrailEntry {
+    /// Stored-series id.
+    pub series: usize,
+    /// First window offset covered by this trail.
+    pub start: usize,
+    /// Number of consecutive windows covered.
+    pub len: usize,
+}
+
+/// One subsequence answer: which series, at which offset, how far.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubseqMatch {
+    /// Stored-series id.
+    pub series: usize,
+    /// Window offset within the series.
+    pub offset: usize,
+    /// Exact time-domain Euclidean distance between the window and the
+    /// query.
+    pub distance: f64,
+}
+
+/// Statistics of one ST-index query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubseqStats {
+    /// Index traversal counters.
+    pub index: SearchStats,
+    /// Trail MBRs accepted by the traversal.
+    pub trails: usize,
+    /// Windows examined in post-processing (the candidate set — compare
+    /// against [`SubseqIndex::windows_total`] for the scan's effort).
+    pub candidates: usize,
+    /// Candidates rejected by the exact check.
+    pub false_hits: usize,
+}
+
+/// Counters from a sliding-scan baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubseqScanStats {
+    /// Windows examined (always every window of every stored series).
+    pub windows: usize,
+    /// Distance computations abandoned early.
+    pub abandoned: usize,
+}
+
+/// The ST-index: subsequence similarity search over a relation of (possibly
+/// different-length) time series.
+#[derive(Debug, Clone)]
+pub struct SubseqIndex {
+    config: SubseqConfig,
+    tree: RStarTree<TrailEntry>,
+    store: Vec<TimeSeries>,
+    windows_total: usize,
+    trails_total: usize,
+}
+
+impl SubseqIndex {
+    /// Builds an ST-index over a relation. Unlike the whole-sequence
+    /// [`crate::SimilarityIndex`], stored series may differ in length;
+    /// series shorter than the window contribute no windows (and can never
+    /// match).
+    ///
+    /// # Errors
+    /// Propagates [`SubseqConfig::validate`] failures.
+    pub fn build(config: SubseqConfig, relation: Vec<TimeSeries>) -> Result<Self> {
+        config.validate()?;
+        let mut index = SubseqIndex {
+            config,
+            tree: RStarTree::new(config.rtree),
+            store: Vec::new(),
+            windows_total: 0,
+            trails_total: 0,
+        };
+        if config.bulk_load {
+            let mut items = Vec::new();
+            for (id, series) in relation.iter().enumerate() {
+                items.extend(index.trails_of(id, series));
+            }
+            index.tree = RStarTree::bulk_load(config.rtree, items);
+        } else {
+            for (id, series) in relation.iter().enumerate() {
+                for (rect, entry) in index.trails_of(id, series) {
+                    index.tree.insert(rect, entry);
+                }
+            }
+        }
+        for series in relation {
+            index.count_windows(&series);
+            index.store.push(series);
+        }
+        Ok(index)
+    }
+
+    /// Appends one series, returning its id. The new trails enter the tree
+    /// through the STR-sorted batch path ([`RStarTree::bulk_extend`]).
+    pub fn insert(&mut self, series: TimeSeries) -> usize {
+        let id = self.store.len();
+        let items = self.trails_of(id, &series);
+        self.tree.bulk_extend(items);
+        self.count_windows(&series);
+        self.store.push(series);
+        id
+    }
+
+    fn count_windows(&mut self, series: &TimeSeries) {
+        let w = self.config.window;
+        if series.len() >= w {
+            let count = series.len() - w + 1;
+            self.windows_total += count;
+            self.trails_total += count.div_ceil(self.config.trail);
+        }
+    }
+
+    /// Sliding-DFT feature trail of one series, grouped into MBRs.
+    ///
+    /// Each MBR is widened by a relative `1e-9` per dimension: sliding-DFT
+    /// drift scales with the *stored* coefficients' magnitude (the error of
+    /// each `O(k)` step is rotated, not damped, until the next re-anchor),
+    /// so the padding absorbing it must scale with the trail's own
+    /// coordinates — a pad derived from the query's magnitude alone would
+    /// not cover large-valued data. Same recipe as the anti-rounding pad in
+    /// [`crate::space::SpaceKind::transform_mbr`].
+    fn trails_of(&self, id: usize, series: &TimeSeries) -> Vec<(Rect, TrailEntry)> {
+        let w = self.config.window;
+        let k = self.config.k;
+        let points = sliding_prefix(series.values(), w, k);
+        let mut out = Vec::with_capacity(points.len().div_ceil(self.config.trail));
+        for (chunk_idx, chunk) in points.chunks(self.config.trail).enumerate() {
+            let start = chunk_idx * self.config.trail;
+            let mut mbr = Rect::from_point(&coeff_coords(&chunk[0]));
+            for p in &chunk[1..] {
+                mbr.union_assign(&Rect::from_point(&coeff_coords(p)));
+            }
+            let mut lo = mbr.lo().to_vec();
+            let mut hi = mbr.hi().to_vec();
+            for i in 0..lo.len() {
+                let pad = 1e-9 * (1.0 + lo[i].abs().max(hi[i].abs()));
+                lo[i] -= pad;
+                hi[i] += pad;
+            }
+            out.push((
+                Rect::new(lo, hi),
+                TrailEntry {
+                    series: id,
+                    start,
+                    len: chunk.len(),
+                },
+            ));
+        }
+        out
+    }
+
+    /// Number of stored series.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no series are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SubseqConfig {
+        &self.config
+    }
+
+    /// Stored series by id.
+    pub fn series(&self, id: usize) -> Option<&TimeSeries> {
+        self.store.get(id)
+    }
+
+    /// Total number of indexed windows across the relation — the effort a
+    /// sliding scan must always spend.
+    pub fn windows_total(&self) -> usize {
+        self.windows_total
+    }
+
+    /// Total number of trail MBRs in the tree.
+    pub fn trails_total(&self) -> usize {
+        self.trails_total
+    }
+
+    /// Access to the underlying R\*-tree (read-only).
+    pub fn tree(&self) -> &RStarTree<TrailEntry> {
+        &self.tree
+    }
+
+    fn check_query(&self, q: &TimeSeries, eps: f64) -> Result<()> {
+        if eps < 0.0 {
+            return Err(Error::NegativeThreshold { eps });
+        }
+        if q.len() != self.config.window {
+            return Err(Error::LengthMismatch {
+                expected: self.config.window,
+                got: q.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Range query: every `(series, offset)` whose length-`w` window lies
+    /// within `eps` of `q` in Euclidean distance. The traversal prunes on
+    /// trail MBRs (no false dismissals — see the module docs); candidates
+    /// are verified against raw samples with early abandoning. Results are
+    /// sorted by `(series, offset)`.
+    ///
+    /// # Errors
+    /// [`Error::NegativeThreshold`] and [`Error::LengthMismatch`] (the
+    /// query must be exactly one window long).
+    pub fn subseq_range(
+        &self,
+        q: &TimeSeries,
+        eps: f64,
+    ) -> Result<(Vec<SubseqMatch>, SubseqStats)> {
+        self.check_query(q, eps)?;
+        Ok(self.range_inner(q, eps, eps * eps))
+    }
+
+    /// Shared range kernel: `eps` sizes the search box, `limit` is the
+    /// squared-distance acceptance threshold for the exact check. Keeping
+    /// the two separate lets the KNN refinement pass the *exact* squared
+    /// distance of its k-th candidate — squaring `sqrt(d2)` back can round
+    /// below `d2` and silently drop the boundary window.
+    fn range_inner(&self, q: &TimeSeries, eps: f64, limit: f64) -> (Vec<SubseqMatch>, SubseqStats) {
+        let qcoords = coeff_coords(&dft_prefix(q.values(), self.config.k));
+        let qrect = query_rect(&qcoords, eps);
+        let mut trails: Vec<TrailEntry> = Vec::new();
+        let index_stats = self
+            .tree
+            .search_with(|r| r.intersects(&qrect), |_, &t| trails.push(t));
+        let mut stats = SubseqStats {
+            index: index_stats,
+            trails: trails.len(),
+            ..SubseqStats::default()
+        };
+        let mut matches = Vec::new();
+        for trail in trails {
+            let values = self.store[trail.series].values();
+            for offset in trail.start..trail.start + trail.len {
+                stats.candidates += 1;
+                let window = &values[offset..offset + self.config.window];
+                match distance_sq_bounded(window, q.values(), limit) {
+                    Some(d2) => matches.push(SubseqMatch {
+                        series: trail.series,
+                        offset,
+                        distance: d2.sqrt(),
+                    }),
+                    None => stats.false_hits += 1,
+                }
+            }
+        }
+        matches.sort_by_key(|a| (a.series, a.offset));
+        (matches, stats)
+    }
+
+    /// K-nearest-subsequence query: the `k` windows (over all stored
+    /// series and offsets) minimizing the Euclidean distance to `q`,
+    /// sorted by ascending distance (ties broken by `(series, offset)`).
+    ///
+    /// Filter-and-refine: a best-first trail search produces `k` candidate
+    /// window distances, whose k-th smallest upper-bounds the true k-th
+    /// neighbor distance; a range query at that radius then retrieves the
+    /// exact answer (Lemma 1 again: the range step cannot dismiss a true
+    /// neighbor).
+    ///
+    /// # Errors
+    /// [`Error::LengthMismatch`] when the query is not one window long.
+    pub fn subseq_knn(
+        &self,
+        q: &TimeSeries,
+        k: usize,
+    ) -> Result<(Vec<SubseqMatch>, SubseqStats)> {
+        self.check_query(q, 0.0)?;
+        if k == 0 || self.windows_total == 0 {
+            return Ok((Vec::new(), SubseqStats::default()));
+        }
+        let qcoords = coeff_coords(&dft_prefix(q.values(), self.config.k));
+        // Phase 1: best-first over trails, collecting every examined
+        // window's exact squared distance.
+        let mut seen: Vec<(f64, usize, usize)> = Vec::new(); // (d2, series, offset)
+        let mut candidates = 0usize;
+        let (trail_hits, mut index_stats) = self.tree.nearest_with(
+            k,
+            |rect| rect.min_dist2(&qcoords).sqrt(),
+            |_, trail| {
+                let values = self.store[trail.series].values();
+                let mut best = f64::INFINITY;
+                for offset in trail.start..trail.start + trail.len {
+                    candidates += 1;
+                    let window = &values[offset..offset + self.config.window];
+                    let d2 = distance_sq(window, q.values());
+                    best = best.min(d2);
+                    seen.push((d2, trail.series, offset));
+                }
+                best.sqrt()
+            },
+        );
+        seen.sort_by(|a, b| a.0.total_cmp(&b.0).then((a.1, a.2).cmp(&(b.1, b.2))));
+        if trail_hits.len() < k || self.trails_total <= k {
+            // Fewer trails than neighbors requested: the best-first pass
+            // visited every window, so `seen` already is the exact answer.
+            seen.truncate(k);
+            let matches: Vec<SubseqMatch> = seen
+                .into_iter()
+                .map(|(d2, series, offset)| SubseqMatch {
+                    series,
+                    offset,
+                    distance: d2.sqrt(),
+                })
+                .collect();
+            let stats = SubseqStats {
+                index: index_stats,
+                trails: trail_hits.len(),
+                candidates,
+                // Every candidate passed an exact distance computation;
+                // windows beyond rank k were truncated, not rejected.
+                false_hits: 0,
+            };
+            return Ok((matches, stats));
+        }
+        // Phase 2: refine. `seen` holds at least k true window distances
+        // (each of the k trails contributes at least one), so its k-th
+        // smallest is a valid search radius for the exact answer set. The
+        // box is sized by the (rounded) root, but the acceptance limit is
+        // the *exact* squared distance, so the boundary window survives.
+        let limit = seen[k - 1].0;
+        let (mut matches, range_stats) = self.range_inner(q, limit.sqrt(), limit);
+        sort_matches(&mut matches);
+        matches.truncate(k);
+        index_stats.absorb(&range_stats.index);
+        let stats = SubseqStats {
+            index: index_stats,
+            trails: trail_hits.len() + range_stats.trails,
+            candidates: candidates + range_stats.candidates,
+            false_hits: range_stats.false_hits,
+        };
+        Ok((matches, stats))
+    }
+
+    /// Ground-truth baseline: a sliding scan over every window of every
+    /// stored series (Table-1-style methods (a)/(b) restated for
+    /// subsequences). Naive mode computes every distance in full; early
+    /// abandoning stops a window as soon as it exceeds `eps`.
+    ///
+    /// # Errors
+    /// Same validation as [`SubseqIndex::subseq_range`].
+    pub fn scan_subseq_range(
+        &self,
+        q: &TimeSeries,
+        eps: f64,
+        mode: ScanMode,
+    ) -> Result<(Vec<SubseqMatch>, SubseqScanStats)> {
+        self.check_query(q, eps)?;
+        let w = self.config.window;
+        let limit = eps * eps;
+        let mut stats = SubseqScanStats::default();
+        let mut matches = Vec::new();
+        for (id, series) in self.store.iter().enumerate() {
+            let values = series.values();
+            if values.len() < w {
+                continue;
+            }
+            for offset in 0..=values.len() - w {
+                stats.windows += 1;
+                let window = &values[offset..offset + w];
+                let d2 = match mode {
+                    ScanMode::Naive => {
+                        let d2 = distance_sq(window, q.values());
+                        (d2 <= limit).then_some(d2)
+                    }
+                    ScanMode::EarlyAbandon => distance_sq_bounded(window, q.values(), limit),
+                };
+                match d2 {
+                    Some(d2) => matches.push(SubseqMatch {
+                        series: id,
+                        offset,
+                        distance: d2.sqrt(),
+                    }),
+                    None => {
+                        if mode == ScanMode::EarlyAbandon {
+                            stats.abandoned += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((matches, stats))
+    }
+
+    /// Ground-truth k-nearest-subsequence by brute force.
+    ///
+    /// # Errors
+    /// [`Error::LengthMismatch`] when the query is not one window long.
+    pub fn scan_subseq_knn(&self, q: &TimeSeries, k: usize) -> Result<Vec<SubseqMatch>> {
+        self.check_query(q, 0.0)?;
+        let w = self.config.window;
+        let mut all = Vec::with_capacity(self.windows_total);
+        for (id, series) in self.store.iter().enumerate() {
+            let values = series.values();
+            if values.len() < w {
+                continue;
+            }
+            for offset in 0..=values.len() - w {
+                all.push(SubseqMatch {
+                    series: id,
+                    offset,
+                    distance: euclidean_real(&values[offset..offset + w], q.values()),
+                });
+            }
+        }
+        sort_matches(&mut all);
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+/// Real index coordinates of a coefficient prefix: `[re_0, im_0, re_1, ...]`
+/// (the rectangular space — an `eps`-ball maps to a box, and no
+/// transformation acts on subsequence queries, so `S_rect` safety concerns
+/// do not arise).
+fn coeff_coords(coeffs: &[Complex64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 * coeffs.len());
+    for c in coeffs {
+        out.push(c.re);
+        out.push(c.im);
+    }
+    out
+}
+
+/// The search box `[c_i - eps - pad, c_i + eps + pad]` around a query
+/// feature point. The stored side's sliding-DFT drift is absorbed by the
+/// build-time trail padding (see `trails_of`); this query-side pad covers
+/// the remaining rounding of the query's own transform and of the `c ± eps`
+/// bound arithmetic, so a boundary window can never be lost.
+fn query_rect(qcoords: &[f64], eps: f64) -> Rect {
+    let mut lo = Vec::with_capacity(qcoords.len());
+    let mut hi = Vec::with_capacity(qcoords.len());
+    for &c in qcoords {
+        let pad = 1e-7 * (1.0 + c.abs());
+        lo.push(c - eps - pad);
+        hi.push(c + eps + pad);
+    }
+    Rect::new(lo, hi)
+}
+
+fn sort_matches(matches: &mut [SubseqMatch]) {
+    matches.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then((a.series, a.offset).cmp(&(b.series, b.offset)))
+    });
+}
+
+#[inline]
+fn distance_sq(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Squared distance with early abandoning: `None` as soon as the partial
+/// sum exceeds `limit`. Uses the same `<=` boundary predicate as the naive
+/// scan so both paths agree bit-for-bit on threshold ties.
+#[inline]
+fn distance_sq_bounded(x: &[f64], y: &[f64], limit: f64) -> Option<f64> {
+    let mut acc = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+        if acc > limit {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    fn relation(seed: u64) -> Vec<TimeSeries> {
+        // Varied lengths on purpose.
+        let mut g = RandomWalkGenerator::new(seed);
+        (0..12).map(|i| g.series(40 + 7 * (i % 5))).collect()
+    }
+
+    fn build(window: usize, seed: u64) -> SubseqIndex {
+        SubseqIndex::build(SubseqConfig::new(window), relation(seed)).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            SubseqConfig::new(1).validate(),
+            Err(Error::InvalidWindow { window: 1 })
+        ));
+        assert!(matches!(
+            SubseqConfig::new(0).validate(),
+            Err(Error::InvalidWindow { window: 0 })
+        ));
+        let bad_k = SubseqConfig {
+            k: 0,
+            ..SubseqConfig::new(8)
+        };
+        assert!(matches!(bad_k.validate(), Err(Error::InvalidCutoff { .. })));
+        let big_k = SubseqConfig {
+            k: 9,
+            ..SubseqConfig::new(8)
+        };
+        assert!(matches!(big_k.validate(), Err(Error::InvalidCutoff { .. })));
+        let no_trail = SubseqConfig {
+            trail: 0,
+            ..SubseqConfig::new(8)
+        };
+        assert!(matches!(no_trail.validate(), Err(Error::Unsupported(_))));
+        assert!(SubseqConfig::new(2).validate().is_ok());
+    }
+
+    #[test]
+    fn build_counts_windows_and_trails() {
+        let idx = build(16, 1);
+        let expected: usize = relation(1)
+            .iter()
+            .map(|s| s.len().saturating_sub(15))
+            .sum();
+        assert_eq!(idx.windows_total(), expected);
+        assert_eq!(idx.tree().len(), idx.trails_total());
+        idx.tree().validate();
+    }
+
+    #[test]
+    fn short_series_contribute_nothing() {
+        let mut series = relation(2);
+        series.push(TimeSeries::new(vec![1.0; 5])); // shorter than window
+        let idx = SubseqIndex::build(SubseqConfig::new(16), series).unwrap();
+        let q = idx.series(0).unwrap().values()[..16].to_vec();
+        let (matches, _) = idx.subseq_range(&TimeSeries::new(q), 1e-9).unwrap();
+        assert!(matches.iter().all(|m| m.series != 12));
+    }
+
+    #[test]
+    fn range_matches_naive_scan() {
+        let idx = build(16, 3);
+        let src = idx.series(4).unwrap().clone();
+        let q = TimeSeries::new(src.values()[9..25].to_vec());
+        for eps in [0.0, 0.5, 2.0, 8.0] {
+            let (indexed, _) = idx.subseq_range(&q, eps).unwrap();
+            let (scan, _) = idx.scan_subseq_range(&q, eps, ScanMode::Naive).unwrap();
+            assert_eq!(indexed, scan, "eps {eps}");
+        }
+        // The query window itself is always found at distance zero.
+        let (hits, _) = idx.subseq_range(&q, 1e-9).unwrap();
+        assert!(hits.iter().any(|m| m.series == 4 && m.offset == 9));
+    }
+
+    #[test]
+    fn scan_modes_agree() {
+        let idx = build(16, 4);
+        let q = TimeSeries::new(idx.series(0).unwrap().values()[..16].to_vec());
+        let (a, _) = idx.scan_subseq_range(&q, 3.0, ScanMode::Naive).unwrap();
+        let (b, sb) = idx
+            .scan_subseq_range(&q, 3.0, ScanMode::EarlyAbandon)
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(sb.abandoned > 0);
+        assert_eq!(sb.windows, idx.windows_total());
+    }
+
+    #[test]
+    fn index_prunes_candidates() {
+        let idx = build(16, 5);
+        let q = TimeSeries::new(idx.series(1).unwrap().values()[3..19].to_vec());
+        let (_, stats) = idx.subseq_range(&q, 0.5).unwrap();
+        assert!(
+            stats.candidates < idx.windows_total(),
+            "index examined {} of {} windows",
+            stats.candidates,
+            idx.windows_total()
+        );
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let idx = build(12, 6);
+        let q = TimeSeries::new(idx.series(7).unwrap().values()[5..17].to_vec());
+        for k in [1usize, 3, 10, 50] {
+            let (got, _) = idx.subseq_knn(&q, k).unwrap();
+            let want = idx.scan_subseq_knn(&q, k).unwrap();
+            assert_eq!(got.len(), want.len(), "k {k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.distance - w.distance).abs() < 1e-9,
+                    "k {k}: {} vs {}",
+                    g.distance,
+                    w.distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_more_neighbors_than_windows() {
+        let idx = SubseqIndex::build(
+            SubseqConfig::new(8),
+            vec![TimeSeries::new((0..12).map(|i| i as f64).collect())],
+        )
+        .unwrap();
+        let q = TimeSeries::new((0..8).map(|i| i as f64).collect());
+        let (got, _) = idx.subseq_knn(&q, 100).unwrap();
+        assert_eq!(got.len(), idx.windows_total());
+        assert_eq!(got[0].offset, 0);
+        assert!(got[0].distance < 1e-12);
+    }
+
+    #[test]
+    fn query_validation() {
+        let idx = build(16, 7);
+        let q = TimeSeries::new(vec![0.0; 16]);
+        assert!(matches!(
+            idx.subseq_range(&q, -1.0),
+            Err(Error::NegativeThreshold { .. })
+        ));
+        let short = TimeSeries::new(vec![0.0; 15]);
+        assert!(matches!(
+            idx.subseq_range(&short, 1.0),
+            Err(Error::LengthMismatch {
+                expected: 16,
+                got: 15
+            })
+        ));
+        assert!(matches!(
+            idx.subseq_knn(&short, 3),
+            Err(Error::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.scan_subseq_range(&short, 1.0, ScanMode::Naive),
+            Err(Error::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_uses_batch_path_and_stays_consistent() {
+        let mut idx = build(16, 8);
+        let extra = RandomWalkGenerator::new(99).series(64);
+        let id = idx.insert(extra.clone());
+        assert_eq!(id, 12);
+        idx.tree().validate();
+        assert_eq!(idx.tree().len(), idx.trails_total());
+        let q = TimeSeries::new(extra.values()[10..26].to_vec());
+        let (matches, _) = idx.subseq_range(&q, 1e-9).unwrap();
+        assert!(matches.iter().any(|m| m.series == id && m.offset == 10));
+        // Still oracle-exact after the incremental insert.
+        let (indexed, _) = idx.subseq_range(&q, 4.0).unwrap();
+        let (scan, _) = idx.scan_subseq_range(&q, 4.0, ScanMode::Naive).unwrap();
+        assert_eq!(indexed, scan);
+    }
+
+    #[test]
+    fn bulk_and_incremental_builds_agree() {
+        let rel = relation(9);
+        let bulk = SubseqIndex::build(SubseqConfig::new(16), rel.clone()).unwrap();
+        let incr = SubseqIndex::build(
+            SubseqConfig {
+                bulk_load: false,
+                ..SubseqConfig::new(16)
+            },
+            rel.clone(),
+        )
+        .unwrap();
+        let q = TimeSeries::new(rel[2].values()[7..23].to_vec());
+        let a = bulk.subseq_range(&q, 3.0).unwrap().0;
+        let b = incr.subseq_range(&q, 3.0).unwrap().0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_index_answers_trivially() {
+        let idx = SubseqIndex::build(SubseqConfig::new(8), Vec::new()).unwrap();
+        let q = TimeSeries::new(vec![0.0; 8]);
+        assert!(idx.subseq_range(&q, 10.0).unwrap().0.is_empty());
+        assert!(idx.subseq_knn(&q, 5).unwrap().0.is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use tsq_core::{
     FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex,
-    SpaceKind,
+    SpaceKind, SubseqConfig, SubseqIndex,
 };
 use tsq_series::TimeSeries;
 
@@ -185,5 +185,59 @@ proptest! {
                 .sqrt();
             prop_assert!((engine - d).abs() < 1e-6, "id {id}: {engine} vs {d}");
         }
+    }
+
+    /// Negative thresholds are rejected with the typed error — never a
+    /// silently empty result — across both the whole-sequence and the
+    /// subsequence query paths.
+    #[test]
+    fn negative_threshold_is_typed_error((rel, qid) in relation_strategy(),
+                                         eps in -100.0f64..-1e-9) {
+        let n = rel[0].len();
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let t = LinearTransform::identity(n);
+        let q = rel[qid].clone();
+        prop_assert!(matches!(
+            idx.range_query(&q, eps, &t, &QueryWindow::default()),
+            Err(tsq_core::Error::NegativeThreshold { .. })
+        ));
+        let w = (n / 2).max(2);
+        let sub = SubseqIndex::build(SubseqConfig::new(w), rel.clone()).unwrap();
+        let sq = TimeSeries::new(q.values()[..w].to_vec());
+        prop_assert!(matches!(
+            sub.subseq_range(&sq, eps),
+            Err(tsq_core::Error::NegativeThreshold { .. })
+        ));
+        prop_assert!(matches!(
+            sub.scan_subseq_range(&sq, eps, ScanMode::Naive),
+            Err(tsq_core::Error::NegativeThreshold { .. })
+        ));
+    }
+
+    /// Degenerate windows are rejected at construction with the typed
+    /// error, for every window below 2.
+    #[test]
+    fn degenerate_window_is_typed_error((rel, _) in relation_strategy(),
+                                        window in 0usize..2) {
+        prop_assert!(matches!(
+            SubseqIndex::build(SubseqConfig::new(window), rel),
+            Err(tsq_core::Error::InvalidWindow { .. })
+        ));
+    }
+
+    /// Lemma 1 for subsequences: the ST-index range answer equals the
+    /// naive sliding scan's on random relations and thresholds.
+    #[test]
+    fn subseq_no_false_dismissals((rel, qid) in relation_strategy(),
+                                  offset in 0usize..16,
+                                  eps in 0.0f64..80.0) {
+        let n = rel[0].len();
+        let w = (n / 2).max(2);
+        let idx = SubseqIndex::build(SubseqConfig::new(w), rel.clone()).unwrap();
+        let start = offset.min(n - w);
+        let q = TimeSeries::new(rel[qid].values()[start..start + w].to_vec());
+        let (indexed, _) = idx.subseq_range(&q, eps).unwrap();
+        let (scan, _) = idx.scan_subseq_range(&q, eps, ScanMode::Naive).unwrap();
+        prop_assert_eq!(indexed, scan);
     }
 }

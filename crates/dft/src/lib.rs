@@ -19,7 +19,10 @@
 //!   factor the paper elides;
 //! - [`energy`] — energy, Parseval's relation and Euclidean distances in
 //!   either domain (Equations 3, 7, 8), plus the early-abandoning distance
-//!   used by the sequential-scan baseline.
+//!   used by the sequential-scan baseline;
+//! - [`sliding`] — the incremental sliding-window DFT that updates the
+//!   first `k` coefficients in `O(k)` per window step, powering the
+//!   subsequence ST-index in `tsq-core`.
 //!
 //! Everything is pure safe Rust with no dependencies.
 
@@ -33,6 +36,8 @@ pub mod dft;
 pub mod energy;
 pub mod fft;
 pub mod planner;
+pub mod sliding;
 
 pub use complex::Complex64;
 pub use planner::{FftPlan, FftPlanner};
+pub use sliding::SlidingDft;

@@ -139,4 +139,52 @@ proptest! {
             prop_assert!((*a - *b).abs() < 1e-6);
         }
     }
+
+    /// The sliding DFT agrees with an independently recomputed full DFT at
+    /// every window offset, within 1e-9, across random series, window
+    /// lengths and coefficient counts. Window lengths are drawn from the
+    /// full range, so non-powers-of-two (the planner's Bluestein path for
+    /// the recomputed reference) are exercised constantly.
+    #[test]
+    fn sliding_dft_matches_full_recomputation(input in (2usize..48).prop_flat_map(|w| (
+        prop::collection::vec(-1e3f64..1e3, w..w + 220),
+        1usize..=8,
+        w..=w, // carry the window length alongside the series
+    ))) {
+        let (x, k, w) = input;
+        let k = k.min(w);
+        let windows = tsq_dft::sliding::sliding_prefix(&x, w, k);
+        prop_assert_eq!(windows.len(), x.len() - w + 1);
+        let mut planner = FftPlanner::new();
+        for (t, got) in windows.iter().enumerate() {
+            // Independent reference: a *full* transform of the window via
+            // the planner (radix-2 or Bluestein), truncated to k.
+            let full = planner.dft_real(&x[t..t + w]);
+            for (g, want) in got.iter().zip(&full) {
+                prop_assert!(
+                    (*g - *want).abs() < 1e-9,
+                    "offset {}, w {}, k {}: {} vs {}", t, w, k, g, want
+                );
+            }
+        }
+    }
+
+    /// Sliding coefficients inherit Lemma 1: the prefix distance between
+    /// two windows never exceeds their time-domain Euclidean distance.
+    #[test]
+    fn sliding_prefix_is_lower_bound(input in (2usize..32).prop_flat_map(|w| (
+        prop::collection::vec(-1e2f64..1e2, w + 10..w + 120),
+        prop::collection::vec(-1e2f64..1e2, w..=w),
+        1usize..=6,
+        w..=w,
+    ))) {
+        let (x, q, k, w) = input;
+        let k = k.min(w);
+        let fq = tsq_dft::dft::dft_prefix(&q, k);
+        for (t, fw) in tsq_dft::sliding::sliding_prefix(&x, w, k).iter().enumerate() {
+            let prefix = euclidean_complex(fw, &fq);
+            let full = euclidean_real(&x[t..t + w], &q);
+            prop_assert!(prefix <= full + 1e-6, "offset {}: {} > {}", t, prefix, full);
+        }
+    }
 }

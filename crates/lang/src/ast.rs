@@ -45,6 +45,31 @@ pub enum Query {
         /// Execution strategy.
         method: JoinMethod,
     },
+    /// `FIND SUBSEQUENCE OF <source> IN <relation> WITHIN <eps> WINDOW <w>`
+    /// — subsequence range query over the ST-index: every window of length
+    /// `w` in the relation within `eps` of the query.
+    SubseqSimilar {
+        /// Query object (must be exactly `window` values long).
+        source: Source,
+        /// Relation searched.
+        relation: String,
+        /// Distance threshold.
+        eps: f64,
+        /// Sliding-window length.
+        window: usize,
+    },
+    /// `FIND <k> NEAREST SUBSEQUENCE OF <source> IN <relation> WINDOW <w>`
+    /// — the `k` windows closest to the query, over all series and offsets.
+    SubseqNearest {
+        /// Query object (must be exactly `window` values long).
+        source: Source,
+        /// Relation searched.
+        relation: String,
+        /// Number of neighbors.
+        k: usize,
+        /// Sliding-window length.
+        window: usize,
+    },
 }
 
 /// The query object of a FIND.

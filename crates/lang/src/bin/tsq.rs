@@ -32,6 +32,8 @@ meta-commands:
 queries:
   FIND SIMILAR TO <rel>.<label> IN <rel> WITHIN <eps> [APPLY t1, t2, ...] [WHERE ...]
   FIND <k> NEAREST TO <rel>.<label>|[v1, v2, ...] IN <rel> [APPLY ...]
+  FIND SUBSEQUENCE OF [v1, ..., vw] IN <rel> WITHIN <eps> WINDOW <w>
+  FIND <k> NEAREST SUBSEQUENCE OF [v1, ..., vw] IN <rel> WINDOW <w>
   JOIN <rel> WITHIN <eps> [APPLY ...] [USING SCAN|SCANFULL|INDEX|TREE]
 transformations:
   identity | mavg(w) | wmavg(w1, w2, ...) | reverse | shift(c) | scale(c) | warp(m)";
@@ -79,9 +81,14 @@ fn main() {
         match catalog.run(line) {
             Ok(out) => {
                 for row in out.rows.iter().take(20) {
-                    match &row.b {
-                        Some(b) => println!("  {}  ~  {}   D = {:.4}", row.a, b, row.distance),
-                        None => println!("  {}   D = {:.4}", row.a, row.distance),
+                    match (&row.b, row.offset) {
+                        (Some(b), _) => {
+                            println!("  {}  ~  {}   D = {:.4}", row.a, b, row.distance)
+                        }
+                        (None, Some(off)) => {
+                            println!("  {} @ {}   D = {:.4}", row.a, off, row.distance)
+                        }
+                        (None, None) => println!("  {}   D = {:.4}", row.a, row.distance),
                     }
                 }
                 if out.rows.len() > 20 {

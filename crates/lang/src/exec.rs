@@ -1,9 +1,11 @@
 //! Planning and execution: AST → `tsq-core` calls.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use tsq_core::{
     IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation, SimilarityIndex,
+    SubseqConfig, SubseqIndex,
 };
 use tsq_series::TimeSeries;
 
@@ -11,10 +13,16 @@ use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
 use crate::error::LangError;
 
 /// A catalog of named relations with lazily-built similarity indexes.
+///
+/// Whole-sequence indexes are built eagerly at registration (every query
+/// form needs one); subsequence ST-indexes depend on the query's `WINDOW`
+/// length, so they are built on first use and cached per
+/// `(relation, window)` behind a mutex — `execute` stays `&self`.
 #[derive(Debug, Default)]
 pub struct Catalog {
     relations: HashMap<String, SeriesRelation>,
     indexes: HashMap<String, SimilarityIndex>,
+    subseq: Mutex<HashMap<(String, usize), Arc<SubseqIndex>>>,
     config: IndexConfig,
 }
 
@@ -40,6 +48,10 @@ impl Catalog {
     pub fn register(&mut self, relation: SeriesRelation) -> Result<(), LangError> {
         let name = relation.name().to_string();
         let index = relation.index(self.config)?;
+        self.subseq
+            .lock()
+            .expect("subseq cache poisoned")
+            .retain(|(rel, _), _| rel != &name);
         self.relations.insert(name.clone(), relation);
         self.indexes.insert(name, index);
         Ok(())
@@ -74,6 +86,33 @@ impl Catalog {
         }
     }
 
+    /// Returns the ST-index over `rel` for `window`, building and caching
+    /// it on first use. The (potentially expensive) build happens outside
+    /// the cache lock, so concurrent cache hits are never blocked behind
+    /// it; if two threads race on the same miss, the first finished build
+    /// wins and the other is dropped — both are equivalent.
+    fn subseq_index(
+        &self,
+        rel: &SeriesRelation,
+        window: usize,
+    ) -> Result<Arc<SubseqIndex>, LangError> {
+        let key = (rel.name().to_string(), window);
+        if let Some(idx) = self.subseq.lock().expect("subseq cache poisoned").get(&key) {
+            return Ok(Arc::clone(idx));
+        }
+        let idx = Arc::new(SubseqIndex::build(
+            SubseqConfig::new(window),
+            rel.series().to_vec(),
+        )?);
+        Ok(Arc::clone(
+            self.subseq
+                .lock()
+                .expect("subseq cache poisoned")
+                .entry(key)
+                .or_insert(idx),
+        ))
+    }
+
     /// Parses and executes a query.
     pub fn run(&self, src: &str) -> Result<QueryOutput, LangError> {
         let query = crate::parser::parse(src)?;
@@ -101,6 +140,7 @@ impl Catalog {
                         .map(|m| Row {
                             a: rel.label(m.id).unwrap_or("?").to_string(),
                             b: None,
+                            offset: None,
                             distance: m.distance,
                         })
                         .collect(),
@@ -123,6 +163,7 @@ impl Catalog {
                         .map(|m| Row {
                             a: rel.label(m.id).unwrap_or("?").to_string(),
                             b: None,
+                            offset: None,
                             distance: m.distance,
                         })
                         .collect(),
@@ -150,13 +191,57 @@ impl Catalog {
                         .map(|p| Row {
                             a: rel.label(p.a).unwrap_or("?").to_string(),
                             b: Some(rel.label(p.b).unwrap_or("?").to_string()),
+                            offset: None,
                             distance: p.distance,
                         })
                         .collect(),
                     nodes_visited: outcome.stats.index.nodes_visited,
                 })
             }
+            Query::SubseqSimilar {
+                source,
+                relation,
+                eps,
+                window,
+            } => {
+                let (rel, _) = self.resolve_relation(relation)?;
+                let index = self.subseq_index(rel, *window)?;
+                let q = self.resolve_source(source)?;
+                let (matches, stats) = index.subseq_range(&q, *eps)?;
+                Ok(subseq_output(rel, matches, stats.index.nodes_visited))
+            }
+            Query::SubseqNearest {
+                source,
+                relation,
+                k,
+                window,
+            } => {
+                let (rel, _) = self.resolve_relation(relation)?;
+                let index = self.subseq_index(rel, *window)?;
+                let q = self.resolve_source(source)?;
+                let (matches, stats) = index.subseq_knn(&q, *k)?;
+                Ok(subseq_output(rel, matches, stats.index.nodes_visited))
+            }
         }
+    }
+}
+
+fn subseq_output(
+    rel: &SeriesRelation,
+    matches: Vec<tsq_core::SubseqMatch>,
+    nodes_visited: u64,
+) -> QueryOutput {
+    QueryOutput {
+        rows: matches
+            .into_iter()
+            .map(|m| Row {
+                a: rel.label(m.series).unwrap_or("?").to_string(),
+                b: None,
+                offset: Some(m.offset),
+                distance: m.distance,
+            })
+            .collect(),
+        nodes_visited,
     }
 }
 
@@ -167,6 +252,8 @@ pub struct Row {
     pub a: String,
     /// Second label for join rows.
     pub b: Option<String>,
+    /// Window offset for subsequence rows.
+    pub offset: Option<usize>,
     /// Exact distance.
     pub distance: f64,
 }
@@ -341,6 +428,78 @@ mod tests {
         // Scan reports each pair once; index/tree twice.
         assert_eq!(index.rows.len(), 2 * scan.rows.len());
         assert_eq!(tree.rows.len(), index.rows.len());
+    }
+
+    #[test]
+    fn subsequence_query_runs() {
+        let cat = catalog();
+        // A stored window matches itself at distance zero.
+        let probe: Vec<String> = cat
+            .relation("walks")
+            .unwrap()
+            .get_by_label("s2")
+            .unwrap()
+            .values()[5..13]
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        let q = format!(
+            "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 0.001 WINDOW 8",
+            probe.join(", ")
+        );
+        let out = cat.run(&q).unwrap();
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.a == "s2" && r.offset == Some(5) && r.distance < 1e-9));
+        // Nearest form: the same window is the 1-NN.
+        let qn = format!(
+            "FIND 1 NEAREST SUBSEQUENCE OF [{}] IN walks WINDOW 8",
+            probe.join(", ")
+        );
+        let near = cat.run(&qn).unwrap();
+        assert_eq!(near.rows.len(), 1);
+        assert_eq!(near.rows[0].a, "s2");
+        assert_eq!(near.rows[0].offset, Some(5));
+    }
+
+    #[test]
+    fn subsequence_query_length_must_match_window() {
+        let cat = catalog();
+        let err = cat
+            .run("FIND SUBSEQUENCE OF [1, 2, 3] IN walks WITHIN 1 WINDOW 8")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LangError::Engine(tsq_core::Error::LengthMismatch { expected: 8, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn subseq_index_is_cached_per_window() {
+        let cat = catalog();
+        let q = "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 100 WINDOW 32";
+        let a = cat.run(q).unwrap();
+        let b = cat.run(q).unwrap();
+        assert_eq!(a, b);
+        let cache = cat.subseq.lock().unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains_key(&("walks".to_string(), 32)));
+    }
+
+    #[test]
+    fn register_invalidates_subseq_cache() {
+        let mut cat = catalog();
+        cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 32")
+            .unwrap();
+        assert_eq!(cat.subseq.lock().unwrap().len(), 1);
+        let replacement = SeriesRelation::from_series(
+            "walks",
+            RandomWalkGenerator::new(77).relation(10, 32),
+        )
+        .unwrap();
+        cat.register(replacement).unwrap();
+        assert!(cat.subseq.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! query      := find_query | join_query
 //! find_query := FIND SIMILAR TO source IN ident WITHIN number
 //!               [APPLY tlist] [WHERE window (AND window)*]
+//!             | FIND SUBSEQUENCE OF source IN ident WITHIN number
+//!               WINDOW number
 //!             | FIND number NEAREST TO source IN ident [APPLY tlist]
+//!             | FIND number NEAREST SUBSEQUENCE OF source IN ident
+//!               WINDOW number
 //! join_query := JOIN ident WITHIN number [APPLY tlist]
 //!               [USING (SCAN | SCANFULL | INDEX | TREE)]
 //! source     := ident . ident | '[' number (, number)* ']'
@@ -14,6 +18,9 @@
 //! ```
 //!
 //! Keywords are case-insensitive; identifiers are case-sensitive.
+//! Validation the parser performs (so nonsense fails before execution):
+//! every `WITHIN` threshold must be non-negative, and every `WINDOW`
+//! length must be an integer of at least 2.
 
 use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
 use crate::error::LangError;
@@ -118,6 +125,37 @@ impl Parser {
         }
     }
 
+    /// `WITHIN <eps>` with the threshold validated at parse time: a
+    /// negative threshold can never match anything, so it is rejected
+    /// here rather than silently producing an empty result.
+    fn threshold(&mut self) -> Result<f64, LangError> {
+        self.expect_kw("WITHIN")?;
+        let at = self.peek().pos;
+        let eps = self.number()?;
+        if eps < 0.0 {
+            return Err(LangError::Parse {
+                pos: at,
+                message: format!("WITHIN threshold must be non-negative, got {eps}"),
+            });
+        }
+        Ok(eps)
+    }
+
+    /// `WINDOW <w>` with the length validated at parse time (`w >= 2`,
+    /// integral): a one-point window has no spectrum to index.
+    fn window_length(&mut self) -> Result<usize, LangError> {
+        self.expect_kw("WINDOW")?;
+        let at = self.peek().pos;
+        let w = self.number()?;
+        if w.fract() != 0.0 || w < 2.0 {
+            return Err(LangError::Parse {
+                pos: at,
+                message: format!("WINDOW length must be an integer of at least 2, got {w}"),
+            });
+        }
+        Ok(w as usize)
+    }
+
     fn query(&mut self) -> Result<Query, LangError> {
         if self.take_kw("FIND") {
             self.find_query()
@@ -134,8 +172,7 @@ impl Parser {
             let source = self.source()?;
             self.expect_kw("IN")?;
             let relation = self.ident()?;
-            self.expect_kw("WITHIN")?;
-            let eps = self.number()?;
+            let eps = self.threshold()?;
             let transforms = self.apply_clause()?;
             let window = self.where_clause()?;
             Ok(Query::Similar {
@@ -145,12 +182,38 @@ impl Parser {
                 transforms,
                 window,
             })
+        } else if self.take_kw("SUBSEQUENCE") {
+            self.expect_kw("OF")?;
+            let source = self.source()?;
+            self.expect_kw("IN")?;
+            let relation = self.ident()?;
+            let eps = self.threshold()?;
+            let window = self.window_length()?;
+            Ok(Query::SubseqSimilar {
+                source,
+                relation,
+                eps,
+                window,
+            })
         } else if matches!(self.peek().kind, TokenKind::Number(_)) {
             let kf = self.number()?;
             if kf.fract() != 0.0 || kf < 1.0 {
                 return self.error("NEAREST count must be a positive integer");
             }
             self.expect_kw("NEAREST")?;
+            if self.take_kw("SUBSEQUENCE") {
+                self.expect_kw("OF")?;
+                let source = self.source()?;
+                self.expect_kw("IN")?;
+                let relation = self.ident()?;
+                let window = self.window_length()?;
+                return Ok(Query::SubseqNearest {
+                    source,
+                    relation,
+                    k: kf as usize,
+                    window,
+                });
+            }
             self.expect_kw("TO")?;
             let source = self.source()?;
             self.expect_kw("IN")?;
@@ -163,14 +226,13 @@ impl Parser {
                 transforms,
             })
         } else {
-            self.error("expected SIMILAR or a neighbor count after FIND")
+            self.error("expected SIMILAR, SUBSEQUENCE or a neighbor count after FIND")
         }
     }
 
     fn join_query(&mut self) -> Result<Query, LangError> {
         let relation = self.ident()?;
-        self.expect_kw("WITHIN")?;
-        let eps = self.number()?;
+        let eps = self.threshold()?;
         let transforms = self.apply_clause()?;
         let method = if self.take_kw("USING") {
             if self.take_kw("SCANFULL") {
@@ -377,6 +439,67 @@ mod tests {
             parse("FIND SIMILAR TO r.a IN r WITHIN 1 garbage"),
             Err(LangError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn parse_subsequence_range() {
+        let q = parse("FIND SUBSEQUENCE OF [1, 2, 3] IN walks WITHIN 0.5 WINDOW 3").unwrap();
+        match q {
+            Query::SubseqSimilar { source, relation, eps, window } => {
+                assert_eq!(source, Source::Literal(vec![1.0, 2.0, 3.0]));
+                assert_eq!(relation, "walks");
+                assert_eq!(eps, 0.5);
+                assert_eq!(window, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_subsequence_nearest() {
+        let q = parse("find 7 nearest subsequence of pats.q IN walks window 16").unwrap();
+        match q {
+            Query::SubseqNearest { source, relation, k, window } => {
+                assert_eq!(source, Source::Ref { relation: "pats".into(), label: "q".into() });
+                assert_eq!(relation, "walks");
+                assert_eq!(k, 7);
+                assert_eq!(window, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_threshold_rejected_at_parse_time() {
+        for src in [
+            "FIND SIMILAR TO r.a IN r WITHIN -1",
+            "FIND SUBSEQUENCE OF r.a IN r WITHIN -0.5 WINDOW 8",
+            "JOIN r WITHIN -2",
+        ] {
+            match parse(src) {
+                Err(LangError::Parse { message, .. }) => {
+                    assert!(message.contains("non-negative"), "{src}: {message}")
+                }
+                other => panic!("{src}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_window_rejected_at_parse_time() {
+        for src in [
+            "FIND SUBSEQUENCE OF r.a IN r WITHIN 1 WINDOW 1",
+            "FIND SUBSEQUENCE OF r.a IN r WITHIN 1 WINDOW 0",
+            "FIND SUBSEQUENCE OF r.a IN r WITHIN 1 WINDOW 2.5",
+            "FIND 3 NEAREST SUBSEQUENCE OF r.a IN r WINDOW 1",
+        ] {
+            match parse(src) {
+                Err(LangError::Parse { message, .. }) => {
+                    assert!(message.contains("WINDOW"), "{src}: {message}")
+                }
+                other => panic!("{src}: expected parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

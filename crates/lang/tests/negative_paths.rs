@@ -1,0 +1,107 @@
+//! Negative-path coverage for query validation: nonsense thresholds and
+//! windows must fail with a *typed* error — at the parser when the literal
+//! itself is invalid, at the engine when only the catalog can tell — and
+//! never silently produce an empty answer.
+
+use tsq_core::SeriesRelation;
+use tsq_lang::{parse, Catalog, LangError};
+use tsq_series::generate::RandomWalkGenerator;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let rel =
+        SeriesRelation::from_series("walks", RandomWalkGenerator::new(7).relation(20, 32)).unwrap();
+    cat.register(rel).unwrap();
+    cat
+}
+
+#[test]
+fn negative_eps_is_a_parse_error_in_every_query_form() {
+    for src in [
+        "FIND SIMILAR TO walks.s0 IN walks WITHIN -1",
+        "FIND SIMILAR TO walks.s0 IN walks WITHIN -0.0001 APPLY mavg(4)",
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN -3 WINDOW 8",
+        "JOIN walks WITHIN -2 USING SCAN",
+    ] {
+        match parse(src) {
+            Err(LangError::Parse { pos, message }) => {
+                assert!(message.contains("non-negative"), "{src}: {message}");
+                // The error points at the offending number, not at byte 0.
+                assert!(pos > 0, "{src}");
+            }
+            other => panic!("{src}: expected a parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn degenerate_window_is_a_parse_error() {
+    for src in [
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 0",
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 1",
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 7.5",
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW -4",
+        "FIND 2 NEAREST SUBSEQUENCE OF walks.s0 IN walks WINDOW 1",
+    ] {
+        assert!(
+            matches!(parse(src), Err(LangError::Parse { .. })),
+            "{src} should be rejected at parse time"
+        );
+    }
+}
+
+#[test]
+fn executing_rejected_queries_never_reaches_the_engine() {
+    let cat = catalog();
+    // The same strings through the full run() pipeline: still parse errors.
+    let err = cat
+        .run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN -1 WINDOW 8")
+        .unwrap_err();
+    assert!(matches!(err, LangError::Parse { .. }));
+    let err = cat
+        .run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 1")
+        .unwrap_err();
+    assert!(matches!(err, LangError::Parse { .. }));
+}
+
+#[test]
+fn engine_level_validation_surfaces_typed_errors() {
+    let cat = catalog();
+    // Window is syntactically fine but the query object is the wrong
+    // length for it: typed LengthMismatch from the engine.
+    let err = cat
+        .run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 8")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        LangError::Engine(tsq_core::Error::LengthMismatch { expected: 8, got: 32 })
+    ));
+    // Programmatic (non-parser) construction of a negative threshold is
+    // caught by the engine's own typed check.
+    let idx = tsq_core::SubseqIndex::build(
+        tsq_core::SubseqConfig::new(8),
+        RandomWalkGenerator::new(8).relation(4, 32),
+    )
+    .unwrap();
+    let q = tsq_series::TimeSeries::new(vec![0.0; 8]);
+    assert!(matches!(
+        idx.subseq_range(&q, -1.0),
+        Err(tsq_core::Error::NegativeThreshold { .. })
+    ));
+    assert!(matches!(
+        tsq_core::SubseqConfig::new(1).validate(),
+        Err(tsq_core::Error::InvalidWindow { window: 1 })
+    ));
+}
+
+#[test]
+fn whole_sequence_negative_eps_reported_with_position() {
+    // Regression shape: before typed validation this produced an empty
+    // result set via the engine's generic Unsupported path.
+    match parse("FIND SIMILAR TO walks.s0 IN walks WITHIN -5") {
+        Err(LangError::Parse { message, .. }) => {
+            assert!(message.contains("-5"), "message should cite the value: {message}")
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
