@@ -107,6 +107,15 @@ pub fn transformation_distance(
             got: y.len(),
         });
     }
+    // NaN budgets or costs make every pruning comparison below silently
+    // false (`next_cost > NaN`, `priority >= NaN`), so the search would
+    // neither prune nor terminate meaningfully — reject them up front.
+    // +∞ max_cost is fine: it is the documented "no bound" default.
+    if budget.max_cost.is_nan() {
+        return Err(Error::NonFinite {
+            context: format!("cost budget max_cost = {}", budget.max_cost),
+        });
+    }
     for t in transforms {
         if t.warp() > 1 {
             return Err(Error::Unsupported(
@@ -117,6 +126,11 @@ pub fn transformation_distance(
             return Err(Error::TransformArity {
                 expected: x.len(),
                 got: t.n(),
+            });
+        }
+        if !t.cost().is_finite() {
+            return Err(Error::NonFinite {
+                context: format!("transformation {} cost = {}", t.name(), t.cost()),
             });
         }
     }
@@ -230,6 +244,25 @@ mod tests {
         let rev = LinearTransform::reverse(4).with_cost(plain + 5.0);
         let d = transformation_distance(&x, &y, &[rev], CostBudget::default()).unwrap();
         assert!((d.value - plain).abs() < 1e-9, "expensive transform unused");
+    }
+
+    #[test]
+    fn non_finite_budget_and_costs_rejected() {
+        let x = TimeSeries::from([1.0, -2.0, 3.0, -1.0]);
+        let y = x.negate();
+        let nan_budget = CostBudget {
+            max_cost: f64::NAN,
+            max_depth: 2,
+        };
+        assert!(matches!(
+            transformation_distance(&x, &y, &[], nan_budget),
+            Err(Error::NonFinite { .. })
+        ));
+        let rev = LinearTransform::reverse(4).with_cost(f64::INFINITY);
+        assert!(matches!(
+            transformation_distance(&x, &y, &[rev], CostBudget::default()),
+            Err(Error::NonFinite { .. })
+        ));
     }
 
     #[test]

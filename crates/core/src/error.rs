@@ -47,9 +47,45 @@ pub enum Error {
         /// The offending window length.
         window: usize,
     },
+    /// A non-finite number (NaN or ±∞) reached a query or ingest boundary:
+    /// a series value, a distance threshold, or a transformation cost.
+    /// NaN silently breaks every ordering and threshold comparison the
+    /// engine relies on, so it is rejected with the offending context
+    /// instead of flowing into the geometry.
+    NonFinite {
+        /// What carried the value, with the value formatted in (e.g.
+        /// `"series value NaN at position 3"`, `"threshold eps = inf"`).
+        context: String,
+    },
     /// Operation unsupported for this transformation (e.g. composing two
     /// time warps).
     Unsupported(String),
+}
+
+impl Error {
+    /// `Ok(eps)` when the threshold is usable, the typed rejection
+    /// otherwise: [`Error::NonFinite`] for NaN/∞, since `d <= NaN` is
+    /// false for every distance (silently empty answers) and `d <= ∞` is
+    /// true for all of them; [`Error::NegativeThreshold`] for `eps < 0`.
+    pub fn check_threshold(eps: f64) -> Result<f64> {
+        if !eps.is_finite() {
+            return Err(Error::NonFinite {
+                context: format!("threshold eps = {eps}"),
+            });
+        }
+        if eps < 0.0 {
+            return Err(Error::NegativeThreshold { eps });
+        }
+        Ok(eps)
+    }
+}
+
+impl From<tsq_series::NonFiniteValue> for Error {
+    fn from(e: tsq_series::NonFiniteValue) -> Self {
+        Error::NonFinite {
+            context: format!("series value {} at position {}", e.value, e.index),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -68,6 +104,9 @@ impl fmt::Display for Error {
             }
             Error::NegativeThreshold { eps } => {
                 write!(f, "negative distance threshold: eps = {eps}")
+            }
+            Error::NonFinite { context } => {
+                write!(f, "non-finite input rejected: {context}")
             }
             Error::InvalidWindow { window } => {
                 write!(f, "invalid subsequence window: {window} (must be at least 2)")
@@ -98,5 +137,31 @@ mod tests {
         assert!(e.to_string().contains("-1.5"));
         let e = Error::InvalidWindow { window: 1 };
         assert!(e.to_string().contains("window"));
+        let e = Error::NonFinite { context: "threshold eps = NaN".into() };
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn threshold_check() {
+        assert_eq!(Error::check_threshold(1.5), Ok(1.5));
+        assert_eq!(Error::check_threshold(0.0), Ok(0.0));
+        assert!(matches!(
+            Error::check_threshold(f64::NAN),
+            Err(Error::NonFinite { .. })
+        ));
+        assert!(matches!(
+            Error::check_threshold(f64::INFINITY),
+            Err(Error::NonFinite { .. })
+        ));
+        assert!(matches!(
+            Error::check_threshold(-1.0),
+            Err(Error::NegativeThreshold { eps }) if eps == -1.0
+        ));
+    }
+
+    #[test]
+    fn non_finite_value_converts() {
+        let e: Error = tsq_series::NonFiniteValue { index: 3, value: f64::NAN }.into();
+        assert!(matches!(&e, Error::NonFinite { context } if context.contains("position 3")));
     }
 }

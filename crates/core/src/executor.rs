@@ -1,0 +1,375 @@
+//! Concurrent batched query execution.
+//!
+//! The paper argues the DFT index must beat even a *good* sequential scan
+//! (Section 5); at system scale the analogous bar is query *throughput*
+//! under concurrency, not single-query latency — the lesson of the
+//! Lernaean-Hydra evaluation of similarity-search systems. This module is
+//! the std-only worker-pool layer that turns the per-query engine into a
+//! batched one:
+//!
+//! - [`parallel_map`] — the shared order-preserving fan-out primitive
+//!   (atomic work-stealing over scoped threads; no rayon in the build
+//!   image). Query costs vary wildly between a selective range probe and a
+//!   whole-relation KNN, so indices are claimed one at a time rather than
+//!   pre-chunked.
+//! - [`QueryExecutor`] — runs a batch of whole-sequence queries
+//!   ([`BatchQuery`]) against one [`SimilarityIndex`], or subsequence
+//!   queries ([`SubseqBatchQuery`]) against one [`SubseqIndex`], fanning
+//!   queries over the pool and aggregating per-batch [`BatchStats`].
+//! - [`SimilarityIndex::range_query_parallel`] (in [`crate::index`])
+//!   parallelizes *within* one query: the R\*-tree filter step fans out per
+//!   root subtree, the exact refine step per candidate.
+//!
+//! Every parallel path is deterministic: results are byte-identical to the
+//! sequential oracle regardless of thread count, which the concurrency
+//! test suite asserts.
+
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+use tsq_series::TimeSeries;
+
+use crate::error::Result;
+use crate::index::{Match, QueryStats, SimilarityIndex};
+use crate::space::QueryWindow;
+use crate::subseq::{SubseqIndex, SubseqMatch, SubseqStats};
+use crate::transform::LinearTransform;
+
+/// The shared order-preserving fan-out primitive, re-exported from the
+/// lowest crate that needs it (`tsq-rtree` uses it for parallel bulk
+/// loading; one implementation serves the whole workspace).
+pub use tsq_rtree::par::parallel_map;
+
+/// Number of workers to use when the caller does not care: the machine's
+/// available parallelism, 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One whole-sequence query of a batch, against a [`SimilarityIndex`].
+#[derive(Debug, Clone)]
+pub enum BatchQuery {
+    /// `D(T(o), q) <= eps` range query (Algorithm 2).
+    Range {
+        /// Query series.
+        q: TimeSeries,
+        /// Distance threshold.
+        eps: f64,
+        /// Transformation applied to the data side.
+        transform: LinearTransform,
+        /// Optional mean/std windows.
+        window: QueryWindow,
+    },
+    /// `k` nearest stored series under a transformation.
+    Knn {
+        /// Query series.
+        q: TimeSeries,
+        /// Number of neighbors.
+        k: usize,
+        /// Transformation applied to the data side.
+        transform: LinearTransform,
+    },
+}
+
+/// One subsequence query of a batch, against a [`SubseqIndex`].
+#[derive(Debug, Clone)]
+pub enum SubseqBatchQuery {
+    /// Every window within `eps` of the query.
+    Range {
+        /// Query series (exactly one window long).
+        q: TimeSeries,
+        /// Distance threshold.
+        eps: f64,
+    },
+    /// The `k` nearest windows over all series and offsets.
+    Knn {
+        /// Query series (exactly one window long).
+        q: TimeSeries,
+        /// Number of neighbors.
+        k: usize,
+    },
+}
+
+/// Per-query outcome of a whole-sequence batch.
+pub type BatchResult = Result<(Vec<Match>, QueryStats)>;
+
+/// Per-query outcome of a subsequence batch.
+pub type SubseqBatchResult = Result<(Vec<SubseqMatch>, SubseqStats)>;
+
+/// Aggregate counters for one executed batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries that returned an error.
+    pub errors: usize,
+    /// Summed simulated disk accesses across successful queries.
+    pub nodes_visited: u64,
+    /// Summed index-level candidates across successful queries.
+    pub candidates: usize,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+}
+
+impl BatchStats {
+    /// Batch throughput in queries per second (0 when nothing ran).
+    pub fn queries_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A fixed-size worker pool for batched query execution.
+///
+/// The executor holds no state beyond its thread count — indexes are
+/// passed per batch — so one executor can serve many relations, and
+/// cloning it is free.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryExecutor {
+    threads: usize,
+}
+
+impl Default for QueryExecutor {
+    fn default() -> Self {
+        QueryExecutor::new(default_threads())
+    }
+}
+
+impl QueryExecutor {
+    /// An executor fanning batches over `threads` workers (clamped to at
+    /// least 1).
+    pub fn new(threads: usize) -> Self {
+        QueryExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes a batch of whole-sequence queries against `index`,
+    /// fanning queries over the pool.
+    ///
+    /// Per-query failures (bad threshold, unsafe transformation, length
+    /// mismatch) come back as `Err` in that query's slot — one bad query
+    /// never poisons the batch. Results are in batch order and identical
+    /// to running each query sequentially.
+    pub fn run_batch(
+        &self,
+        index: &SimilarityIndex,
+        batch: Vec<BatchQuery>,
+    ) -> (Vec<BatchResult>, BatchStats) {
+        let started = Instant::now();
+        let queries = batch.len();
+        let results = parallel_map(self.threads, batch, |query| match query {
+            BatchQuery::Range {
+                q,
+                eps,
+                transform,
+                window,
+            } => index.range_query(&q, eps, &transform, &window),
+            BatchQuery::Knn { q, k, transform } => index.knn_query(&q, k, &transform),
+        });
+        let stats = self.batch_stats(queries, started, results.iter(), |r| {
+            (r.index.nodes_visited, r.candidates)
+        });
+        (results, stats)
+    }
+
+    /// Executes a batch of subsequence queries against `index`.
+    ///
+    /// Same contract as [`QueryExecutor::run_batch`]: batch order,
+    /// per-query errors, sequential-identical results.
+    pub fn run_subseq_batch(
+        &self,
+        index: &SubseqIndex,
+        batch: Vec<SubseqBatchQuery>,
+    ) -> (Vec<SubseqBatchResult>, BatchStats) {
+        let started = Instant::now();
+        let queries = batch.len();
+        let results = parallel_map(self.threads, batch, |query| match query {
+            SubseqBatchQuery::Range { q, eps } => index.subseq_range(&q, eps),
+            SubseqBatchQuery::Knn { q, k } => index.subseq_knn(&q, k),
+        });
+        let stats = self.batch_stats(queries, started, results.iter(), |r| {
+            (r.index.nodes_visited, r.candidates)
+        });
+        (results, stats)
+    }
+
+    fn batch_stats<'a, M: 'a, S: 'a>(
+        &self,
+        queries: usize,
+        started: Instant,
+        results: impl Iterator<Item = &'a Result<(M, S)>>,
+        counters: impl Fn(&S) -> (u64, usize),
+    ) -> BatchStats {
+        let mut stats = BatchStats {
+            queries,
+            threads: self.threads,
+            ..BatchStats::default()
+        };
+        for r in results {
+            match r {
+                Ok((_, s)) => {
+                    let (nodes, candidates) = counters(s);
+                    stats.nodes_visited += nodes;
+                    stats.candidates += candidates;
+                }
+                Err(_) => stats.errors += 1,
+            }
+        }
+        stats.elapsed = started.elapsed();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::subseq::SubseqConfig;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    #[test]
+    fn parallel_map_preserves_order_and_balances() {
+        let items: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for threads in [1usize, 2, 5, 32] {
+            assert_eq!(
+                parallel_map(threads, items.clone(), |i| i * i),
+                want,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_oracle() {
+        let rel = RandomWalkGenerator::new(41).relation(120, 32);
+        let index = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let t = LinearTransform::moving_average(32, 4);
+        let mut batch = Vec::new();
+        for (qid, series) in rel.iter().enumerate().take(24) {
+            if qid % 2 == 0 {
+                batch.push(BatchQuery::Range {
+                    q: series.clone(),
+                    eps: 1.5,
+                    transform: t.clone(),
+                    window: QueryWindow::default(),
+                });
+            } else {
+                batch.push(BatchQuery::Knn {
+                    q: series.clone(),
+                    k: 5,
+                    transform: LinearTransform::identity(32),
+                });
+            }
+        }
+        // Sequential oracle.
+        let want: Vec<_> = batch
+            .iter()
+            .map(|q| match q {
+                BatchQuery::Range {
+                    q,
+                    eps,
+                    transform,
+                    window,
+                } => index.range_query(q, *eps, transform, window).unwrap().0,
+                BatchQuery::Knn { q, k, transform } => {
+                    index.knn_query(q, *k, transform).unwrap().0
+                }
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let (results, stats) = QueryExecutor::new(threads).run_batch(&index, batch.clone());
+            assert_eq!(stats.queries, 24);
+            assert_eq!(stats.errors, 0);
+            assert!(stats.nodes_visited > 0);
+            let got: Vec<_> = results.into_iter().map(|r| r.unwrap().0).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn bad_queries_error_without_poisoning_the_batch() {
+        let rel = RandomWalkGenerator::new(42).relation(30, 32);
+        let index = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let id = LinearTransform::identity(32);
+        let batch = vec![
+            BatchQuery::Range {
+                q: rel[0].clone(),
+                eps: f64::NAN, // rejected: non-finite threshold
+                transform: id.clone(),
+                window: QueryWindow::default(),
+            },
+            BatchQuery::Range {
+                q: rel[1].clone(),
+                eps: 2.0,
+                transform: id.clone(),
+                window: QueryWindow::default(),
+            },
+            BatchQuery::Knn {
+                q: TimeSeries::new(vec![0.0; 7]), // wrong length
+                k: 3,
+                transform: id.clone(),
+            },
+        ];
+        let (results, stats) = QueryExecutor::new(2).run_batch(&index, batch);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.errors, 2);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert!(results[2].is_err());
+    }
+
+    #[test]
+    fn subseq_batch_matches_sequential_oracle() {
+        let mut g = RandomWalkGenerator::new(43);
+        let rel: Vec<TimeSeries> = (0..10).map(|_| g.series(80)).collect();
+        let index = SubseqIndex::build(SubseqConfig::new(16), rel.clone()).unwrap();
+        let batch: Vec<SubseqBatchQuery> = (0..8)
+            .map(|i| {
+                let q = TimeSeries::new(rel[i].values()[i..i + 16].to_vec());
+                if i % 2 == 0 {
+                    SubseqBatchQuery::Range { q, eps: 2.0 }
+                } else {
+                    SubseqBatchQuery::Knn { q, k: 4 }
+                }
+            })
+            .collect();
+        let want: Vec<_> = batch
+            .iter()
+            .map(|q| match q {
+                SubseqBatchQuery::Range { q, eps } => index.subseq_range(q, *eps).unwrap().0,
+                SubseqBatchQuery::Knn { q, k } => index.subseq_knn(q, *k).unwrap().0,
+            })
+            .collect();
+        for threads in [1usize, 3] {
+            let (results, stats) =
+                QueryExecutor::new(threads).run_subseq_batch(&index, batch.clone());
+            assert_eq!(stats.errors, 0);
+            let got: Vec<_> = results.into_iter().map(|r| r.unwrap().0).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let index = SimilarityIndex::build(IndexConfig::default(), Vec::new()).unwrap();
+        let (results, stats) = QueryExecutor::default().run_batch(&index, Vec::new());
+        assert!(results.is_empty());
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.queries_per_second(), 0.0);
+    }
+}

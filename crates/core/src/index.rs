@@ -241,7 +241,7 @@ impl SimilarityIndex {
         t: &LinearTransform,
         window: &QueryWindow,
     ) -> Result<(Vec<Match>, QueryStats)> {
-        self.range_query_features_opts(qf, eps, t, window, false)
+        self.range_query_features_opts(qf, eps, t, window, false, 1)
     }
 
     /// Range query that *always* exercises the transformed traversal, even
@@ -257,9 +257,35 @@ impl SimilarityIndex {
         window: &QueryWindow,
     ) -> Result<(Vec<Match>, QueryStats)> {
         let qf = self.query_features(q, t)?;
-        self.range_query_features_opts(&qf, eps, t, window, true)
+        self.range_query_features_opts(&qf, eps, t, window, true, 1)
     }
 
+    /// [`SimilarityIndex::range_query`] with both phases parallelized
+    /// *within* the query: the R\*-tree filter step fans out per root
+    /// subtree ([`tsq_rtree::RStarTree::search_with_parallel`]) and the
+    /// exact refine step per candidate. Answers and stats totals are
+    /// byte-identical to the sequential path for every thread count —
+    /// both run the same pipeline below, only the worker count differs.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SimilarityIndex::range_query`].
+    pub fn range_query_parallel(
+        &self,
+        q: &TimeSeries,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+        threads: usize,
+    ) -> Result<(Vec<Match>, QueryStats)> {
+        let qf = self.query_features(q, t)?;
+        self.range_query_features_opts(&qf, eps, t, window, false, threads)
+    }
+
+    /// The single range-query pipeline behind every public range form:
+    /// filter (tree traversal, fanned per root subtree when `threads > 1`)
+    /// then refine (exact distances, fanned per candidate). `threads = 1`
+    /// runs strictly sequentially — the parallel primitives spawn nothing
+    /// in that case.
     fn range_query_features_opts(
         &self,
         qf: &Features,
@@ -267,41 +293,50 @@ impl SimilarityIndex {
         t: &LinearTransform,
         window: &QueryWindow,
         force_transform: bool,
+        threads: usize,
     ) -> Result<(Vec<Match>, QueryStats)> {
-        if eps < 0.0 {
-            return Err(Error::NegativeThreshold { eps });
-        }
+        Error::check_threshold(eps)?;
         self.check_transform(t)?;
         let schema = self.config.schema;
         let space = self.config.space;
         let qrect = space.search_rect(qf, schema, eps, window);
         // 2. Search: transform every MBR on the fly; collect candidates.
-        let mut candidates: Vec<usize> = Vec::new();
+        // The identity fast path skips the per-rectangle transformation.
         let identity = !force_transform && t.is_identity(1e-12);
-        let index_stats = if identity {
-            // Fast path: no per-rectangle transformation needed.
-            self.tree
-                .search_with(|r| r.intersects(&qrect), |_, &id| candidates.push(id))
+        let intersects = |r: &Rect| r.intersects(&qrect);
+        let transformed = |r: &Rect| space.transformed_intersects(r, t, schema, &qrect);
+        let (ids, index_stats) = if threads <= 1 {
+            // Sequential: project candidate ids during the traversal
+            // itself — the hot path for plain queries and the n
+            // per-series probes of an index join.
+            let mut ids: Vec<usize> = Vec::new();
+            let stats = if identity {
+                self.tree.search_with(intersects, |_, &id| ids.push(id))
+            } else {
+                self.tree.search_with(transformed, |_, &id| ids.push(id))
+            };
+            (ids, stats)
         } else {
-            self.tree.search_with(
-                |r| space.transformed_intersects(r, t, schema, &qrect),
-                |_, &id| candidates.push(id),
-            )
+            let (candidates, stats) = if identity {
+                self.tree.search_with_parallel(intersects, threads)
+            } else {
+                self.tree.search_with_parallel(transformed, threads)
+            };
+            (candidates.into_iter().map(|(_, &id)| id).collect(), stats)
         };
         // 3. Post-processing: exact distance on full records.
         let mut stats = QueryStats {
             index: index_stats,
-            candidates: candidates.len(),
+            candidates: ids.len(),
+            exact_checks: ids.len(),
             ..QueryStats::default()
         };
-        let mut matches = Vec::new();
-        for id in candidates {
-            stats.exact_checks += 1;
-            match self.exact_distance_bounded(id, t, qf, eps) {
-                Some(d) => matches.push(Match { id, distance: d }),
-                None => stats.false_hits += 1,
-            }
-        }
+        let refined = crate::executor::parallel_map(threads, ids, |id| {
+            self.exact_distance_bounded(id, t, qf, eps)
+                .map(|distance| Match { id, distance })
+        });
+        let mut matches: Vec<Match> = refined.into_iter().flatten().collect();
+        stats.false_hits = stats.exact_checks - matches.len();
         matches.sort_by_key(|m| m.id);
         Ok((matches, stats))
     }
@@ -663,6 +698,42 @@ mod tests {
         }
         let got: Vec<usize> = matches.iter().map(|m| m.id).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_range_query_identical_to_sequential() {
+        let rel = small_relation(300, 32, 13);
+        let idx = build_default(rel.clone());
+        for t in [
+            LinearTransform::identity(32),
+            LinearTransform::moving_average(32, 4),
+        ] {
+            for eps in [0.0, 0.8, 5.0] {
+                let (seq, seq_stats) = idx
+                    .range_query(&rel[9], eps, &t, &QueryWindow::default())
+                    .unwrap();
+                for threads in [1usize, 2, 4] {
+                    let (par, par_stats) = idx
+                        .range_query_parallel(&rel[9], eps, &t, &QueryWindow::default(), threads)
+                        .unwrap();
+                    assert_eq!(par, seq, "{} eps={eps} threads={threads}", t.name());
+                    assert_eq!(par_stats.index, seq_stats.index);
+                    assert_eq!(par_stats.candidates, seq_stats.candidates);
+                    assert_eq!(par_stats.false_hits, seq_stats.false_hits);
+                }
+            }
+        }
+        // Validation still applies on the parallel path.
+        assert!(matches!(
+            idx.range_query_parallel(
+                &rel[0],
+                f64::NAN,
+                &LinearTransform::identity(32),
+                &QueryWindow::default(),
+                2
+            ),
+            Err(Error::NonFinite { .. })
+        ));
     }
 
     #[test]

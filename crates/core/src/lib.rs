@@ -43,12 +43,24 @@
 //! never false dismissals. [`SubseqIndex::subseq_range`] and
 //! [`SubseqIndex::subseq_knn`] are oracle-tested against naive sliding
 //! scans in `tests/subseq_consistency.rs`.
+//!
+//! ## Concurrency
+//!
+//! The [`executor`] module adds a std-only worker-pool layer:
+//! [`QueryExecutor`] fans a batch of queries over scoped threads with
+//! per-batch [`BatchStats`], [`SimilarityIndex::range_query_parallel`]
+//! parallelizes the filter and refine phases *within* one query, and the
+//! heavy build paths — STR bulk loading and sliding-DFT trail extraction
+//! ([`SubseqIndex::build_parallel`]) — partition their input across
+//! threads. Every parallel path returns results byte-identical to its
+//! sequential oracle regardless of thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod error;
+pub mod executor;
 pub mod features;
 pub mod geometry;
 pub mod index;
@@ -60,6 +72,7 @@ pub mod subseq;
 pub mod transform;
 
 pub use error::{Error, Result};
+pub use executor::{BatchQuery, BatchStats, QueryExecutor, SubseqBatchQuery};
 pub use features::{FeatureSchema, Features};
 pub use index::{IndexConfig, Match, QueryStats, SimilarityIndex, StoredSeries};
 pub use queries::{JoinOutcome, JoinPair, JoinStats};

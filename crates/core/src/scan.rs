@@ -48,6 +48,7 @@ impl SimilarityIndex {
         t: &LinearTransform,
         mode: ScanMode,
     ) -> Result<(Vec<Match>, ScanStats)> {
+        crate::error::Error::check_threshold(eps)?;
         let qf = self.query_features(q, t)?;
         Ok(self.scan_range_features(&qf, eps, t, mode))
     }
@@ -110,6 +111,7 @@ impl SimilarityIndex {
         t: &LinearTransform,
         threads: usize,
     ) -> Result<(Vec<Match>, ScanStats)> {
+        crate::error::Error::check_threshold(eps)?;
         let qf = self.query_features(q, t)?;
         let threads = threads.max(1);
         let n = self.len();
@@ -131,14 +133,17 @@ impl SimilarityIndex {
                             None => stats.abandoned += 1,
                         }
                     }
-                    let mut guard = results.lock().expect("scan worker panicked");
+                    // Poison recovery: a panicking sibling worker aborts
+                    // the whole scope anyway, so a poisoned flag carries no
+                    // information here — never turn it into a second panic.
+                    let mut guard = results.lock().unwrap_or_else(|e| e.into_inner());
                     guard.0.extend(local);
                     guard.1.scanned += stats.scanned;
                     guard.1.abandoned += stats.abandoned;
                 });
             }
         });
-        let (mut matches, stats) = results.into_inner().expect("scan worker panicked");
+        let (mut matches, stats) = results.into_inner().unwrap_or_else(|e| e.into_inner());
         matches.sort_by_key(|m| m.id);
         Ok((matches, stats))
     }

@@ -178,7 +178,26 @@ impl SubseqIndex {
     /// # Errors
     /// Propagates [`SubseqConfig::validate`] failures.
     pub fn build(config: SubseqConfig, relation: Vec<TimeSeries>) -> Result<Self> {
+        Self::build_parallel(config, relation, 1)
+    }
+
+    /// [`SubseqIndex::build`] with the two heavy phases partitioned across
+    /// up to `threads` worker threads: sliding-DFT trail extraction fans
+    /// out per stored series, and the STR bulk load packs levels in
+    /// parallel ([`RStarTree::bulk_load_parallel`]). The index is
+    /// *identical* to a sequential build for every thread count — trail
+    /// order is preserved by the fan-out and STR packing is
+    /// position-deterministic — so queries cannot tell how it was built.
+    ///
+    /// # Errors
+    /// Propagates [`SubseqConfig::validate`] failures.
+    pub fn build_parallel(
+        config: SubseqConfig,
+        relation: Vec<TimeSeries>,
+        threads: usize,
+    ) -> Result<Self> {
         config.validate()?;
+        let threads = threads.max(1);
         let mut index = SubseqIndex {
             config,
             tree: RStarTree::new(config.rtree),
@@ -187,14 +206,16 @@ impl SubseqIndex {
             trails_total: 0,
         };
         if config.bulk_load {
-            let mut items = Vec::new();
-            for (id, series) in relation.iter().enumerate() {
-                items.extend(index.trails_of(id, series));
-            }
-            index.tree = RStarTree::bulk_load(config.rtree, items);
+            let per_series = crate::executor::parallel_map(
+                threads,
+                relation.iter().enumerate().collect(),
+                |(id, series)| trails_of(&config, id, series),
+            );
+            let items: Vec<(Rect, TrailEntry)> = per_series.into_iter().flatten().collect();
+            index.tree = RStarTree::bulk_load_parallel(config.rtree, items, threads);
         } else {
             for (id, series) in relation.iter().enumerate() {
-                for (rect, entry) in index.trails_of(id, series) {
+                for (rect, entry) in trails_of(&config, id, series) {
                     index.tree.insert(rect, entry);
                 }
             }
@@ -210,7 +231,7 @@ impl SubseqIndex {
     /// through the STR-sorted batch path ([`RStarTree::bulk_extend`]).
     pub fn insert(&mut self, series: TimeSeries) -> usize {
         let id = self.store.len();
-        let items = self.trails_of(id, &series);
+        let items = trails_of(&self.config, id, &series);
         self.tree.bulk_extend(items);
         self.count_windows(&series);
         self.store.push(series);
@@ -224,45 +245,6 @@ impl SubseqIndex {
             self.windows_total += count;
             self.trails_total += count.div_ceil(self.config.trail);
         }
-    }
-
-    /// Sliding-DFT feature trail of one series, grouped into MBRs.
-    ///
-    /// Each MBR is widened by a relative `1e-9` per dimension: sliding-DFT
-    /// drift scales with the *stored* coefficients' magnitude (the error of
-    /// each `O(k)` step is rotated, not damped, until the next re-anchor),
-    /// so the padding absorbing it must scale with the trail's own
-    /// coordinates — a pad derived from the query's magnitude alone would
-    /// not cover large-valued data. Same recipe as the anti-rounding pad in
-    /// [`crate::space::SpaceKind::transform_mbr`].
-    fn trails_of(&self, id: usize, series: &TimeSeries) -> Vec<(Rect, TrailEntry)> {
-        let w = self.config.window;
-        let k = self.config.k;
-        let points = sliding_prefix(series.values(), w, k);
-        let mut out = Vec::with_capacity(points.len().div_ceil(self.config.trail));
-        for (chunk_idx, chunk) in points.chunks(self.config.trail).enumerate() {
-            let start = chunk_idx * self.config.trail;
-            let mut mbr = Rect::from_point(&coeff_coords(&chunk[0]));
-            for p in &chunk[1..] {
-                mbr.union_assign(&Rect::from_point(&coeff_coords(p)));
-            }
-            let mut lo = mbr.lo().to_vec();
-            let mut hi = mbr.hi().to_vec();
-            for i in 0..lo.len() {
-                let pad = 1e-9 * (1.0 + lo[i].abs().max(hi[i].abs()));
-                lo[i] -= pad;
-                hi[i] += pad;
-            }
-            out.push((
-                Rect::new(lo, hi),
-                TrailEntry {
-                    series: id,
-                    start,
-                    len: chunk.len(),
-                },
-            ));
-        }
-        out
     }
 
     /// Number of stored series.
@@ -302,9 +284,7 @@ impl SubseqIndex {
     }
 
     fn check_query(&self, q: &TimeSeries, eps: f64) -> Result<()> {
-        if eps < 0.0 {
-            return Err(Error::NegativeThreshold { eps });
-        }
+        Error::check_threshold(eps)?;
         if q.len() != self.config.window {
             return Err(Error::LengthMismatch {
                 expected: self.config.window,
@@ -528,6 +508,47 @@ impl SubseqIndex {
         all.truncate(k);
         Ok(all)
     }
+}
+
+/// Sliding-DFT feature trail of one series, grouped into MBRs. A free
+/// function (not a method) so trail extraction can fan out across worker
+/// threads while the index is still being assembled.
+///
+/// Each MBR is widened by a relative `1e-9` per dimension: sliding-DFT
+/// drift scales with the *stored* coefficients' magnitude (the error of
+/// each `O(k)` step is rotated, not damped, until the next re-anchor),
+/// so the padding absorbing it must scale with the trail's own
+/// coordinates — a pad derived from the query's magnitude alone would
+/// not cover large-valued data. Same recipe as the anti-rounding pad in
+/// [`crate::space::SpaceKind::transform_mbr`].
+fn trails_of(config: &SubseqConfig, id: usize, series: &TimeSeries) -> Vec<(Rect, TrailEntry)> {
+    let w = config.window;
+    let k = config.k;
+    let points = sliding_prefix(series.values(), w, k);
+    let mut out = Vec::with_capacity(points.len().div_ceil(config.trail));
+    for (chunk_idx, chunk) in points.chunks(config.trail).enumerate() {
+        let start = chunk_idx * config.trail;
+        let mut mbr = Rect::from_point(&coeff_coords(&chunk[0]));
+        for p in &chunk[1..] {
+            mbr.union_assign(&Rect::from_point(&coeff_coords(p)));
+        }
+        let mut lo = mbr.lo().to_vec();
+        let mut hi = mbr.hi().to_vec();
+        for i in 0..lo.len() {
+            let pad = 1e-9 * (1.0 + lo[i].abs().max(hi[i].abs()));
+            lo[i] -= pad;
+            hi[i] += pad;
+        }
+        out.push((
+            Rect::new(lo, hi),
+            TrailEntry {
+                series: id,
+                start,
+                len: chunk.len(),
+            },
+        ));
+    }
+    out
 }
 
 /// Real index coordinates of a coefficient prefix: `[re_0, im_0, re_1, ...]`
@@ -792,6 +813,28 @@ mod tests {
         let a = bulk.subseq_range(&q, 3.0).unwrap().0;
         let b = incr.subseq_range(&q, 3.0).unwrap().0;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let rel = relation(10);
+        let seq = SubseqIndex::build(SubseqConfig::new(16), rel.clone()).unwrap();
+        let q = TimeSeries::new(rel[3].values()[11..27].to_vec());
+        let (want_range, want_stats) = seq.subseq_range(&q, 3.0).unwrap();
+        let want_knn = seq.subseq_knn(&q, 7).unwrap().0;
+        for threads in [1usize, 2, 4] {
+            let par =
+                SubseqIndex::build_parallel(SubseqConfig::new(16), rel.clone(), threads).unwrap();
+            par.tree().validate();
+            assert_eq!(par.windows_total(), seq.windows_total());
+            assert_eq!(par.trails_total(), seq.trails_total());
+            assert_eq!(par.tree().height(), seq.tree().height());
+            let (got, stats) = par.subseq_range(&q, 3.0).unwrap();
+            assert_eq!(got, want_range, "threads = {threads}");
+            // Identical trees ⇒ identical traversal effort, not just answers.
+            assert_eq!(stats.index, want_stats.index, "threads = {threads}");
+            assert_eq!(par.subseq_knn(&q, 7).unwrap().0, want_knn);
+        }
     }
 
     #[test]

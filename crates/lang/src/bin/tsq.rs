@@ -26,6 +26,7 @@ meta-commands:
   .gen <name> stocks <count> <len> [seed]   generate synthetic stocks
   .load <name> <path>                       load a CSV relation (one series per line)
   .save <name> <path>                       write a relation back to CSV
+  .batch <path> [threads]                   run a file of queries (one per line) on a worker pool
   .rel                                      list registered relations
   .help                                     this text
   .quit                                     exit
@@ -145,6 +146,52 @@ fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
             Ok(series) => register(catalog, names, name, series),
             Err(e) => println!("  error: {e}"),
         },
+        ["batch", path, rest @ ..] => {
+            let threads: usize = match rest.first() {
+                None => tsq_core::executor::default_threads(),
+                Some(arg) => match arg.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        println!("  thread count must be a positive integer, got {arg:?}");
+                        return true;
+                    }
+                },
+            };
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let queries: Vec<String> = text
+                        .lines()
+                        .map(str::trim)
+                        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                        .map(str::to_string)
+                        .collect();
+                    if queries.is_empty() {
+                        println!("  no queries in {path}");
+                        return true;
+                    }
+                    let (results, summary) = catalog.run_batch(queries.clone(), threads);
+                    for (src, result) in queries.iter().zip(&results) {
+                        match result {
+                            Ok(out) => println!("  ok   {:>6} row(s)  {src}", out.rows.len()),
+                            Err(e) => println!("  FAIL {e}  {src}"),
+                        }
+                    }
+                    println!(
+                        "  batch: {} quer{} on {} thread(s), {} error(s), {} row(s), \
+                         {} disk accesses, {:.1} ms ({:.0} q/s)",
+                        summary.queries,
+                        if summary.queries == 1 { "y" } else { "ies" },
+                        summary.threads,
+                        summary.errors,
+                        summary.rows,
+                        summary.nodes_visited,
+                        summary.elapsed.as_secs_f64() * 1e3,
+                        summary.queries_per_second()
+                    );
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+        }
         ["save", name, path] => match catalog.relation(name) {
             Some(rel) => match tsq_series::io::save_csv(Path::new(path), rel.series()) {
                 Ok(()) => println!("  wrote {} series to {path}", rel.len()),

@@ -1,28 +1,85 @@
 //! Planning and execution: AST → `tsq-core` calls.
+//!
+//! Two layers of concurrency live here:
+//!
+//! - [`Catalog`] executes queries through `&self`, so any number of reader
+//!   threads can share one catalog. The only interior mutability is the
+//!   per-`(relation, window)` ST-index cache, guarded by an [`RwLock`]:
+//!   cache hits take the read lock (concurrent), builds happen *outside*
+//!   any lock, and only the final cache insertion takes the write lock.
+//!   The cache is LRU-bounded and invalidated whenever its relation is
+//!   re-registered, so long sessions neither grow without limit nor serve
+//!   stale answers.
+//! - [`SharedCatalog`] wraps a catalog in `Arc<RwLock<..>>` for the
+//!   many-clients-one-catalog topology: queries take the outer read lock,
+//!   registration the write lock. [`Catalog::run_batch`] fans a batch of
+//!   query strings over a worker pool (`tsq_core::executor`).
+//!
+//! All locks recover from poisoning instead of panicking: a query that
+//! panics mid-flight must not take the whole catalog down with it. The
+//! guarded state stays consistent under recovery because every critical
+//! section is a plain map operation on `Arc`'d immutable indexes — no user
+//! code runs while a lock is held.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use tsq_core::{
-    IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation, SimilarityIndex,
-    SubseqConfig, SubseqIndex,
+    executor, IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation,
+    SimilarityIndex, SubseqConfig, SubseqIndex,
 };
 use tsq_series::TimeSeries;
 
 use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
 use crate::error::LangError;
 
+/// Default bound on the number of cached per-`(relation, window)`
+/// subsequence ST-indexes (see [`Catalog::set_subseq_cache_capacity`]).
+pub const DEFAULT_SUBSEQ_CACHE_CAPACITY: usize = 16;
+
+/// One cached ST-index with its last-hit stamp. The stamp is atomic so a
+/// cache *hit* — which holds only the read lock — can still record
+/// recency for the LRU eviction.
+#[derive(Debug)]
+struct CacheSlot {
+    index: Arc<SubseqIndex>,
+    last_used: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SubseqCache {
+    map: HashMap<(String, usize), CacheSlot>,
+    capacity: usize,
+}
+
+impl Default for SubseqCache {
+    fn default() -> Self {
+        SubseqCache {
+            map: HashMap::new(),
+            capacity: DEFAULT_SUBSEQ_CACHE_CAPACITY,
+        }
+    }
+}
+
 /// A catalog of named relations with lazily-built similarity indexes.
 ///
 /// Whole-sequence indexes are built eagerly at registration (every query
 /// form needs one); subsequence ST-indexes depend on the query's `WINDOW`
 /// length, so they are built on first use and cached per
-/// `(relation, window)` behind a mutex — `execute` stays `&self`.
+/// `(relation, window)` behind an [`RwLock`] — `execute` stays `&self`,
+/// and concurrent queries (cache hits included) never serialize behind a
+/// single lock holder.
 #[derive(Debug, Default)]
 pub struct Catalog {
     relations: HashMap<String, SeriesRelation>,
     indexes: HashMap<String, SimilarityIndex>,
-    subseq: Mutex<HashMap<(String, usize), Arc<SubseqIndex>>>,
+    subseq: RwLock<SubseqCache>,
+    /// Logical LRU clock; bumped on every cache access.
+    clock: AtomicU64,
+    /// Worker threads per ST-index build; 0 = the machine's parallelism.
+    build_threads: usize,
     config: IndexConfig,
 }
 
@@ -40,21 +97,73 @@ impl Catalog {
         }
     }
 
+    /// Read access to the ST-index cache, recovering from poisoning: the
+    /// cache holds only `Arc`'d immutable indexes and integer stamps, and
+    /// no user code runs under the lock, so a panicking lock holder cannot
+    /// leave it logically inconsistent — the poison flag carries no
+    /// information worth a second panic.
+    fn cache_read(&self) -> RwLockReadGuard<'_, SubseqCache> {
+        self.subseq.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn cache_write(&self) -> RwLockWriteGuard<'_, SubseqCache> {
+        self.subseq.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a relation (replacing any previous one of the same name)
-    /// and builds its index.
+    /// and builds its index. Every cached ST-index over the old relation
+    /// is invalidated — a mutated relation must never serve stale
+    /// subsequence answers.
     ///
     /// # Errors
     /// Propagates index-construction failures.
     pub fn register(&mut self, relation: SeriesRelation) -> Result<(), LangError> {
         let name = relation.name().to_string();
         let index = relation.index(self.config)?;
-        self.subseq
-            .lock()
-            .expect("subseq cache poisoned")
-            .retain(|(rel, _), _| rel != &name);
+        self.cache_write().map.retain(|(rel, _), _| rel != &name);
         self.relations.insert(name.clone(), relation);
         self.indexes.insert(name, index);
         Ok(())
+    }
+
+    /// Sets the worker-thread count for each on-demand ST-index build
+    /// (`0`, the default, uses the machine's available parallelism).
+    ///
+    /// Batch servers should set this: when several pool workers miss the
+    /// cache on distinct `(relation, window)` keys at once, each build
+    /// fans out on its own, so the machine can otherwise end up running
+    /// `pool × cores` build threads.
+    pub fn set_subseq_build_threads(&mut self, threads: usize) {
+        self.build_threads = threads;
+    }
+
+    /// Caps the ST-index cache at `capacity` entries (at least 1),
+    /// evicting least-recently-used entries beyond it immediately.
+    pub fn set_subseq_cache_capacity(&mut self, capacity: usize) {
+        let mut cache = self.cache_write();
+        cache.capacity = capacity.max(1);
+        while cache.map.len() > cache.capacity {
+            let Some(victim) = Self::lru_key(&cache, None) else {
+                break;
+            };
+            cache.map.remove(&victim);
+        }
+    }
+
+    /// Number of cached subsequence ST-indexes (bounded by the capacity).
+    pub fn subseq_cache_len(&self) -> usize {
+        self.cache_read().map.len()
+    }
+
+    /// The least-recently-used cache key, skipping `keep` (the entry a
+    /// caller just touched must never be its own eviction victim).
+    fn lru_key(cache: &SubseqCache, keep: Option<&(String, usize)>) -> Option<(String, usize)> {
+        cache
+            .map
+            .iter()
+            .filter(|(k, _)| Some(*k) != keep)
+            .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| k.clone())
     }
 
     /// Looks up a relation.
@@ -71,7 +180,12 @@ impl Catalog {
 
     fn resolve_source(&self, source: &Source) -> Result<TimeSeries, LangError> {
         match source {
-            Source::Literal(values) => Ok(TimeSeries::new(values.clone())),
+            // The lexer already rejects non-finite literals, but a Query
+            // can be built programmatically — keep the typed rejection
+            // here so NaN can never reach the engine (or panic) from any
+            // entry point.
+            Source::Literal(values) => TimeSeries::try_new(values.clone())
+                .map_err(|e| LangError::Engine(e.into())),
             Source::Ref { relation, label } => {
                 let rel = self
                     .relations
@@ -88,35 +202,88 @@ impl Catalog {
 
     /// Returns the ST-index over `rel` for `window`, building and caching
     /// it on first use. The (potentially expensive) build happens outside
-    /// the cache lock, so concurrent cache hits are never blocked behind
-    /// it; if two threads race on the same miss, the first finished build
-    /// wins and the other is dropped — both are equivalent.
+    /// any lock — cache hits are never blocked behind it — and uses the
+    /// parallel build path. If two threads race on the same miss, the
+    /// first finished build wins and the other is dropped; both are
+    /// equivalent. Insertion beyond the capacity evicts the
+    /// least-recently-used entry.
     fn subseq_index(
         &self,
         rel: &SeriesRelation,
         window: usize,
     ) -> Result<Arc<SubseqIndex>, LangError> {
         let key = (rel.name().to_string(), window);
-        if let Some(idx) = self.subseq.lock().expect("subseq cache poisoned").get(&key) {
-            return Ok(Arc::clone(idx));
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self.cache_read().map.get(&key) {
+            slot.last_used.store(stamp, Ordering::Relaxed);
+            return Ok(Arc::clone(&slot.index));
         }
-        let idx = Arc::new(SubseqIndex::build(
+        let build_threads = match self.build_threads {
+            0 => executor::default_threads(),
+            n => n,
+        };
+        let built = Arc::new(SubseqIndex::build_parallel(
             SubseqConfig::new(window),
             rel.series().to_vec(),
+            build_threads,
         )?);
-        Ok(Arc::clone(
-            self.subseq
-                .lock()
-                .expect("subseq cache poisoned")
-                .entry(key)
-                .or_insert(idx),
-        ))
+        // Re-stamp *after* the build: concurrent hits advanced the clock
+        // while we built, and inserting with the pre-build stamp would
+        // make this freshest, most expensive entry the immediate LRU
+        // victim. The same store refreshes the winner if another thread
+        // won the build race.
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut cache = self.cache_write();
+        let slot = cache.map.entry(key.clone()).or_insert_with(|| CacheSlot {
+            index: built,
+            last_used: AtomicU64::new(stamp),
+        });
+        slot.last_used.store(stamp, Ordering::Relaxed);
+        let index = Arc::clone(&slot.index);
+        while cache.map.len() > cache.capacity {
+            let Some(victim) = Self::lru_key(&cache, Some(&key)) else {
+                break;
+            };
+            cache.map.remove(&victim);
+        }
+        Ok(index)
     }
 
     /// Parses and executes a query.
     pub fn run(&self, src: &str) -> Result<QueryOutput, LangError> {
         let query = crate::parser::parse(src)?;
         self.execute(&query)
+    }
+
+    /// Parses and executes a batch of queries, fanning them over up to
+    /// `threads` worker threads. Results come back in batch order and are
+    /// identical to running each query sequentially; per-query failures
+    /// occupy their slot without affecting the rest of the batch.
+    pub fn run_batch(
+        &self,
+        queries: Vec<String>,
+        threads: usize,
+    ) -> (Vec<Result<QueryOutput, LangError>>, BatchSummary) {
+        let started = Instant::now();
+        let count = queries.len();
+        let threads = threads.max(1);
+        let results = executor::parallel_map(threads, queries, |src| self.run(&src));
+        let mut summary = BatchSummary {
+            queries: count,
+            threads,
+            ..BatchSummary::default()
+        };
+        for r in &results {
+            match r {
+                Ok(out) => {
+                    summary.rows += out.rows.len();
+                    summary.nodes_visited += out.nodes_visited;
+                }
+                Err(_) => summary.errors += 1,
+            }
+        }
+        summary.elapsed = started.elapsed();
+        (results, summary)
     }
 
     /// Executes a parsed query.
@@ -223,6 +390,123 @@ impl Catalog {
                 Ok(subseq_output(rel, matches, stats.index.nodes_visited))
             }
         }
+    }
+}
+
+/// Aggregate counters for one executed query batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries that returned an error.
+    pub errors: usize,
+    /// Total answer rows across successful queries.
+    pub rows: usize,
+    /// Summed simulated disk accesses across successful queries.
+    pub nodes_visited: u64,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+}
+
+impl BatchSummary {
+    /// Batch throughput in queries per second (0 when nothing ran).
+    pub fn queries_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A thread-safe, cloneable handle to one shared [`Catalog`]: the
+/// many-clients-one-catalog topology of the ROADMAP's north star.
+///
+/// Queries take the outer read lock, so any number of clients execute
+/// concurrently (including concurrent ST-index cache hits, which take
+/// only the catalog's *inner* read lock); [`SharedCatalog::register`]
+/// takes the write lock and so waits for in-flight queries to drain.
+/// Both locks recover from poisoning: registration's mutation order
+/// guarantees the worst an interrupted write can leave behind is a
+/// relation whose index is missing, which every query reports as a
+/// resolution error rather than a panic.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<Catalog>>,
+}
+
+impl SharedCatalog {
+    /// Wraps a catalog for sharing.
+    pub fn new(catalog: Catalog) -> Self {
+        SharedCatalog {
+            inner: Arc::new(RwLock::new(catalog)),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a relation under the write lock.
+    ///
+    /// # Errors
+    /// Propagates index-construction failures.
+    pub fn register(&self, relation: SeriesRelation) -> Result<(), LangError> {
+        self.write().register(relation)
+    }
+
+    /// Caps the shared catalog's ST-index cache.
+    pub fn set_subseq_cache_capacity(&self, capacity: usize) {
+        self.write().set_subseq_cache_capacity(capacity);
+    }
+
+    /// Bounds per-build parallelism (see
+    /// [`Catalog::set_subseq_build_threads`]).
+    pub fn set_subseq_build_threads(&self, threads: usize) {
+        self.write().set_subseq_build_threads(threads);
+    }
+
+    /// Parses and executes one query under the read lock.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Catalog::run`].
+    pub fn run(&self, src: &str) -> Result<QueryOutput, LangError> {
+        self.read().run(src)
+    }
+
+    /// Executes a parsed query under the read lock.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Catalog::execute`].
+    pub fn execute(&self, query: &Query) -> Result<QueryOutput, LangError> {
+        self.read().execute(query)
+    }
+
+    /// Runs a batch over the worker pool, holding the read lock for the
+    /// batch's duration (registrations wait; other query threads do not).
+    pub fn run_batch(
+        &self,
+        queries: Vec<String>,
+        threads: usize,
+    ) -> (Vec<Result<QueryOutput, LangError>>, BatchSummary) {
+        self.read().run_batch(queries, threads)
+    }
+
+    /// Read-locked access to a relation (the guard cannot escape, so the
+    /// borrow is handed to a closure).
+    pub fn with_relation<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(Option<&SeriesRelation>) -> R,
+    ) -> R {
+        f(self.read().relation(name))
     }
 }
 
@@ -482,9 +766,9 @@ mod tests {
         let a = cat.run(q).unwrap();
         let b = cat.run(q).unwrap();
         assert_eq!(a, b);
-        let cache = cat.subseq.lock().unwrap();
-        assert_eq!(cache.len(), 1);
-        assert!(cache.contains_key(&("walks".to_string(), 32)));
+        let cache = cat.cache_read();
+        assert_eq!(cache.map.len(), 1);
+        assert!(cache.map.contains_key(&("walks".to_string(), 32)));
     }
 
     #[test]
@@ -492,14 +776,222 @@ mod tests {
         let mut cat = catalog();
         cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 32")
             .unwrap();
-        assert_eq!(cat.subseq.lock().unwrap().len(), 1);
+        assert_eq!(cat.subseq_cache_len(), 1);
         let replacement = SeriesRelation::from_series(
             "walks",
             RandomWalkGenerator::new(77).relation(10, 32),
         )
         .unwrap();
         cat.register(replacement).unwrap();
-        assert!(cat.subseq.lock().unwrap().is_empty());
+        assert_eq!(cat.subseq_cache_len(), 0);
+    }
+
+    #[test]
+    fn mutated_relation_serves_fresh_answers() {
+        let mut cat = catalog();
+        // Prime the cache: s2's own window matches at distance ~0.
+        let probe: Vec<String> = cat
+            .relation("walks")
+            .unwrap()
+            .get_by_label("s2")
+            .unwrap()
+            .values()[5..13]
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        let q = format!(
+            "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 0.001 WINDOW 8",
+            probe.join(", ")
+        );
+        assert!(!cat.run(&q).unwrap().rows.is_empty());
+        // Replace the relation with unrelated data: the old answer must
+        // disappear — a stale cached ST-index would still report it.
+        let replacement = SeriesRelation::from_series(
+            "walks",
+            RandomWalkGenerator::new(987_654).relation(4, 32),
+        )
+        .unwrap();
+        cat.register(replacement).unwrap();
+        assert!(cat.run(&q).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn subseq_cache_is_lru_bounded() {
+        // A literal probe sized to the window, so every query is valid.
+        fn probe(w: usize) -> String {
+            let vals: Vec<String> = (0..w).map(|i| format!("{i}")).collect();
+            format!(
+                "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 100 WINDOW {w}",
+                vals.join(", ")
+            )
+        }
+        let mut cat = catalog();
+        cat.set_subseq_cache_capacity(3);
+        for w in [4usize, 5, 6] {
+            cat.run(&probe(w)).unwrap();
+        }
+        assert_eq!(cat.subseq_cache_len(), 3);
+        // Touch window 4 so window 5 becomes the LRU victim.
+        cat.run(&probe(4)).unwrap();
+        cat.run(&probe(7)).unwrap();
+        {
+            let cache = cat.cache_read();
+            assert_eq!(cache.map.len(), 3);
+            assert!(cache.map.contains_key(&("walks".to_string(), 4)));
+            assert!(!cache.map.contains_key(&("walks".to_string(), 5)));
+            assert!(cache.map.contains_key(&("walks".to_string(), 7)));
+        }
+        // Shrinking the capacity evicts immediately.
+        cat.set_subseq_cache_capacity(1);
+        assert_eq!(cat.subseq_cache_len(), 1);
+        // Evicted windows still answer correctly (rebuilt on demand).
+        assert!(cat.run(&probe(5)).is_ok());
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers_instead_of_panicking() {
+        let mut cat = catalog();
+        cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 100 WINDOW 32")
+            .unwrap();
+        // Poison the cache lock: a thread panics while holding the write
+        // guard. Before the RwLock rewrite this made every later
+        // subsequence query (and every registration) panic permanently.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cat.subseq.write().unwrap();
+            panic!("query thread dies mid-flight");
+        }));
+        assert!(result.is_err());
+        assert!(cat.subseq.is_poisoned());
+        // Cache hit, cache miss, and invalidation all still work.
+        assert!(cat
+            .run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 100 WINDOW 32")
+            .is_ok());
+        let vals: Vec<String> = (0..16).map(|i| format!("{i}")).collect();
+        assert!(cat
+            .run(&format!(
+                "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 100 WINDOW 16",
+                vals.join(", ")
+            ))
+            .is_ok());
+        let replacement = SeriesRelation::from_series(
+            "walks",
+            RandomWalkGenerator::new(5).relation(8, 32),
+        )
+        .unwrap();
+        cat.register(replacement).unwrap();
+        assert_eq!(cat.subseq_cache_len(), 0);
+    }
+
+    #[test]
+    fn non_finite_literal_is_a_typed_error_not_a_panic() {
+        let cat = catalog();
+        // Through the parser: overflowing literals die at the lexer.
+        assert!(matches!(
+            cat.run("FIND SIMILAR TO [1e999, 2] IN walks WITHIN 1"),
+            Err(LangError::Lex { .. })
+        ));
+        // Programmatic queries bypass the lexer; the executor must still
+        // reject NaN with a typed error instead of panicking.
+        let q = Query::Nearest {
+            source: Source::Literal(vec![1.0, f64::NAN]),
+            relation: "walks".into(),
+            k: 1,
+            transforms: Vec::new(),
+        };
+        assert!(matches!(
+            cat.execute(&q),
+            Err(LangError::Engine(tsq_core::Error::NonFinite { .. }))
+        ));
+    }
+
+    #[test]
+    fn run_batch_matches_sequential() {
+        let cat = catalog();
+        let queries: Vec<String> = (0..12)
+            .map(|i| match i % 4 {
+                0 => format!("FIND SIMILAR TO walks.s{i} IN walks WITHIN 2"),
+                1 => format!("FIND 3 NEAREST TO walks.s{i} IN walks"),
+                2 => format!("FIND SUBSEQUENCE OF walks.s{i} IN walks WITHIN 50 WINDOW 32"),
+                _ => "JOIN walks WITHIN 1.5 APPLY mavg(4) USING INDEX".to_string(),
+            })
+            .collect();
+        let want: Vec<_> = queries.iter().map(|q| cat.run(q)).collect();
+        for threads in [1usize, 2, 4] {
+            let (got, summary) = cat.run_batch(queries.clone(), threads);
+            assert_eq!(got, want, "threads = {threads}");
+            assert_eq!(summary.queries, 12);
+            assert_eq!(summary.errors, 0);
+            assert_eq!(summary.threads, threads);
+            assert!(summary.nodes_visited > 0);
+        }
+        // Errors occupy their slot without sinking the batch.
+        let (mixed, summary) = cat.run_batch(
+            vec![
+                "FIND 1 NEAREST TO walks.s0 IN walks".to_string(),
+                "FIND 1 NEAREST TO walks.nope IN walks".to_string(),
+            ],
+            2,
+        );
+        assert!(mixed[0].is_ok());
+        assert!(matches!(mixed[1], Err(LangError::Resolve(_))));
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn shared_catalog_recovers_from_poisoned_outer_lock() {
+        let shared = SharedCatalog::new(catalog());
+        // Poison the catalog-level RwLock itself: a thread panics while
+        // holding the *write* guard (the worst case — a reader guard
+        // never poisons a std RwLock). With `.unwrap()` instead of
+        // poison recovery, every subsequent query and registration
+        // would panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.inner.write().unwrap();
+            panic!("writer dies mid-registration");
+        }));
+        assert!(result.is_err());
+        assert!(shared.inner.is_poisoned());
+        let out = shared.run("FIND 2 NEAREST TO walks.s0 IN walks").unwrap();
+        assert_eq!(out.rows.len(), 2);
+        shared
+            .register(
+                SeriesRelation::from_series(
+                    "more",
+                    RandomWalkGenerator::new(11).relation(5, 32),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(shared.run("FIND 1 NEAREST TO more.s0 IN more").is_ok());
+    }
+
+    #[test]
+    fn shared_catalog_concurrent_readers_and_writer() {
+        let shared = SharedCatalog::new(catalog());
+        let q = "FIND 4 NEAREST TO walks.s3 IN walks";
+        let want = shared.run(q).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                let want = &want;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        assert_eq!(&shared.run(q).unwrap(), want);
+                    }
+                });
+            }
+            let writer = shared.clone();
+            scope.spawn(move || {
+                let rel = SeriesRelation::from_series(
+                    "other",
+                    RandomWalkGenerator::new(9).relation(6, 32),
+                )
+                .unwrap();
+                writer.register(rel).unwrap();
+            });
+        });
+        assert!(shared.run("FIND 1 NEAREST TO other.s0 IN other").is_ok());
+        shared.with_relation("other", |rel| assert_eq!(rel.unwrap().len(), 6));
     }
 
     #[test]

@@ -57,6 +57,16 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                     pos: start,
                     message: format!("malformed number {text:?}"),
                 })?;
+                // Overflowing literals (1e999) parse to ±∞, which would
+                // flow into thresholds and series values as a non-finite
+                // number the engine must then reject anyway — fail at the
+                // first boundary instead.
+                if !value.is_finite() {
+                    return Err(LangError::Lex {
+                        pos: start,
+                        message: format!("number {text:?} overflows f64"),
+                    });
+                }
                 tokens.push(Token { pos: start, kind: TokenKind::Number(value) });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -152,5 +162,19 @@ mod tests {
             Err(LangError::Lex { pos, .. }) => assert_eq!(pos, 5),
             other => panic!("expected lex error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn overflowing_literal_rejected() {
+        for src in ["1e999", "-1e400", "WITHIN 2e308"] {
+            match tokenize(src) {
+                Err(LangError::Lex { message, .. }) => {
+                    assert!(message.contains("overflows"), "{src}: {message}")
+                }
+                other => panic!("{src}: expected lex error, got {other:?}"),
+            }
+        }
+        // Large but representable literals still pass.
+        assert_eq!(kinds("1e300"), vec![TokenKind::Number(1e300), TokenKind::Eof]);
     }
 }

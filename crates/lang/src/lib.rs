@@ -16,7 +16,10 @@
 //! ```
 //!
 //! Queries run against a [`Catalog`] of named [`tsq_core::SeriesRelation`]s
-//! whose similarity indexes are built on registration.
+//! whose similarity indexes are built on registration. [`SharedCatalog`]
+//! makes one catalog safely shareable across any number of client threads,
+//! and [`Catalog::run_batch`] fans a batch of queries over a worker pool
+//! with per-batch [`BatchSummary`] statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,5 +33,5 @@ pub mod token;
 
 pub use ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
 pub use error::LangError;
-pub use exec::{Catalog, QueryOutput, Row};
+pub use exec::{BatchSummary, Catalog, QueryOutput, Row, SharedCatalog};
 pub use parser::parse;

@@ -196,9 +196,20 @@ impl Parser {
                 window,
             })
         } else if matches!(self.peek().kind, TokenKind::Number(_)) {
+            let at = self.peek().pos;
             let kf = self.number()?;
-            if kf.fract() != 0.0 || kf < 1.0 {
-                return self.error("NEAREST count must be a positive integer");
+            // `kf as usize` saturates: `FIND 1e20 NEAREST` would silently
+            // become k = usize::MAX. Bound the count below the 2^53 range
+            // where f64 still represents every integer exactly, so the
+            // cast is provably lossless.
+            const MAX_K: f64 = (1u64 << 53) as f64;
+            if kf.fract() != 0.0 || !(1.0..MAX_K).contains(&kf) {
+                return Err(LangError::Parse {
+                    pos: at,
+                    message: format!(
+                        "NEAREST count must be a positive integer below 2^53, got {kf}"
+                    ),
+                });
             }
             self.expect_kw("NEAREST")?;
             if self.take_kw("SUBSEQUENCE") {
@@ -432,6 +443,10 @@ mod tests {
             Err(LangError::Parse { .. })
         ));
         assert!(matches!(
+            parse("FIND 2.7 NEAREST TO r.a IN r"),
+            Err(LangError::Parse { .. })
+        ));
+        assert!(matches!(
             parse("JOIN r WITHIN 1 USING HASH"),
             Err(LangError::Parse { .. })
         ));
@@ -500,6 +515,28 @@ mod tests {
                 other => panic!("{src}: expected parse error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn huge_nearest_count_rejected_instead_of_saturating() {
+        // `1e20 as usize` saturates to usize::MAX; `2^53` is the first
+        // integer whose f64 neighborhood is gappy. Both must be parse
+        // errors, not silently-clamped counts.
+        for src in [
+            "FIND 1e20 NEAREST TO r.a IN r",
+            "FIND 9007199254740992 NEAREST TO r.a IN r",
+            "FIND 1e20 NEAREST SUBSEQUENCE OF r.a IN r WINDOW 8",
+        ] {
+            match parse(src) {
+                Err(LangError::Parse { pos, message }) => {
+                    assert!(message.contains("below 2^53"), "{src}: {message}");
+                    assert!(pos > 0, "{src}: error should point at the count");
+                }
+                other => panic!("{src}: expected parse error, got {other:?}"),
+            }
+        }
+        // The largest exactly-representable counts still parse.
+        assert!(parse("FIND 9007199254740991 NEAREST TO r.a IN r").is_ok());
     }
 
     #[test]

@@ -95,6 +95,56 @@ fn engine_level_validation_surfaces_typed_errors() {
 }
 
 #[test]
+fn huge_or_fractional_nearest_counts_rejected() {
+    let cat = catalog();
+    // Saturation bug: `1e20 as usize` silently became usize::MAX before
+    // the parse-time bound; fractional counts silently truncated.
+    for src in [
+        "FIND 1e20 NEAREST TO walks.s0 IN walks",
+        "FIND 2.7 NEAREST TO walks.s0 IN walks",
+        "FIND 0 NEAREST TO walks.s0 IN walks",
+        "FIND -3 NEAREST TO walks.s0 IN walks",
+        "FIND 1e20 NEAREST SUBSEQUENCE OF walks.s0 IN walks WINDOW 8",
+    ] {
+        assert!(
+            matches!(cat.run(src), Err(LangError::Parse { .. })),
+            "{src} should be rejected at parse time"
+        );
+    }
+}
+
+#[test]
+fn non_finite_inputs_are_typed_errors_not_panics() {
+    let cat = catalog();
+    // Overflowing literals die at the lexer with a position.
+    match cat.run("FIND SIMILAR TO [1e999, 2] IN walks WITHIN 1") {
+        Err(LangError::Lex { message, .. }) => assert!(message.contains("overflows")),
+        other => panic!("expected lex error, got {other:?}"),
+    }
+    assert!(matches!(
+        cat.run("FIND SIMILAR TO walks.s0 IN walks WITHIN 1e999"),
+        Err(LangError::Lex { .. })
+    ));
+    // Engine-level boundaries (bypassing the parser) reject NaN/∞ with
+    // the typed NonFinite error instead of corrupting orderings.
+    let idx = tsq_core::SubseqIndex::build(
+        tsq_core::SubseqConfig::new(8),
+        RandomWalkGenerator::new(8).relation(4, 32),
+    )
+    .unwrap();
+    let q = tsq_series::TimeSeries::new(vec![0.0; 8]);
+    assert!(matches!(
+        idx.subseq_range(&q, f64::NAN),
+        Err(tsq_core::Error::NonFinite { .. })
+    ));
+    assert!(matches!(
+        idx.subseq_range(&q, f64::INFINITY),
+        Err(tsq_core::Error::NonFinite { .. })
+    ));
+    assert!(tsq_series::TimeSeries::try_new(vec![1.0, f64::NAN]).is_err());
+}
+
+#[test]
 fn whole_sequence_negative_eps_reported_with_position() {
     // Regression shape: before typed validation this produced an empty
     // result set via the engine's generic Unsupported path.

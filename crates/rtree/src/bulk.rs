@@ -9,6 +9,7 @@
 
 use crate::config::RTreeConfig;
 use crate::node::{Entry, Node};
+use crate::par::{par_for_each_slice, parallel_map};
 use crate::rect::Rect;
 use crate::tree::RStarTree;
 
@@ -18,45 +19,118 @@ impl<T> RStarTree<T> {
     /// # Panics
     /// Panics if rectangles disagree in dimensionality.
     pub fn bulk_load(config: RTreeConfig, items: Vec<(Rect, T)>) -> Self {
-        config.validate();
-        let mut tree = RStarTree::new(config);
-        if items.is_empty() {
+        bulk_build(
+            config,
+            items,
+            |entries, dims, cap| str_sort(entries, 0, dims, cap),
+            |groups, level| groups.into_iter().map(|g| pack_node(g, level)).collect(),
+        )
+    }
+}
+
+impl<T: Send> RStarTree<T> {
+    /// [`RStarTree::bulk_load`] with the heavy per-level work — slab
+    /// sorting and node packing — partitioned across up to `threads`
+    /// worker threads. Both entry points share the one packing skeleton
+    /// ([`bulk_build`]); only the sort and pack steps differ.
+    ///
+    /// The parallel build produces a tree *identical* to the sequential
+    /// one: the top-level sort is shared, every slab is sorted by the same
+    /// comparator independently of the others, and chunk boundaries are
+    /// position-based, so thread count never changes entry placement.
+    /// `threads <= 1` falls back to the sequential path exactly.
+    ///
+    /// # Panics
+    /// Panics if rectangles disagree in dimensionality.
+    pub fn bulk_load_parallel(
+        config: RTreeConfig,
+        items: Vec<(Rect, T)>,
+        threads: usize,
+    ) -> Self {
+        if threads <= 1 {
+            return Self::bulk_load(config, items);
+        }
+        bulk_build(
+            config,
+            items,
+            |entries, dims, cap| str_sort_parallel(entries, dims, cap, threads),
+            // Node packing computes every node's MBR — O(n·d) per level —
+            // so it parallelizes as well as the sort does.
+            |groups, level| parallel_map(threads, groups, |g| pack_node(g, level)),
+        )
+    }
+}
+
+/// The bottom-up STR packing loop shared by the sequential and parallel
+/// bulk loaders: validate, wrap leaves, then per level sort (via `sort`)
+/// and pack fixed-size chunks into nodes (via `pack`) until everything
+/// fits in the root.
+fn bulk_build<T>(
+    config: RTreeConfig,
+    items: Vec<(Rect, T)>,
+    sort: impl Fn(&mut [Entry<T>], usize, usize),
+    pack: impl Fn(Vec<Vec<Entry<T>>>, u32) -> Vec<Entry<T>>,
+) -> RStarTree<T> {
+    config.validate();
+    let mut tree = RStarTree::new(config);
+    if items.is_empty() {
+        return tree;
+    }
+    let dims = items[0].0.dims();
+    for (r, _) in &items {
+        assert_eq!(r.dims(), dims, "dimensionality mismatch in bulk load");
+    }
+    let n = items.len();
+    // Pack leaf level.
+    let mut entries: Vec<Entry<T>> = items
+        .into_iter()
+        .map(|(rect, item)| Entry::Leaf { rect, item })
+        .collect();
+    let cap = config.max_entries;
+    let mut level = 0u32;
+    loop {
+        if entries.len() <= cap {
+            tree.set_root_from_entries(level, entries, dims, n);
             return tree;
         }
-        let dims = items[0].0.dims();
-        for (r, _) in &items {
-            assert_eq!(r.dims(), dims, "dimensionality mismatch in bulk load");
+        sort(&mut entries, dims, cap);
+        let chunks = chunk_sizes(entries.len(), cap);
+        let mut groups: Vec<Vec<Entry<T>>> = Vec::with_capacity(chunks.len());
+        let mut drain = entries.into_iter();
+        for size in chunks {
+            groups.push(drain.by_ref().take(size).collect());
         }
-        let n = items.len();
-        // Pack leaf level.
-        let mut entries: Vec<Entry<T>> = items
-            .into_iter()
-            .map(|(rect, item)| Entry::Leaf { rect, item })
-            .collect();
-        let cap = config.max_entries;
-        let mut level = 0u32;
-        loop {
-            if entries.len() <= cap {
-                tree.set_root_from_entries(level, entries, dims, n);
-                return tree;
-            }
-            str_sort(&mut entries, 0, dims, cap);
-            let next_level = level + 1;
-            let chunks = chunk_sizes(entries.len(), cap);
-            let mut next: Vec<Entry<T>> = Vec::with_capacity(chunks.len());
-            let mut drain = entries.into_iter();
-            for size in chunks {
-                let group: Vec<Entry<T>> = drain.by_ref().take(size).collect();
-                let node = Node::new(level, group);
-                next.push(Entry::Node {
-                    rect: node.mbr(),
-                    child: Box::new(node),
-                });
-            }
-            entries = next;
-            level = next_level;
-        }
+        entries = pack(groups, level);
+        level += 1;
     }
+}
+
+/// Packs one chunk of entries into a node entry for the next level up.
+fn pack_node<T>(group: Vec<Entry<T>>, level: u32) -> Entry<T> {
+    let node = Node::new(level, group);
+    Entry::Node {
+        rect: node.mbr(),
+        child: Box::new(node),
+    }
+}
+
+/// The parallel counterpart of [`str_sort`] for the top recursion level:
+/// the dimension-0 sort stays sequential (one global ordering), then the
+/// per-slab recursions — independent by construction — fan out across
+/// workers. Slab boundaries come from the same [`slab_len`] as the
+/// sequential path and each slab runs the identical sequential
+/// `str_sort`, so the resulting ordering matches it exactly.
+fn str_sort_parallel<T: Send>(entries: &mut [Entry<T>], dims: usize, cap: usize, threads: usize) {
+    let n = entries.len();
+    if n <= cap || dims == 0 {
+        return;
+    }
+    sort_by_center(entries, 0);
+    if dims == 1 {
+        return;
+    }
+    let slices: Vec<&mut [Entry<T>]> = entries.chunks_mut(slab_len(n, cap, dims)).collect();
+    par_for_each_slice(threads, slices, |slab| str_sort(slab, 1, dims, cap));
 }
 
 impl<T> RStarTree<T> {
@@ -110,20 +184,30 @@ fn str_sort<T>(entries: &mut [Entry<T>], dim: usize, dims: usize, cap: usize) {
     if n <= cap || dim >= dims {
         return;
     }
-    entries.sort_by(|a, b| center_coord(a.rect(), dim).total_cmp(&center_coord(b.rect(), dim)));
+    sort_by_center(entries, dim);
     if dim + 1 == dims {
         return;
     }
-    // Number of leaf pages and vertical slabs (Leutenegger et al.).
-    let pages = n.div_ceil(cap);
-    let slabs = (pages as f64)
-        .powf(1.0 / (dims - dim) as f64)
-        .ceil()
-        .max(1.0) as usize;
-    let slab_len = n.div_ceil(slabs);
-    for chunk in entries.chunks_mut(slab_len) {
+    for chunk in entries.chunks_mut(slab_len(n, cap, dims - dim)) {
         str_sort(chunk, dim + 1, dims, cap);
     }
+}
+
+fn sort_by_center<T>(entries: &mut [Entry<T>], dim: usize) {
+    entries.sort_by(|a, b| center_coord(a.rect(), dim).total_cmp(&center_coord(b.rect(), dim)));
+}
+
+/// Length of one vertical slab: `n` entries split into
+/// `ceil(pages^(1/dims_remaining))` slabs (Leutenegger et al.). Shared by
+/// the sequential and parallel sorts so their slab boundaries can never
+/// drift apart.
+fn slab_len(n: usize, cap: usize, dims_remaining: usize) -> usize {
+    let pages = n.div_ceil(cap);
+    let slabs = (pages as f64)
+        .powf(1.0 / dims_remaining as f64)
+        .ceil()
+        .max(1.0) as usize;
+    n.div_ceil(slabs)
 }
 
 #[inline]
@@ -209,6 +293,39 @@ mod tests {
             t.insert_point(&[i as f64, i as f64], i);
         }
         assert_eq!(t.len(), 150);
+        t.validate();
+    }
+
+    /// The load-bearing property of the whole concurrency story: thread
+    /// count must never change the tree. Compare structure (height, every
+    /// node's entry layout via iteration order) and query answers.
+    #[test]
+    fn parallel_bulk_load_identical_to_sequential() {
+        for n in [40usize, 500, 1500] {
+            let seq = RStarTree::bulk_load(RTreeConfig::with_max_entries(8), points(n));
+            for threads in [1usize, 2, 3, 8] {
+                let par = RStarTree::bulk_load_parallel(
+                    RTreeConfig::with_max_entries(8),
+                    points(n),
+                    threads,
+                );
+                par.validate();
+                assert_eq!(par.len(), seq.len());
+                assert_eq!(par.height(), seq.height(), "n = {n}, threads = {threads}");
+                let a: Vec<(&Rect, &usize)> = seq.iter().collect();
+                let b: Vec<(&Rect, &usize)> = par.iter().collect();
+                assert_eq!(a, b, "n = {n}, threads = {threads}: leaf layout differs");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_load_empty_and_tiny() {
+        let t: RStarTree<usize> =
+            RStarTree::bulk_load_parallel(RTreeConfig::default(), Vec::new(), 4);
+        assert!(t.is_empty());
+        let t = RStarTree::bulk_load_parallel(RTreeConfig::with_max_entries(8), points(3), 4);
+        assert_eq!(t.len(), 3);
         t.validate();
     }
 

@@ -34,6 +34,8 @@ pub mod search;
 pub mod stats;
 pub mod tree;
 
+pub mod par;
+
 mod node;
 mod split;
 

@@ -1,0 +1,163 @@
+//! Fork/join helpers over `std::thread::scope`.
+//!
+//! The build image has no crates.io access, so there is no rayon; these
+//! small order-preserving primitives are what the parallel bulk loader,
+//! the partitioned search, and `tsq-core`'s batched executor need. This
+//! crate is the lowest layer that wants them, so it is their single home —
+//! `tsq_core::executor` re-exports [`parallel_map`].
+//!
+//! Both helpers preserve the sequential output order exactly, which is
+//! what makes every parallel path in the workspace byte-identical to its
+//! sequential oracle regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Maps `f` over `items` with up to `threads` workers, preserving order.
+///
+/// Workers claim indices from a shared atomic counter (work stealing), so
+/// a workload mixing cheap and expensive items stays balanced. With
+/// `threads <= 1` (or a single item) this is a plain sequential map and
+/// spawns nothing. A panicking worker propagates its panic to the caller
+/// via the scope join, never a deadlock.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Poison recovery: a sibling's panic is propagated by
+                    // the join below; a poisoned slot must not add a
+                    // second panic.
+                    let item = tasks[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+                    if let Some(item) = item {
+                        let r = f(item);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic resurfaces with its own
+        // payload (the scope's implicit join would replace it with a
+        // generic "a scoped thread panicked").
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker completed every claimed task")
+        })
+        .collect()
+}
+
+/// Runs `f` over a set of mutable slices using up to `threads` workers.
+///
+/// The slices are distributed in contiguous groups; each worker owns its
+/// group exclusively, so no synchronization is needed beyond the join.
+pub(crate) fn par_for_each_slice<T, F>(threads: usize, slices: Vec<&mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    let n = slices.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        for s in slices {
+            f(s);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<&mut [T]>> = Vec::with_capacity(threads);
+    let mut rest = slices;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        parts.push(std::mem::replace(&mut rest, tail));
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                scope.spawn(move || {
+                    for s in part {
+                        f(s);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let want: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        for threads in [0usize, 1, 2, 3, 8, 200] {
+            assert_eq!(
+                parallel_map(threads, items.clone(), |i| i * 2),
+                want,
+                "threads = {threads}"
+            );
+        }
+        assert!(parallel_map::<usize, usize, _>(4, Vec::new(), |i| i).is_empty());
+    }
+
+    #[test]
+    fn slices_all_visited() {
+        let mut data = vec![0u32; 90];
+        for threads in [1usize, 2, 7] {
+            data.fill(0);
+            let slices: Vec<&mut [u32]> = data.chunks_mut(13).collect();
+            par_for_each_slice(threads, slices, |s| {
+                for v in s.iter_mut() {
+                    *v += 1;
+                }
+            });
+            assert!(data.iter().all(|&v| v == 1), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        parallel_map(2, vec![1, 2, 3, 4], |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

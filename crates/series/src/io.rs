@@ -78,10 +78,19 @@ pub fn load_csv(path: &Path) -> Result<Vec<TimeSeries>, IoError> {
         let mut values = Vec::new();
         for token in trimmed.split(',') {
             let token = token.trim();
+            // `parse` happily produces NaN ("nan") and ±∞ ("inf", or any
+            // overflowing literal like 1e999); those would panic deep in
+            // the engine, so they are rejected here as parse errors.
             let v: f64 = token.parse().map_err(|_| IoError::Parse {
                 line: lineno + 1,
                 token: token.to_string(),
             })?;
+            if !v.is_finite() {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    token: token.to_string(),
+                });
+            }
             values.push(v);
         }
         relation.push(TimeSeries::new(values));
@@ -124,6 +133,26 @@ mod tests {
                 assert_eq!(token, "oops");
             }
             other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let path = tmp("nonfinite.csv");
+        for (content, token) in [
+            ("1.0,nan,3.0\n", "nan"),
+            ("inf\n", "inf"),
+            ("2.0,-1e999\n", "-1e999"),
+        ] {
+            std::fs::write(&path, content).unwrap();
+            match load_csv(&path).unwrap_err() {
+                IoError::Parse { line, token: t } => {
+                    assert_eq!(line, 1);
+                    assert_eq!(t, token);
+                }
+                other => panic!("{content:?}: unexpected error {other}"),
+            }
         }
         std::fs::remove_file(&path).ok();
     }

@@ -30,4 +30,4 @@ pub mod stats;
 pub mod warp;
 
 pub use normal::NormalForm;
-pub use series::TimeSeries;
+pub use series::{NonFiniteValue, TimeSeries};

@@ -15,16 +15,59 @@ pub struct TimeSeries {
     values: Vec<f64>,
 }
 
+/// A non-finite (NaN or infinite) value was found where a time-series
+/// sample is required.
+///
+/// Returned by [`TimeSeries::try_new`], the fallible boundary constructor:
+/// a NaN flowing into the engine's geometry would corrupt every
+/// `partial_cmp`-based ordering downstream, so values are rejected the
+/// moment they enter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteValue {
+    /// Position of the offending value within the candidate series.
+    pub index: usize,
+    /// The offending value (NaN or ±∞).
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite value {} at position {}",
+            self.value, self.index
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteValue {}
+
 impl TimeSeries {
     /// Wraps a vector of finite values.
     ///
     /// # Panics
-    /// Panics if any value is not finite.
+    /// Panics if any value is not finite. Use [`TimeSeries::try_new`] at
+    /// boundaries where the values come from untrusted input (parsed
+    /// literals, CSV files) and a recoverable error is wanted instead.
     pub fn new(values: Vec<f64>) -> Self {
-        for (i, v) in values.iter().enumerate() {
-            assert!(v.is_finite(), "non-finite value at position {i}");
+        match Self::try_new(values) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
-        TimeSeries { values }
+    }
+
+    /// Wraps a vector of values, rejecting NaN and ±∞ with a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    /// [`NonFiniteValue`] naming the first offending position.
+    pub fn try_new(values: Vec<f64>) -> Result<Self, NonFiniteValue> {
+        for (index, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(NonFiniteValue { index, value });
+            }
+        }
+        Ok(TimeSeries { values })
     }
 
     /// Number of time points.
@@ -146,6 +189,20 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn rejects_nan() {
         let _ = TimeSeries::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_new_reports_position_and_value() {
+        let err = TimeSeries::try_new(vec![1.0, 2.0, f64::NAN]).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(err.value.is_nan());
+        let err = TimeSeries::try_new(vec![f64::INFINITY]).unwrap_err();
+        assert_eq!(err, NonFiniteValue { index: 0, value: f64::INFINITY });
+        assert!(err.to_string().contains("position 0"));
+        assert_eq!(
+            TimeSeries::try_new(vec![1.0, -2.0]).unwrap().values(),
+            &[1.0, -2.0]
+        );
     }
 
     #[test]

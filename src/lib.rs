@@ -23,6 +23,6 @@ pub use tsq_lang as lang;
 pub use tsq_rtree as rtree;
 pub use tsq_series as series;
 
-pub use tsq_core::SimilarityIndex;
-pub use tsq_lang::Catalog;
+pub use tsq_core::{QueryExecutor, SimilarityIndex};
+pub use tsq_lang::{Catalog, SharedCatalog};
 pub use tsq_series::TimeSeries;
