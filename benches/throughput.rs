@@ -85,7 +85,10 @@ fn bench_throughput(c: &mut Criterion) {
         let mut rows = 0usize;
         for _ in 0..3 {
             let (results, summary) = cat.run_batch(queries.clone(), threads);
-            assert_eq!(results, oracle, "threads = {threads}: answers must be byte-identical");
+            assert_eq!(
+                results, oracle,
+                "threads = {threads}: answers must be byte-identical"
+            );
             best_secs = best_secs.min(summary.elapsed.as_secs_f64());
             rows = summary.rows;
         }

@@ -36,7 +36,10 @@ fn bench(c: &mut Criterion) {
     }
 
     // Coordinate space under T_rev (legal in both).
-    for (name, space) in [("polar", SpaceKind::Polar), ("rect", SpaceKind::Rectangular)] {
+    for (name, space) in [
+        ("polar", SpaceKind::Polar),
+        ("rect", SpaceKind::Rectangular),
+    ] {
         let cfg = IndexConfig {
             space,
             ..IndexConfig::default()
@@ -45,9 +48,11 @@ fn bench(c: &mut Criterion) {
         let t = LinearTransform::reverse(128);
         let q = idx.series(3).unwrap().clone();
         let w = QueryWindow::default();
-        group.bench_with_input(BenchmarkId::new("space_reverse_query", name), &name, |b, _| {
-            b.iter(|| black_box(idx.range_query(&q, 4.0, &t, &w).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("space_reverse_query", name),
+            &name,
+            |b, _| b.iter(|| black_box(idx.range_query(&q, 4.0, &t, &w).unwrap())),
+        );
     }
 
     // Construction: STR bulk vs incremental R* insert vs no-reinsert.

@@ -71,7 +71,12 @@ fn bench_range(c: &mut Criterion) {
         b.iter(|| black_box(idx.subseq_range(&q, EPS).unwrap()))
     });
     group.bench_with_input(BenchmarkId::new("scan_ea", WINDOW), &WINDOW, |b, _| {
-        b.iter(|| black_box(idx.scan_subseq_range(&q, EPS, ScanMode::EarlyAbandon).unwrap()))
+        b.iter(|| {
+            black_box(
+                idx.scan_subseq_range(&q, EPS, ScanMode::EarlyAbandon)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_with_input(BenchmarkId::new("scan_naive", WINDOW), &WINDOW, |b, _| {
         b.iter(|| black_box(idx.scan_subseq_range(&q, EPS, ScanMode::Naive).unwrap()))
@@ -115,9 +120,11 @@ fn bench_features(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("sliding_dft", WINDOW), &WINDOW, |b, _| {
         b.iter(|| black_box(sliding_prefix(x, WINDOW, K)))
     });
-    group.bench_with_input(BenchmarkId::new("fft_per_window", WINDOW), &WINDOW, |b, _| {
-        b.iter(|| black_box(fft_per_window(x, WINDOW, K)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("fft_per_window", WINDOW),
+        &WINDOW,
+        |b, _| b.iter(|| black_box(fft_per_window(x, WINDOW, K))),
+    );
     group.finish();
 }
 

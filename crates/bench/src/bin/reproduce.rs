@@ -134,10 +134,16 @@ fn fig12() {
             p.answers,
             p.with_transform_ms,
             p.baseline_ms,
-            if p.with_transform_ms <= p.baseline_ms { "index" } else { "scan" }
+            if p.with_transform_ms <= p.baseline_ms {
+                "index"
+            } else {
+                "scan"
+            }
         );
     }
-    println!("(paper: the index wins until the answer set reaches roughly a third of the relation)");
+    println!(
+        "(paper: the index wins until the answer set reaches roughly a third of the relation)"
+    );
 }
 
 fn run_table1() {

@@ -13,8 +13,7 @@
 use std::time::Instant;
 
 use tsq_core::{
-    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex,
-    SpaceKind,
+    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex, SpaceKind,
 };
 use tsq_rtree::RTreeConfig;
 use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
@@ -477,6 +476,9 @@ mod tests {
             .unwrap()
             .pairs
             .len();
-        assert!((4..=40).contains(&n), "calibrated to {n} pairs at eps {eps}");
+        assert!(
+            (4..=40).contains(&n),
+            "calibrated to {n} pairs at eps {eps}"
+        );
     }
 }

@@ -60,6 +60,11 @@ pub enum Error {
     /// Operation unsupported for this transformation (e.g. composing two
     /// time warps).
     Unsupported(String),
+    /// A snapshot could not be written or restored: I/O failures, bad
+    /// magic/version/endianness, checksum mismatches, truncated or
+    /// structurally corrupt payloads, and restore-time name collisions all
+    /// surface here as typed [`tsq_store::StoreError`]s — never a panic.
+    Store(tsq_store::StoreError),
 }
 
 impl Error {
@@ -77,6 +82,12 @@ impl Error {
             return Err(Error::NegativeThreshold { eps });
         }
         Ok(eps)
+    }
+}
+
+impl From<tsq_store::StoreError> for Error {
+    fn from(e: tsq_store::StoreError) -> Self {
+        Error::Store(e)
     }
 }
 
@@ -100,7 +111,10 @@ impl fmt::Display for Error {
             }
             Error::UnknownSeries(id) => write!(f, "unknown series id {id}"),
             Error::TransformArity { expected, got } => {
-                write!(f, "transformation arity mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "transformation arity mismatch: expected {expected}, got {got}"
+                )
             }
             Error::NegativeThreshold { eps } => {
                 write!(f, "negative distance threshold: eps = {eps}")
@@ -109,9 +123,13 @@ impl fmt::Display for Error {
                 write!(f, "non-finite input rejected: {context}")
             }
             Error::InvalidWindow { window } => {
-                write!(f, "invalid subsequence window: {window} (must be at least 2)")
+                write!(
+                    f,
+                    "invalid subsequence window: {window} (must be at least 2)"
+                )
             }
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            Error::Store(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -127,9 +145,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::LengthMismatch { expected: 128, got: 64 };
+        let e = Error::LengthMismatch {
+            expected: 128,
+            got: 64,
+        };
         assert!(e.to_string().contains("128"));
-        let e = Error::UnsafeTransform { reason: "complex multiplier in S_rect".into() };
+        let e = Error::UnsafeTransform {
+            reason: "complex multiplier in S_rect".into(),
+        };
         assert!(e.to_string().contains("unsafe"));
         let e = Error::InvalidCutoff { k: 9, n: 4 };
         assert!(e.to_string().contains("k = 9"));
@@ -137,7 +160,9 @@ mod tests {
         assert!(e.to_string().contains("-1.5"));
         let e = Error::InvalidWindow { window: 1 };
         assert!(e.to_string().contains("window"));
-        let e = Error::NonFinite { context: "threshold eps = NaN".into() };
+        let e = Error::NonFinite {
+            context: "threshold eps = NaN".into(),
+        };
         assert!(e.to_string().contains("non-finite"));
     }
 
@@ -160,8 +185,21 @@ mod tests {
     }
 
     #[test]
+    fn store_error_converts_and_displays() {
+        let e: Error = tsq_store::StoreError::BadMagic.into();
+        assert!(matches!(e, Error::Store(tsq_store::StoreError::BadMagic)));
+        assert!(e.to_string().contains("snapshot error"));
+        let e: Error = tsq_store::StoreError::corrupt("dangling id").into();
+        assert!(e.to_string().contains("dangling id"));
+    }
+
+    #[test]
     fn non_finite_value_converts() {
-        let e: Error = tsq_series::NonFiniteValue { index: 3, value: f64::NAN }.into();
+        let e: Error = tsq_series::NonFiniteValue {
+            index: 3,
+            value: f64::NAN,
+        }
+        .into();
         assert!(matches!(&e, Error::NonFinite { context } if context.contains("position 3")));
     }
 }

@@ -286,9 +286,7 @@ mod tests {
                     transform,
                     window,
                 } => index.range_query(q, *eps, transform, window).unwrap().0,
-                BatchQuery::Knn { q, k, transform } => {
-                    index.knn_query(q, *k, transform).unwrap().0
-                }
+                BatchQuery::Knn { q, k, transform } => index.knn_query(q, *k, transform).unwrap().0,
             })
             .collect();
         for threads in [1usize, 2, 4] {

@@ -168,7 +168,10 @@ mod tests {
         assert!((f.std - s.std()).abs() < 1e-12);
         // X_0 of a normal form is zero.
         assert!(f.spectrum[0].abs() < 1e-10);
-        assert_eq!(f.indexed_coeffs(FeatureSchema::NormalForm { k: 2 }).len(), 2);
+        assert_eq!(
+            f.indexed_coeffs(FeatureSchema::NormalForm { k: 2 }).len(),
+            2
+        );
     }
 
     #[test]

@@ -179,12 +179,7 @@ fn dist_to_radial_segment(p: Complex64, angle: f64, m_lo: f64, m_hi: f64) -> f64
 ///
 /// Standard clamped closest-point computation (Ericson, *Real-Time
 /// Collision Detection*, §5.1.9), specialized to complex-plane points.
-pub fn segment_segment_min_dist(
-    a0: Complex64,
-    a1: Complex64,
-    b0: Complex64,
-    b1: Complex64,
-) -> f64 {
+pub fn segment_segment_min_dist(a0: Complex64, a1: Complex64, b0: Complex64, b1: Complex64) -> f64 {
     let d1 = a1 - a0;
     let d2 = b1 - b0;
     let r = a0 - b0;
@@ -241,7 +236,10 @@ mod tests {
     fn normalize_angle_cases() {
         assert!((normalize_angle(0.0)).abs() < 1e-12);
         assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
-        assert!((normalize_angle(-PI) - PI).abs() < 1e-12, "(-pi maps to +pi]");
+        assert!(
+            (normalize_angle(-PI) - PI).abs() < 1e-12,
+            "(-pi maps to +pi]"
+        );
         assert!((normalize_angle(2.0 * PI)).abs() < 1e-12);
     }
 
@@ -320,7 +318,10 @@ mod tests {
         // Parallel horizontal segments one unit apart.
         assert!((segment_segment_min_dist(o, e1, p(0.0, 1.0), p(1.0, 1.0)) - 1.0).abs() < 1e-12);
         // Crossing segments: distance zero.
-        assert!(segment_segment_min_dist(p(-1.0, -1.0), p(1.0, 1.0), p(-1.0, 1.0), p(1.0, -1.0)) < 1e-12);
+        assert!(
+            segment_segment_min_dist(p(-1.0, -1.0), p(1.0, 1.0), p(-1.0, 1.0), p(1.0, -1.0))
+                < 1e-12
+        );
         // Endpoint to endpoint.
         assert!((segment_segment_min_dist(o, e1, p(3.0, 0.0), p(4.0, 0.0)) - 2.0).abs() < 1e-12);
         // Degenerate (point) segments.
@@ -418,7 +419,11 @@ mod tests {
                         (-PI, 2.0 * PI)
                     } else {
                         let span = normalize_angle(s.a_hi - s.a_lo).rem_euclid(2.0 * PI);
-                        let span = if span == 0.0 && s.a_lo != s.a_hi { 2.0 * PI } else { span };
+                        let span = if span == 0.0 && s.a_lo != s.a_hi {
+                            2.0 * PI
+                        } else {
+                            span
+                        };
                         (s.a_lo, span)
                     };
                     for j in 0..=steps {

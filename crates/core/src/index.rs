@@ -14,6 +14,7 @@ use tsq_dft::energy::{euclidean_complex, euclidean_complex_early_abandon};
 use tsq_dft::FftPlanner;
 use tsq_rtree::{RStarTree, RTreeConfig, Rect, SearchStats};
 use tsq_series::{NormalForm, TimeSeries};
+use tsq_store::{Decoder, Encoder, StoreError};
 
 use crate::error::{Error, Result};
 use crate::features::{FeatureSchema, Features};
@@ -192,6 +193,111 @@ impl SimilarityIndex {
     /// Access to the underlying R\*-tree (read-only).
     pub fn tree(&self) -> &RStarTree<usize> {
         &self.tree
+    }
+
+    /// Serializes the index — configuration, stored series with their
+    /// features, and the R\*-tree's node structure byte-identically — into
+    /// `enc` (see [`crate::store`] for the encodings).
+    pub fn write_to(&self, enc: &mut Encoder) {
+        crate::store::write_index_config(enc, &self.config);
+        enc.usize(self.series_len);
+        enc.usize(self.store.len());
+        for stored in &self.store {
+            crate::store::write_series(enc, &stored.series);
+            crate::store::write_features(enc, &stored.features);
+        }
+        self.tree.write_to(enc, &mut |e, &id| e.usize(id));
+    }
+
+    /// Restores an index written by [`SimilarityIndex::write_to`]. The
+    /// R\*-tree is *not* rebuilt: its nodes are reconstructed exactly as
+    /// stored, so every query on the restored index returns the same
+    /// answers with the same traversal statistics as the original.
+    ///
+    /// # Errors
+    /// [`Error::Store`] for truncated, corrupt or inconsistent bytes
+    /// (length mismatches, dangling or duplicate series ids, tree/store
+    /// disagreements) — never a panic.
+    pub fn read_from(dec: &mut Decoder<'_>) -> Result<Self> {
+        let config = crate::store::read_index_config(dec)?;
+        let series_len = dec.usize("index series_len")?;
+        let count = dec.seq(48, "stored series count")?;
+        let mut store = Vec::with_capacity(count);
+        for _ in 0..count {
+            let series = crate::store::read_series(dec)?;
+            if series.len() != series_len {
+                return Err(StoreError::corrupt(format!(
+                    "stored series of length {} in a relation of length {series_len}",
+                    series.len()
+                ))
+                .into());
+            }
+            let features = crate::store::read_features(dec)?;
+            if features.spectrum.len() != series_len {
+                return Err(StoreError::corrupt(format!(
+                    "feature spectrum of length {} for series of length {series_len}",
+                    features.spectrum.len()
+                ))
+                .into());
+            }
+            store.push(StoredSeries { series, features });
+        }
+        if count > 0 {
+            config.schema.validate(series_len).map_err(|e| {
+                StoreError::corrupt(format!("index schema does not fit its relation: {e}"))
+            })?;
+        }
+        let tree = RStarTree::read_from(dec, &mut |d| {
+            let id = d.usize("feature point series id")?;
+            if id >= count {
+                return Err(StoreError::corrupt(format!(
+                    "feature point references series {id} of {count}"
+                )));
+            }
+            Ok(id)
+        })?;
+        if tree.len() != count {
+            return Err(StoreError::corrupt(format!(
+                "index tree holds {} point(s) for {count} series",
+                tree.len()
+            ))
+            .into());
+        }
+        // The snapshot stores the R*-tree config twice — once in the
+        // index configuration, once in the (self-contained) tree header —
+        // and the copies must agree or later inserts would follow
+        // different tuning than the tree was built with.
+        if *tree.config() != config.rtree {
+            return Err(StoreError::corrupt(format!(
+                "index config {:?} disagrees with its tree's config {:?}",
+                config.rtree,
+                tree.config()
+            ))
+            .into());
+        }
+        if count > 0 {
+            let expected_dims = config.schema.dims();
+            if tree.dims() != Some(expected_dims) {
+                return Err(StoreError::corrupt(format!(
+                    "index tree dimensionality {:?} does not match the schema's {expected_dims}",
+                    tree.dims()
+                ))
+                .into());
+            }
+            let mut seen = vec![false; count];
+            for (_, &id) in tree.iter() {
+                if seen[id] {
+                    return Err(StoreError::corrupt(format!("series {id} indexed twice")).into());
+                }
+                seen[id] = true;
+            }
+        }
+        Ok(SimilarityIndex {
+            config,
+            series_len,
+            tree,
+            store,
+        })
     }
 
     /// Extracts query features for a query series, validating its length
@@ -501,7 +607,13 @@ mod tests {
         let mut rel = small_relation(3, 32, 2);
         rel.push(TimeSeries::new(vec![1.0; 16]));
         let err = SimilarityIndex::build(IndexConfig::default(), rel).unwrap_err();
-        assert!(matches!(err, Error::LengthMismatch { expected: 32, got: 16 }));
+        assert!(matches!(
+            err,
+            Error::LengthMismatch {
+                expected: 32,
+                got: 16
+            }
+        ));
     }
 
     #[test]
@@ -511,7 +623,9 @@ mod tests {
         let t = LinearTransform::identity(64);
         let q = &rel[5];
         let eps = 2.0;
-        let (matches, stats) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        let (matches, stats) = idx
+            .range_query(q, eps, &t, &QueryWindow::default())
+            .unwrap();
         // Brute force over normal forms.
         let mut planner = FftPlanner::new();
         let qf = Features::extract(q, FeatureSchema::NormalForm { k: 2 }, &mut planner).unwrap();
@@ -536,7 +650,9 @@ mod tests {
         let t = LinearTransform::moving_average(32, 5);
         let q = &rel[0];
         let eps = 1.5;
-        let (matches, _) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        let (matches, _) = idx
+            .range_query(q, eps, &t, &QueryWindow::default())
+            .unwrap();
         let mut planner = FftPlanner::new();
         let schema = FeatureSchema::NormalForm { k: 2 };
         let qf = Features::extract(q, schema, &mut planner).unwrap();
@@ -605,7 +721,9 @@ mod tests {
         let q = &rel[11];
         let eps = 1.0;
         let t = LinearTransform::identity(64);
-        let (_, with_t) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        let (_, with_t) = idx
+            .range_query(q, eps, &t, &QueryWindow::default())
+            .unwrap();
         // Plain query: same search rectangle, no transformation hook.
         let schema = idx.config().schema;
         let space = idx.config().space;
@@ -628,7 +746,9 @@ mod tests {
         let t = LinearTransform::time_warp(16, 2);
         // The query is the stretched special series (length 32).
         let q = tsq_series::warp::stretch(&special, 2);
-        let (matches, _) = idx.range_query(&q, 1e-6, &t, &QueryWindow::default()).unwrap();
+        let (matches, _) = idx
+            .range_query(&q, 1e-6, &t, &QueryWindow::default())
+            .unwrap();
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].id, 40);
         assert!(matches[0].distance < 1e-6);
@@ -642,7 +762,9 @@ mod tests {
         let id = idx.insert(extra.clone()).unwrap();
         assert_eq!(id, 20);
         let t = LinearTransform::identity(32);
-        let (matches, _) = idx.range_query(&extra, 1e-9, &t, &QueryWindow::default()).unwrap();
+        let (matches, _) = idx
+            .range_query(&extra, 1e-9, &t, &QueryWindow::default())
+            .unwrap();
         assert!(matches.iter().any(|m| m.id == id));
         // Wrong length rejected.
         assert!(idx.insert(TimeSeries::new(vec![0.0; 5])).is_err());
@@ -684,7 +806,9 @@ mod tests {
         let t = LinearTransform::reverse(32); // a = -1: real, safe in S_rect
         let q = &rel[2];
         let eps = 3.0;
-        let (matches, _) = idx.range_query(q, eps, &t, &QueryWindow::default()).unwrap();
+        let (matches, _) = idx
+            .range_query(q, eps, &t, &QueryWindow::default())
+            .unwrap();
         let mut planner = FftPlanner::new();
         let schema = FeatureSchema::NormalForm { k: 2 };
         let qf = Features::extract(q, schema, &mut planner).unwrap();
@@ -737,6 +861,90 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_round_trip_preserves_answers_and_stats() {
+        let rel = small_relation(150, 64, 14);
+        let idx = build_default(rel.clone());
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = SimilarityIndex::read_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        restored.tree().validate();
+        // Re-serialization is byte-identical (canonical encoding).
+        let mut enc2 = Encoder::new();
+        restored.write_to(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes());
+        // Identical answers *and* identical traversal statistics.
+        for t in [
+            LinearTransform::identity(64),
+            LinearTransform::moving_average(64, 5),
+        ] {
+            let (a, sa) = idx
+                .range_query(&rel[3], 2.5, &t, &QueryWindow::default())
+                .unwrap();
+            let (b, sb) = restored
+                .range_query(&rel[3], 2.5, &t, &QueryWindow::default())
+                .unwrap();
+            assert_eq!(a, b);
+            assert_eq!(sa.index, sb.index);
+            assert_eq!(sa.candidates, sb.candidates);
+            let (ka, _) = idx.knn_query(&rel[7], 5, &t).unwrap();
+            let (kb, _) = restored.knn_query(&rel[7], 5, &t).unwrap();
+            assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = build_default(Vec::new());
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let restored = SimilarityIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn restored_index_accepts_inserts() {
+        let rel = small_relation(30, 32, 15);
+        let idx = build_default(rel);
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = SimilarityIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
+        let extra = RandomWalkGenerator::new(123).series(32);
+        let id = restored.insert(extra.clone()).unwrap();
+        assert_eq!(id, 30);
+        let t = LinearTransform::identity(32);
+        let (m, _) = restored
+            .range_query(&extra, 1e-9, &t, &QueryWindow::default())
+            .unwrap();
+        assert!(m.iter().any(|x| x.id == id));
+    }
+
+    #[test]
+    fn corrupt_index_bytes_are_typed_errors() {
+        let rel = small_relation(40, 32, 16);
+        let idx = build_default(rel);
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        // Truncation at every prefix is a typed error, never a panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(
+                SimilarityIndex::read_from(&mut dec).is_err(),
+                "cut at {cut} still decoded"
+            );
+        }
+        // A dangling series id inside the tree payload.
+        let mut dec = Decoder::new(&bytes);
+        let err = SimilarityIndex::read_from(&mut dec);
+        assert!(err.is_ok(), "pristine bytes must decode");
+    }
+
+    #[test]
     fn bulk_and_incremental_agree() {
         let rel = small_relation(90, 32, 12);
         let bulk = build_default(rel.clone());
@@ -747,8 +955,14 @@ mod tests {
         let incr = SimilarityIndex::build(cfg, rel.clone()).unwrap();
         let t = LinearTransform::moving_average(32, 3);
         let q = &rel[7];
-        let a = bulk.range_query(q, 2.0, &t, &QueryWindow::default()).unwrap().0;
-        let b = incr.range_query(q, 2.0, &t, &QueryWindow::default()).unwrap().0;
+        let a = bulk
+            .range_query(q, 2.0, &t, &QueryWindow::default())
+            .unwrap()
+            .0;
+        let b = incr
+            .range_query(q, 2.0, &t, &QueryWindow::default())
+            .unwrap()
+            .0;
         assert_eq!(a, b);
     }
 }

@@ -54,6 +54,17 @@
 //! ([`SubseqIndex::build_parallel`]) — partition their input across
 //! threads. Every parallel path returns results byte-identical to its
 //! sequential oracle regardless of thread count.
+//!
+//! ## Persistence
+//!
+//! The [`store`] module plus [`SimilarityIndex::write_to`] /
+//! [`SimilarityIndex::read_from`] and [`SubseqIndex::write_to`] /
+//! [`SubseqIndex::read_from`] snapshot built indexes to the `tsq-store`
+//! binary format — R\*-tree node structure included, byte-identically, so
+//! a restored index answers every query with the same results *and the
+//! same traversal statistics* without rebuilding anything. Malformed
+//! snapshot bytes are rejected with typed [`Error::Store`] values at
+//! every boundary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +79,7 @@ pub mod queries;
 pub mod relation;
 pub mod scan;
 pub mod space;
+pub mod store;
 pub mod subseq;
 pub mod transform;
 

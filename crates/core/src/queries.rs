@@ -79,12 +79,7 @@ impl SimilarityIndex {
     /// # Errors
     /// Warping transformations are rejected (a self-join between
     /// different-length representations is undefined).
-    pub fn join_scan(
-        &self,
-        eps: f64,
-        t: &LinearTransform,
-        mode: ScanMode,
-    ) -> Result<JoinOutcome> {
+    pub fn join_scan(&self, eps: f64, t: &LinearTransform, mode: ScanMode) -> Result<JoinOutcome> {
         if t.warp() > 1 {
             return Err(Error::Unsupported("self-join under time warp".to_string()));
         }
@@ -104,9 +99,14 @@ impl SimilarityIndex {
                 out.stats.exact_checks += 1;
                 match mode {
                     ScanMode::Naive => {
-                        let d = tsq_dft::energy::euclidean_complex(&transformed[i], &transformed[j]);
+                        let d =
+                            tsq_dft::energy::euclidean_complex(&transformed[i], &transformed[j]);
                         if d <= eps {
-                            out.pairs.push(JoinPair { a: i, b: j, distance: d });
+                            out.pairs.push(JoinPair {
+                                a: i,
+                                b: j,
+                                distance: d,
+                            });
                         }
                     }
                     ScanMode::EarlyAbandon => {
@@ -115,7 +115,11 @@ impl SimilarityIndex {
                             &transformed[j],
                             eps,
                         ) {
-                            Some(d) => out.pairs.push(JoinPair { a: i, b: j, distance: d }),
+                            Some(d) => out.pairs.push(JoinPair {
+                                a: i,
+                                b: j,
+                                distance: d,
+                            }),
                             None => out.stats.abandoned += 1,
                         }
                     }
@@ -186,7 +190,9 @@ impl SimilarityIndex {
         let stats = spatial_join_with(
             self.tree(),
             self.tree(),
-            |ra, rb| space.pair_lower_bound_pretransformed(&transformed(ra), &transformed(rb), schema),
+            |ra, rb| {
+                space.pair_lower_bound_pretransformed(&transformed(ra), &transformed(rb), schema)
+            },
             eps,
             |_, &ia, _, &ib| candidate_pairs.push((ia, ib)),
         );
@@ -196,7 +202,11 @@ impl SimilarityIndex {
             out.stats.exact_checks += 1;
             let qf = self.transformed_features(i, t)?;
             match self.exact_distance_bounded(j, t, &qf, eps) {
-                Some(d) => out.pairs.push(JoinPair { a: i, b: j, distance: d }),
+                Some(d) => out.pairs.push(JoinPair {
+                    a: i,
+                    b: j,
+                    distance: d,
+                }),
                 None => out.stats.abandoned += 1,
             }
         }
@@ -224,10 +234,8 @@ mod tests {
     }
 
     fn key_undirected(pairs: &[JoinPair]) -> Vec<(usize, usize)> {
-        let mut v: Vec<(usize, usize)> = pairs
-            .iter()
-            .map(|p| (p.a.min(p.b), p.a.max(p.b)))
-            .collect();
+        let mut v: Vec<(usize, usize)> =
+            pairs.iter().map(|p| (p.a.min(p.b), p.a.max(p.b))).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -309,7 +317,10 @@ mod tests {
             idx.join_scan(1.0, &t, ScanMode::Naive),
             Err(Error::Unsupported(_))
         ));
-        assert!(matches!(idx.join_index(1.0, &t), Err(Error::Unsupported(_))));
+        assert!(matches!(
+            idx.join_index(1.0, &t),
+            Err(Error::Unsupported(_))
+        ));
         assert!(matches!(idx.join_tree(1.0, &t), Err(Error::Unsupported(_))));
     }
 

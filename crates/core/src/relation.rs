@@ -37,10 +37,7 @@ impl SeriesRelation {
     /// # Errors
     /// [`Error::LengthMismatch`] if lengths disagree; duplicate labels are
     /// rejected as [`Error::Unsupported`].
-    pub fn from_labeled(
-        name: impl Into<String>,
-        items: Vec<(String, TimeSeries)>,
-    ) -> Result<Self> {
+    pub fn from_labeled(name: impl Into<String>, items: Vec<(String, TimeSeries)>) -> Result<Self> {
         let mut rel = SeriesRelation::new(name);
         for (label, series) in items {
             rel.push(label, series)?;
@@ -161,9 +158,11 @@ mod tests {
 
     #[test]
     fn from_series_synthesizes_labels() {
-        let rel =
-            SeriesRelation::from_series("r", vec![TimeSeries::from([1.0]), TimeSeries::from([2.0])])
-                .unwrap();
+        let rel = SeriesRelation::from_series(
+            "r",
+            vec![TimeSeries::from([1.0]), TimeSeries::from([2.0])],
+        )
+        .unwrap();
         assert_eq!(rel.label(0), Some("s0"));
         assert_eq!(rel.label(1), Some("s1"));
     }
@@ -172,7 +171,11 @@ mod tests {
     fn builds_index() {
         let series: Vec<TimeSeries> = (0..20)
             .map(|i| {
-                TimeSeries::new((0..16).map(|t| ((i + t) as f64 * 0.7).sin() * 3.0 + i as f64).collect())
+                TimeSeries::new(
+                    (0..16)
+                        .map(|t| ((i + t) as f64 * 0.7).sin() * 3.0 + i as f64)
+                        .collect(),
+                )
             })
             .collect();
         let rel = SeriesRelation::from_series("r", series).unwrap();

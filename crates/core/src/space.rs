@@ -8,7 +8,7 @@ use tsq_dft::Complex64;
 use tsq_rtree::Rect;
 
 use crate::error::{Error, Result};
-use crate::features::{Features, FeatureSchema};
+use crate::features::{FeatureSchema, Features};
 use crate::geometry::{normalize_angle, AnnularSector};
 use crate::transform::LinearTransform;
 
@@ -164,12 +164,7 @@ impl SpaceKind {
     ///
     /// The caller must have verified safety via
     /// [`SpaceKind::check_safety`]; debug assertions re-check.
-    pub fn transform_mbr(
-        &self,
-        rect: &Rect,
-        t: &LinearTransform,
-        schema: FeatureSchema,
-    ) -> Rect {
+    pub fn transform_mbr(&self, rect: &Rect, t: &LinearTransform, schema: FeatureSchema) -> Rect {
         let dims = schema.dims();
         debug_assert_eq!(rect.dims(), dims);
         let mut lo = Vec::with_capacity(dims);
@@ -311,11 +306,25 @@ impl SpaceKind {
         let mut d = 0;
         if schema.aux_dims() == 2 {
             let (ma, mb) = t.mean_map();
-            if !affine_overlap(rect.lo()[0], rect.hi()[0], ma, mb, query.lo()[0], query.hi()[0]) {
+            if !affine_overlap(
+                rect.lo()[0],
+                rect.hi()[0],
+                ma,
+                mb,
+                query.lo()[0],
+                query.hi()[0],
+            ) {
                 return false;
             }
             let (sa, sb) = t.std_map();
-            if !affine_overlap(rect.lo()[1], rect.hi()[1], sa, sb, query.lo()[1], query.hi()[1]) {
+            if !affine_overlap(
+                rect.lo()[1],
+                rect.hi()[1],
+                sa,
+                sb,
+                query.lo()[1],
+                query.hi()[1],
+            ) {
                 return false;
             }
             d = 2;
@@ -330,8 +339,7 @@ impl SpaceKind {
                     if !affine_overlap(alo, ahi, a.re, b.re, query.lo()[d], query.hi()[d]) {
                         return false;
                     }
-                    if !affine_overlap(blo, bhi, a.re, b.im, query.lo()[d + 1], query.hi()[d + 1])
-                    {
+                    if !affine_overlap(blo, bhi, a.re, b.im, query.lo()[d + 1], query.hi()[d + 1]) {
                         return false;
                     }
                 }
@@ -393,7 +401,12 @@ impl SpaceKind {
             let dist = match self {
                 SpaceKind::Rectangular => {
                     let dx = gap(ta.lo()[d], ta.hi()[d], tb.lo()[d], tb.hi()[d]);
-                    let dy = gap(ta.lo()[d + 1], ta.hi()[d + 1], tb.lo()[d + 1], tb.hi()[d + 1]);
+                    let dy = gap(
+                        ta.lo()[d + 1],
+                        ta.hi()[d + 1],
+                        tb.lo()[d + 1],
+                        tb.hi()[d + 1],
+                    );
                     (dx * dx + dy * dy).sqrt()
                 }
                 SpaceKind::Polar => {

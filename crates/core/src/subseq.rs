@@ -38,6 +38,7 @@ use tsq_dft::sliding::sliding_prefix;
 use tsq_dft::Complex64;
 use tsq_rtree::{RStarTree, RTreeConfig, Rect, SearchStats};
 use tsq_series::TimeSeries;
+use tsq_store::{Decoder, Encoder, StoreError, StoreResult};
 
 use crate::error::{Error, Result};
 use crate::scan::ScanMode;
@@ -283,6 +284,150 @@ impl SubseqIndex {
         &self.tree
     }
 
+    /// Serializes the ST-index — configuration, stored series, window and
+    /// trail counters, and the R\*-tree's node structure byte-identically.
+    pub fn write_to(&self, enc: &mut Encoder) {
+        crate::store::write_subseq_config(enc, &self.config);
+        enc.usize(self.store.len());
+        for series in &self.store {
+            crate::store::write_series(enc, series);
+        }
+        self.write_tail(enc);
+    }
+
+    /// [`SubseqIndex::write_to`] minus the stored series: configuration,
+    /// counters and tree only. Catalog snapshots use this for cached
+    /// ST-indexes, whose store always equals the owning relation's series
+    /// — writing (and re-parsing) a second copy of the raw data would
+    /// double both snapshot size and restore time for nothing.
+    pub fn write_trails_to(&self, enc: &mut Encoder) {
+        crate::store::write_subseq_config(enc, &self.config);
+        self.write_tail(enc);
+    }
+
+    fn write_tail(&self, enc: &mut Encoder) {
+        enc.usize(self.windows_total);
+        enc.usize(self.trails_total);
+        self.tree.write_to(enc, &mut |e, trail: &TrailEntry| {
+            e.usize(trail.series);
+            e.usize(trail.start);
+            e.usize(trail.len);
+        });
+    }
+
+    /// Restores an ST-index written by [`SubseqIndex::write_to`] without
+    /// re-extracting any trail: queries on the restored index return the
+    /// same answers with the same traversal statistics as the original.
+    ///
+    /// # Errors
+    /// [`Error::Store`] for truncated, corrupt or inconsistent bytes
+    /// (out-of-range trail entries, counter mismatches) — never a panic.
+    pub fn read_from(dec: &mut Decoder<'_>) -> Result<Self> {
+        let config = crate::store::read_subseq_config(dec)?;
+        let count = dec.seq(8, "subseq stored series count")?;
+        let mut store = Vec::with_capacity(count);
+        for _ in 0..count {
+            store.push(crate::store::read_series(dec)?);
+        }
+        Self::read_tail(dec, config, store)
+    }
+
+    /// Restores an ST-index written by [`SubseqIndex::write_trails_to`],
+    /// adopting `store` (the owning relation's series) as the stored data.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SubseqIndex::read_from`]; the counters and
+    /// trail bounds are validated against the supplied store, so a store
+    /// that does not match the trails is rejected as corrupt.
+    pub fn read_trails_from(dec: &mut Decoder<'_>, store: Vec<TimeSeries>) -> Result<Self> {
+        let config = crate::store::read_subseq_config(dec)?;
+        Self::read_tail(dec, config, store)
+    }
+
+    fn read_tail(
+        dec: &mut Decoder<'_>,
+        config: SubseqConfig,
+        store: Vec<TimeSeries>,
+    ) -> Result<Self> {
+        let count = store.len();
+        let windows_total = dec.usize("subseq windows_total")?;
+        let trails_total = dec.usize("subseq trails_total")?;
+        // Recompute both counters from the stored series: the snapshot's
+        // values must agree or the trail entries cannot be trusted.
+        let mut index = SubseqIndex {
+            config,
+            tree: RStarTree::new(config.rtree),
+            store: Vec::new(),
+            windows_total: 0,
+            trails_total: 0,
+        };
+        for series in &store {
+            index.count_windows(series);
+        }
+        if index.windows_total != windows_total || index.trails_total != trails_total {
+            return Err(StoreError::corrupt(format!(
+                "subseq counters disagree with stored series: \
+                 file says {windows_total} window(s) / {trails_total} trail(s), \
+                 series imply {} / {}",
+                index.windows_total, index.trails_total
+            ))
+            .into());
+        }
+        let window = config.window;
+        let tree = RStarTree::read_from(dec, &mut |d| {
+            // Hot path (one call per trail): one block read, three fields.
+            let bytes = d.bytes(24, "trail entry")?;
+            let field = |i: usize| -> StoreResult<usize> {
+                let v = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+                usize::try_from(v)
+                    .map_err(|_| StoreError::corrupt(format!("trail field {v} exceeds usize")))
+            };
+            let series = field(0)?;
+            let start = field(1)?;
+            let len = field(2)?;
+            let stored = store.get(series).ok_or_else(|| {
+                StoreError::corrupt(format!("trail references series {series} of {count}"))
+            })?;
+            let available = stored.len().saturating_sub(window - 1);
+            let end = start.checked_add(len);
+            if len == 0 || end.is_none() || end.unwrap() > available {
+                return Err(StoreError::corrupt(format!(
+                    "trail [{start}, {start}+{len}) outside the {available} window(s) \
+                     of series {series}"
+                )));
+            }
+            Ok(TrailEntry { series, start, len })
+        })?;
+        if tree.len() != trails_total {
+            return Err(StoreError::corrupt(format!(
+                "subseq tree holds {} trail(s), counters say {trails_total}",
+                tree.len()
+            ))
+            .into());
+        }
+        // The two stored copies of the R*-tree config (ST-index
+        // configuration and tree header) must agree.
+        if *tree.config() != config.rtree {
+            return Err(StoreError::corrupt(format!(
+                "subseq config {:?} disagrees with its tree's config {:?}",
+                config.rtree,
+                tree.config()
+            ))
+            .into());
+        }
+        if trails_total > 0 && tree.dims() != Some(2 * config.k) {
+            return Err(StoreError::corrupt(format!(
+                "subseq tree dimensionality {:?} does not match 2k = {}",
+                tree.dims(),
+                2 * config.k
+            ))
+            .into());
+        }
+        index.tree = tree;
+        index.store = store;
+        Ok(index)
+    }
+
     fn check_query(&self, q: &TimeSeries, eps: f64) -> Result<()> {
         Error::check_threshold(eps)?;
         if q.len() != self.config.window {
@@ -361,11 +506,7 @@ impl SubseqIndex {
     ///
     /// # Errors
     /// [`Error::LengthMismatch`] when the query is not one window long.
-    pub fn subseq_knn(
-        &self,
-        q: &TimeSeries,
-        k: usize,
-    ) -> Result<(Vec<SubseqMatch>, SubseqStats)> {
+    pub fn subseq_knn(&self, q: &TimeSeries, k: usize) -> Result<(Vec<SubseqMatch>, SubseqStats)> {
         self.check_query(q, 0.0)?;
         if k == 0 || self.windows_total == 0 {
             return Ok((Vec::new(), SubseqStats::default()));
@@ -661,10 +802,7 @@ mod tests {
     #[test]
     fn build_counts_windows_and_trails() {
         let idx = build(16, 1);
-        let expected: usize = relation(1)
-            .iter()
-            .map(|s| s.len().saturating_sub(15))
-            .sum();
+        let expected: usize = relation(1).iter().map(|s| s.len().saturating_sub(15)).sum();
         assert_eq!(idx.windows_total(), expected);
         assert_eq!(idx.tree().len(), idx.trails_total());
         idx.tree().validate();
@@ -835,6 +973,133 @@ mod tests {
             assert_eq!(stats.index, want_stats.index, "threads = {threads}");
             assert_eq!(par.subseq_knn(&q, 7).unwrap().0, want_knn);
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_answers_and_stats() {
+        let idx = build(16, 11);
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = SubseqIndex::read_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        restored.tree().validate();
+        assert_eq!(restored.windows_total(), idx.windows_total());
+        assert_eq!(restored.trails_total(), idx.trails_total());
+        // Canonical bytes on re-serialization.
+        let mut enc2 = Encoder::new();
+        restored.write_to(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes());
+        let q = TimeSeries::new(idx.series(3).unwrap().values()[4..20].to_vec());
+        for eps in [0.0, 1.0, 5.0] {
+            let (a, sa) = idx.subseq_range(&q, eps).unwrap();
+            let (b, sb) = restored.subseq_range(&q, eps).unwrap();
+            assert_eq!(a, b, "eps {eps}");
+            assert_eq!(sa.index, sb.index, "eps {eps}: identical traversal");
+            assert_eq!(sa.candidates, sb.candidates);
+        }
+        let (ka, _) = idx.subseq_knn(&q, 9).unwrap();
+        let (kb, _) = restored.subseq_knn(&q, 9).unwrap();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn trails_only_round_trip_with_shared_store() {
+        let idx = build(16, 14);
+        let store: Vec<TimeSeries> = (0..idx.len())
+            .map(|i| idx.series(i).unwrap().clone())
+            .collect();
+        let mut enc = Encoder::new();
+        idx.write_trails_to(&mut enc);
+        let full_len = {
+            let mut full = Encoder::new();
+            idx.write_to(&mut full);
+            full.len()
+        };
+        assert!(enc.len() < full_len, "trails-only form must be smaller");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = SubseqIndex::read_trails_from(&mut dec, store).unwrap();
+        dec.finish().unwrap();
+        let q = TimeSeries::new(idx.series(2).unwrap().values()[3..19].to_vec());
+        let (a, sa) = idx.subseq_range(&q, 2.0).unwrap();
+        let (b, sb) = restored.subseq_range(&q, 2.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa.index, sb.index);
+        // A store that does not match the trails is rejected.
+        let mut dec = Decoder::new(&bytes);
+        let err = SubseqIndex::read_trails_from(&mut dec, Vec::new()).unwrap_err();
+        assert!(
+            matches!(err, Error::Store(StoreError::Corrupt { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_subseq_index_round_trips() {
+        let idx = SubseqIndex::build(SubseqConfig::new(8), Vec::new()).unwrap();
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let restored = SubseqIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
+        assert!(restored.is_empty());
+        let q = TimeSeries::new(vec![0.0; 8]);
+        assert!(restored.subseq_range(&q, 1.0).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn restored_subseq_index_accepts_inserts() {
+        let idx = build(16, 12);
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = SubseqIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
+        let extra = RandomWalkGenerator::new(7).series(48);
+        let id = restored.insert(extra.clone());
+        assert_eq!(id, 12);
+        restored.tree().validate();
+        let q = TimeSeries::new(extra.values()[8..24].to_vec());
+        let (m, _) = restored.subseq_range(&q, 1e-9).unwrap();
+        assert!(m.iter().any(|x| x.series == id && x.offset == 8));
+    }
+
+    #[test]
+    fn corrupt_subseq_bytes_are_typed_errors() {
+        let idx = build(16, 13);
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let bytes = enc.into_bytes();
+        for cut in (0..bytes.len()).step_by(5) {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(
+                SubseqIndex::read_from(&mut dec).is_err(),
+                "cut at {cut} still decoded"
+            );
+        }
+        // Tampered windows_total (does not match the stored series).
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc);
+        let mut bad = enc.into_bytes();
+        // Locate the counter: config (8+8+8 + 12 + 1 = 37 bytes), then the
+        // store block; recompute its size to find the counter offset.
+        let mut store_bytes = 0usize;
+        for i in 0..idx.len() {
+            store_bytes += 8 + 8 * idx.series(i).unwrap().len();
+        }
+        let off = 37 + 8 + store_bytes;
+        let old = u64::from_le_bytes(bad[off..off + 8].try_into().unwrap());
+        assert_eq!(
+            old as usize,
+            idx.windows_total(),
+            "offset arithmetic drifted"
+        );
+        bad[off..off + 8].copy_from_slice(&(old + 1).to_le_bytes());
+        let err = SubseqIndex::read_from(&mut Decoder::new(&bad)).unwrap_err();
+        assert!(
+            matches!(err, Error::Store(StoreError::Corrupt { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ impl LinearTransform {
     ///
     /// # Errors
     /// Returns [`Error::TransformArity`] if `a` and `b` differ in length.
-    pub fn from_parts(a: Vec<Complex64>, b: Vec<Complex64>, name: impl Into<String>) -> Result<Self> {
+    pub fn from_parts(
+        a: Vec<Complex64>,
+        b: Vec<Complex64>,
+        name: impl Into<String>,
+    ) -> Result<Self> {
         if a.len() != b.len() {
             return Err(Error::TransformArity {
                 expected: a.len(),
@@ -568,10 +572,7 @@ mod tests {
             for f in 0..4 {
                 let lhs = t.apply_coeff(f, spec[f]);
                 let rhs = warped_spec[f];
-                assert!(
-                    (lhs - rhs).abs() < 1e-9,
-                    "m={m} f={f}: {lhs} vs {rhs}"
-                );
+                assert!((lhs - rhs).abs() < 1e-9, "m={m} f={f}: {lhs} vs {rhs}");
             }
         }
     }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tsq_core::{
-    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex,
-    SpaceKind, SubseqConfig, SubseqIndex,
+    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex, SpaceKind,
+    SubseqConfig, SubseqIndex,
 };
 use tsq_series::TimeSeries;
 

@@ -95,7 +95,12 @@ impl Bluestein {
 
     fn run(&self, data: &mut [Complex64], inverse: bool) {
         let n = self.n;
-        assert_eq!(data.len(), n, "Bluestein size mismatch: planned {n}, got {}", data.len());
+        assert_eq!(
+            data.len(),
+            n,
+            "Bluestein size mismatch: planned {n}, got {}",
+            data.len()
+        );
         if inverse {
             for v in data.iter_mut() {
                 *v = v.conj();

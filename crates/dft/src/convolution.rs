@@ -22,7 +22,11 @@ use crate::planner::FftPlanner;
 /// # Panics
 /// Panics if the inputs differ in length.
 pub fn conv_real(x: &[f64], y: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), y.len(), "circular convolution requires equal lengths");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "circular convolution requires equal lengths"
+    );
     let n = x.len();
     let mut out = vec![0.0; n];
     for (i, o) in out.iter_mut().enumerate() {
@@ -43,7 +47,11 @@ pub fn conv_real(x: &[f64], y: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if the inputs differ in length.
 pub fn conv(x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
-    assert_eq!(x.len(), y.len(), "circular convolution requires equal lengths");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "circular convolution requires equal lengths"
+    );
     let n = x.len();
     let mut out = vec![ZERO; n];
     for (i, o) in out.iter_mut().enumerate() {
@@ -63,7 +71,11 @@ pub fn conv(x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
 /// # Panics
 /// Panics if the inputs differ in length.
 pub fn conv_fft(planner: &mut FftPlanner, x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
-    assert_eq!(x.len(), y.len(), "circular convolution requires equal lengths");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "circular convolution requires equal lengths"
+    );
     let n = x.len();
     if n == 0 {
         return Vec::new();
@@ -84,7 +96,10 @@ pub fn conv_fft(planner: &mut FftPlanner, x: &[Complex64], y: &[Complex64]) -> V
 pub fn conv_real_fft(planner: &mut FftPlanner, x: &[f64], y: &[f64]) -> Vec<f64> {
     let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
     let cy: Vec<Complex64> = y.iter().map(|&v| Complex64::from_real(v)).collect();
-    conv_fft(planner, &cx, &cy).into_iter().map(|c| c.re).collect()
+    conv_fft(planner, &cx, &cy)
+        .into_iter()
+        .map(|c| c.re)
+        .collect()
 }
 
 #[cfg(test)]
@@ -205,8 +220,12 @@ mod tests {
 
     #[test]
     fn frequency_identity_with_complex_input() {
-        let x: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, -0.3 * i as f64)).collect();
-        let y: Vec<Complex64> = (0..8).map(|i| Complex64::new((i as f64).cos(), 0.1)).collect();
+        let x: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(i as f64, -0.3 * i as f64))
+            .collect();
+        let y: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new((i as f64).cos(), 0.1))
+            .collect();
         let lhs = dft(&conv(&x, &y));
         let fx = dft(&x);
         let fy = dft(&y);

@@ -90,10 +90,7 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch: {x} vs {y} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch: {x} vs {y} (tol {tol})");
         }
     }
 
@@ -142,21 +139,31 @@ mod tests {
 
     #[test]
     fn linearity() {
-        let x: Vec<Complex64> = (0..10).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
-        let y: Vec<Complex64> = (0..10).map(|i| Complex64::new((i as f64).cos(), 0.3)).collect();
+        let x: Vec<Complex64> = (0..10)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let y: Vec<Complex64> = (0..10)
+            .map(|i| Complex64::new((i as f64).cos(), 0.3))
+            .collect();
         let a = Complex64::new(2.0, 0.0);
         let b = Complex64::new(-1.0, 0.5);
         let combo: Vec<Complex64> = x.iter().zip(&y).map(|(&xi, &yi)| a * xi + b * yi).collect();
         let lhs = dft(&combo);
         let dx = dft(&x);
         let dy = dft(&y);
-        let rhs: Vec<Complex64> = dx.iter().zip(&dy).map(|(&xi, &yi)| a * xi + b * yi).collect();
+        let rhs: Vec<Complex64> = dx
+            .iter()
+            .zip(&dy)
+            .map(|(&xi, &yi)| a * xi + b * yi)
+            .collect();
         assert_close(&lhs, &rhs, 1e-10);
     }
 
     #[test]
     fn prefix_matches_full() {
-        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin() + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.3).sin() + 0.1 * i as f64)
+            .collect();
         let full = dft_real(&x);
         let pre = dft_prefix(&x, 5);
         assert_close(&pre, &full[..5], 1e-10);

@@ -113,7 +113,9 @@ mod tests {
     fn parseval_distance_preserved() {
         // Equation 8: D(x, y) == D(X, Y).
         let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin() * 3.0).collect();
-        let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.23).cos() * 2.0 + 0.5).collect();
+        let y: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.23).cos() * 2.0 + 0.5)
+            .collect();
         let dt = euclidean_real(&x, &y);
         let fx = dft_real(&x);
         let fy = dft_real(&y);
@@ -139,7 +141,9 @@ mod tests {
     #[test]
     fn early_abandon_agrees_with_full() {
         let x: Vec<Complex64> = (0..20).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let y: Vec<Complex64> = (0..20).map(|i| Complex64::new(i as f64 + 1.0, 0.0)).collect();
+        let y: Vec<Complex64> = (0..20)
+            .map(|i| Complex64::new(i as f64 + 1.0, 0.0))
+            .collect();
         let d = euclidean_complex(&x, &y);
         // Generous threshold: full distance returned.
         let got = euclidean_complex_early_abandon(&x, &y, d + 1.0).unwrap();

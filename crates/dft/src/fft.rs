@@ -26,13 +26,15 @@ impl Radix2Tables {
     /// # Panics
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "radix-2 FFT requires power-of-two size, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "radix-2 FFT requires power-of-two size, got {n}"
+        );
         assert!(n <= u32::MAX as usize, "FFT size too large");
         let half = n / 2;
         let step = -std::f64::consts::TAU / n as f64;
-        let twiddles: Box<[Complex64]> = (0..half)
-            .map(|k| Complex64::cis(step * k as f64))
-            .collect();
+        let twiddles: Box<[Complex64]> =
+            (0..half).map(|k| Complex64::cis(step * k as f64)).collect();
         let bits = n.trailing_zeros();
         let rev: Box<[u32]> = (0..n as u32)
             .map(|i| {
@@ -86,7 +88,12 @@ impl Radix2Tables {
 
     fn run(&self, data: &mut [Complex64], dir: Direction) {
         let n = self.n;
-        assert_eq!(data.len(), n, "FFT size mismatch: planned {n}, got {}", data.len());
+        assert_eq!(
+            data.len(),
+            n,
+            "FFT size mismatch: planned {n}, got {}",
+            data.len()
+        );
         if n <= 1 {
             return;
         }

@@ -148,12 +148,17 @@ mod tests {
     fn planner_matches_reference_across_sizes() {
         let mut planner = FftPlanner::new();
         for n in [0usize, 1, 2, 3, 7, 8, 9, 15, 16, 100, 128, 200] {
-            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin() + 0.05 * i as f64).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.9).sin() + 0.05 * i as f64)
+                .collect();
             let got = planner.dft_real(&x);
             let want = dft_real(&x);
             assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
-                assert!((*g - *w).abs() < 1e-8 * (n as f64).max(1.0), "n={n}: {g} vs {w}");
+                assert!(
+                    (*g - *w).abs() < 1e-8 * (n as f64).max(1.0),
+                    "n={n}: {g} vs {w}"
+                );
             }
         }
     }

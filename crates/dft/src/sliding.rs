@@ -143,12 +143,17 @@ mod tests {
     use super::*;
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
     fn agrees_with_direct_prefix_power_of_two() {
-        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 5.0 + 0.01 * i as f64).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 0.01 * i as f64)
+            .collect();
         let w = 16;
         let k = 4;
         let windows = sliding_prefix(&x, w, k);

@@ -21,11 +21,14 @@ use tsq_lang::Catalog;
 use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
 
 const HELP: &str = "\
+usage: tsq [--snapshot <path>]      start with a catalog restored from a snapshot
 meta-commands:
   .gen <name> rw <count> <len> [seed]       generate random walks
   .gen <name> stocks <count> <len> [seed]   generate synthetic stocks
   .load <name> <path>                       load a CSV relation (one series per line)
-  .save <name> <path>                       write a relation back to CSV
+  .save <path>                              snapshot the whole catalog (relations + indexes)
+  .open <path>                              restore a snapshot into this catalog
+  .save <name> <path>                       write one relation back to CSV
   .batch <path> [threads]                   run a file of queries (one per line) on a worker pool
   .rel                                      list registered relations
   .help                                     this text
@@ -40,21 +43,40 @@ transformations:
   identity | mavg(w) | wmavg(w1, w2, ...) | reverse | shift(c) | scale(c) | warp(m)";
 
 fn main() {
-    if let Some(arg) = std::env::args().nth(1) {
-        match arg.as_str() {
-            "--help" | "-h" | "help" => {
-                println!("{HELP}");
-                return;
-            }
-            other => {
-                eprintln!("unknown argument {other:?}; the shell reads queries from stdin");
-                eprintln!("{HELP}");
-                std::process::exit(2);
-            }
-        }
-    }
     let mut catalog = Catalog::new();
     let mut names: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {}
+        [flag] if matches!(flag.as_str(), "--help" | "-h" | "help") => {
+            println!("{HELP}");
+            return;
+        }
+        [flag, path] if flag == "--snapshot" => match Catalog::load(Path::new(path)) {
+            Ok(restored) => {
+                catalog = restored;
+                names = catalog.relation_names();
+                println!(
+                    "restored {} relation(s) from {path}: {}",
+                    names.len(),
+                    names.join(", ")
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot restore snapshot {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        [flag] if flag == "--snapshot" => {
+            eprintln!("--snapshot requires a path");
+            std::process::exit(2);
+        }
+        [other, ..] => {
+            eprintln!("unknown argument {other:?}; the shell reads queries from stdin");
+            eprintln!("{HELP}");
+            std::process::exit(2);
+        }
+    }
     let stdin = io::stdin();
     let interactive = true;
     if interactive {
@@ -192,6 +214,28 @@ fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
                 Err(e) => println!("  error: {e}"),
             }
         }
+        ["save", path] => match catalog.save(Path::new(path)) {
+            Ok(bytes) => println!(
+                "  snapshot: {} relation(s), {bytes} byte(s) -> {path}",
+                catalog.relation_names().len()
+            ),
+            Err(e) => println!("  error: {e}"),
+        },
+        ["open", path] => match catalog.open(Path::new(path)) {
+            Ok(restored) => {
+                for n in &restored {
+                    if !names.iter().any(|existing| existing == n) {
+                        names.push(n.clone());
+                    }
+                }
+                println!(
+                    "  restored {} relation(s) from {path}: {}",
+                    restored.len(),
+                    restored.join(", ")
+                );
+            }
+            Err(e) => println!("  error: {e}"),
+        },
         ["save", name, path] => match catalog.relation(name) {
             Some(rel) => match tsq_series::io::save_csv(Path::new(path), rel.series()) {
                 Ok(()) => println!("  wrote {} series to {path}", rel.len()),
@@ -217,7 +261,10 @@ fn register(
                 if !names.iter().any(|n| n == name) {
                     names.push(name.to_string());
                 }
-                println!("  registered {name} ({count} series); labels are s0..s{}", count - 1);
+                println!(
+                    "  registered {name} ({count} series); labels are s0..s{}",
+                    count - 1
+                );
             }
             Err(e) => println!("  error: {e}"),
         },

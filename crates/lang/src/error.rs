@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LangError::Parse { pos: 3, message: "expected TO".into() };
+        let e = LangError::Parse {
+            pos: 3,
+            message: "expected TO".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
         let e: LangError = tsq_core::Error::UnknownSeries(7).into();
         assert!(e.to_string().contains("unknown series"));

@@ -27,8 +27,8 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use tsq_core::{
-    executor, IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation,
-    SimilarityIndex, SubseqConfig, SubseqIndex,
+    executor, IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation, SimilarityIndex,
+    SubseqConfig, SubseqIndex,
 };
 use tsq_series::TimeSeries;
 
@@ -43,15 +43,15 @@ pub const DEFAULT_SUBSEQ_CACHE_CAPACITY: usize = 16;
 /// cache *hit* — which holds only the read lock — can still record
 /// recency for the LRU eviction.
 #[derive(Debug)]
-struct CacheSlot {
-    index: Arc<SubseqIndex>,
-    last_used: AtomicU64,
+pub(crate) struct CacheSlot {
+    pub(crate) index: Arc<SubseqIndex>,
+    pub(crate) last_used: AtomicU64,
 }
 
 #[derive(Debug)]
-struct SubseqCache {
-    map: HashMap<(String, usize), CacheSlot>,
-    capacity: usize,
+pub(crate) struct SubseqCache {
+    pub(crate) map: HashMap<(String, usize), CacheSlot>,
+    pub(crate) capacity: usize,
 }
 
 impl Default for SubseqCache {
@@ -73,14 +73,14 @@ impl Default for SubseqCache {
 /// single lock holder.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    relations: HashMap<String, SeriesRelation>,
-    indexes: HashMap<String, SimilarityIndex>,
-    subseq: RwLock<SubseqCache>,
+    pub(crate) relations: HashMap<String, SeriesRelation>,
+    pub(crate) indexes: HashMap<String, SimilarityIndex>,
+    pub(crate) subseq: RwLock<SubseqCache>,
     /// Logical LRU clock; bumped on every cache access.
-    clock: AtomicU64,
+    pub(crate) clock: AtomicU64,
     /// Worker threads per ST-index build; 0 = the machine's parallelism.
     build_threads: usize,
-    config: IndexConfig,
+    pub(crate) config: IndexConfig,
 }
 
 impl Catalog {
@@ -102,11 +102,11 @@ impl Catalog {
     /// no user code runs under the lock, so a panicking lock holder cannot
     /// leave it logically inconsistent — the poison flag carries no
     /// information worth a second panic.
-    fn cache_read(&self) -> RwLockReadGuard<'_, SubseqCache> {
+    pub(crate) fn cache_read(&self) -> RwLockReadGuard<'_, SubseqCache> {
         self.subseq.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn cache_write(&self) -> RwLockWriteGuard<'_, SubseqCache> {
+    pub(crate) fn cache_write(&self) -> RwLockWriteGuard<'_, SubseqCache> {
         self.subseq.write().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -155,9 +155,25 @@ impl Catalog {
         self.cache_read().map.len()
     }
 
+    /// Cached `(relation, window)` keys, least recently used first —
+    /// the order snapshots persist them in and evictions consume them in.
+    pub fn subseq_cache_keys(&self) -> Vec<(String, usize)> {
+        let cache = self.cache_read();
+        let mut keys: Vec<(u64, (String, usize))> = cache
+            .map
+            .iter()
+            .map(|(k, slot)| (slot.last_used.load(Ordering::Relaxed), k.clone()))
+            .collect();
+        keys.sort();
+        keys.into_iter().map(|(_, k)| k).collect()
+    }
+
     /// The least-recently-used cache key, skipping `keep` (the entry a
     /// caller just touched must never be its own eviction victim).
-    fn lru_key(cache: &SubseqCache, keep: Option<&(String, usize)>) -> Option<(String, usize)> {
+    pub(crate) fn lru_key(
+        cache: &SubseqCache,
+        keep: Option<&(String, usize)>,
+    ) -> Option<(String, usize)> {
         cache
             .map
             .iter()
@@ -171,7 +187,17 @@ impl Catalog {
         self.relations.get(name)
     }
 
-    fn resolve_relation(&self, name: &str) -> Result<(&SeriesRelation, &SimilarityIndex), LangError> {
+    /// Names of all registered relations, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn resolve_relation(
+        &self,
+        name: &str,
+    ) -> Result<(&SeriesRelation, &SimilarityIndex), LangError> {
         match (self.relations.get(name), self.indexes.get(name)) {
             (Some(r), Some(i)) => Ok((r, i)),
             _ => Err(LangError::Resolve(format!("unknown relation {name:?}"))),
@@ -184,8 +210,9 @@ impl Catalog {
             // can be built programmatically — keep the typed rejection
             // here so NaN can never reach the engine (or panic) from any
             // entry point.
-            Source::Literal(values) => TimeSeries::try_new(values.clone())
-                .map_err(|e| LangError::Engine(e.into())),
+            Source::Literal(values) => {
+                TimeSeries::try_new(values.clone()).map_err(|e| LangError::Engine(e.into()))
+            }
             Source::Ref { relation, label } => {
                 let rel = self
                     .relations
@@ -193,9 +220,7 @@ impl Catalog {
                     .ok_or_else(|| LangError::Resolve(format!("unknown relation {relation:?}")))?;
                 rel.get_by_label(label)
                     .cloned()
-                    .ok_or_else(|| {
-                        LangError::Resolve(format!("unknown series {relation}.{label}"))
-                    })
+                    .ok_or_else(|| LangError::Resolve(format!("unknown series {relation}.{label}")))
             }
         }
     }
@@ -501,11 +526,7 @@ impl SharedCatalog {
 
     /// Read-locked access to a relation (the guard cannot escape, so the
     /// borrow is handed to a closure).
-    pub fn with_relation<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(Option<&SeriesRelation>) -> R,
-    ) -> R {
+    pub fn with_relation<R>(&self, name: &str, f: impl FnOnce(Option<&SeriesRelation>) -> R) -> R {
         f(self.read().relation(name))
     }
 }
@@ -637,7 +658,9 @@ fn resolve_one(spec: &TransformSpec, n: usize) -> Result<LinearTransform, LangEr
             let m = positive_int(spec.args[0], "warp factor")?;
             Ok(LinearTransform::time_warp(n, m))
         }
-        other => Err(LangError::Resolve(format!("unknown transformation {other:?}"))),
+        other => Err(LangError::Resolve(format!(
+            "unknown transformation {other:?}"
+        ))),
     }
 }
 
@@ -648,11 +671,9 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        let rel = SeriesRelation::from_series(
-            "walks",
-            RandomWalkGenerator::new(51).relation(60, 32),
-        )
-        .unwrap();
+        let rel =
+            SeriesRelation::from_series("walks", RandomWalkGenerator::new(51).relation(60, 32))
+                .unwrap();
         cat.register(rel).unwrap();
         cat
     }
@@ -694,10 +715,7 @@ mod tests {
             .iter()
             .map(|v| format!("{v}"))
             .collect();
-        let q = format!(
-            "FIND 1 NEAREST TO [{}] IN walks",
-            values.join(", ")
-        );
+        let q = format!("FIND 1 NEAREST TO [{}] IN walks", values.join(", "));
         let out = cat.run(&q).unwrap();
         assert_eq!(out.rows[0].a, "s1");
         assert!(out.rows[0].distance < 1e-9);
@@ -706,9 +724,15 @@ mod tests {
     #[test]
     fn join_methods_agree() {
         let cat = catalog();
-        let scan = cat.run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING SCAN").unwrap();
-        let index = cat.run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING INDEX").unwrap();
-        let tree = cat.run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING TREE").unwrap();
+        let scan = cat
+            .run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING SCAN")
+            .unwrap();
+        let index = cat
+            .run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING INDEX")
+            .unwrap();
+        let tree = cat
+            .run("JOIN walks WITHIN 1.5 APPLY mavg(4) USING TREE")
+            .unwrap();
         // Scan reports each pair once; index/tree twice.
         assert_eq!(index.rows.len(), 2 * scan.rows.len());
         assert_eq!(tree.rows.len(), index.rows.len());
@@ -755,7 +779,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            LangError::Engine(tsq_core::Error::LengthMismatch { expected: 8, got: 3 })
+            LangError::Engine(tsq_core::Error::LengthMismatch {
+                expected: 8,
+                got: 3
+            })
         ));
     }
 
@@ -777,11 +804,9 @@ mod tests {
         cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 1 WINDOW 32")
             .unwrap();
         assert_eq!(cat.subseq_cache_len(), 1);
-        let replacement = SeriesRelation::from_series(
-            "walks",
-            RandomWalkGenerator::new(77).relation(10, 32),
-        )
-        .unwrap();
+        let replacement =
+            SeriesRelation::from_series("walks", RandomWalkGenerator::new(77).relation(10, 32))
+                .unwrap();
         cat.register(replacement).unwrap();
         assert_eq!(cat.subseq_cache_len(), 0);
     }
@@ -806,11 +831,9 @@ mod tests {
         assert!(!cat.run(&q).unwrap().rows.is_empty());
         // Replace the relation with unrelated data: the old answer must
         // disappear — a stale cached ST-index would still report it.
-        let replacement = SeriesRelation::from_series(
-            "walks",
-            RandomWalkGenerator::new(987_654).relation(4, 32),
-        )
-        .unwrap();
+        let replacement =
+            SeriesRelation::from_series("walks", RandomWalkGenerator::new(987_654).relation(4, 32))
+                .unwrap();
         cat.register(replacement).unwrap();
         assert!(cat.run(&q).unwrap().rows.is_empty());
     }
@@ -873,11 +896,9 @@ mod tests {
                 vals.join(", ")
             ))
             .is_ok());
-        let replacement = SeriesRelation::from_series(
-            "walks",
-            RandomWalkGenerator::new(5).relation(8, 32),
-        )
-        .unwrap();
+        let replacement =
+            SeriesRelation::from_series("walks", RandomWalkGenerator::new(5).relation(8, 32))
+                .unwrap();
         cat.register(replacement).unwrap();
         assert_eq!(cat.subseq_cache_len(), 0);
     }
@@ -955,11 +976,8 @@ mod tests {
         assert_eq!(out.rows.len(), 2);
         shared
             .register(
-                SeriesRelation::from_series(
-                    "more",
-                    RandomWalkGenerator::new(11).relation(5, 32),
-                )
-                .unwrap(),
+                SeriesRelation::from_series("more", RandomWalkGenerator::new(11).relation(5, 32))
+                    .unwrap(),
             )
             .unwrap();
         assert!(shared.run("FIND 1 NEAREST TO more.s0 IN more").is_ok());
@@ -1032,8 +1050,14 @@ mod tests {
     fn composition_left_to_right() {
         let t = resolve_transforms(
             &[
-                TransformSpec { name: "mavg".into(), args: vec![4.0] },
-                TransformSpec { name: "reverse".into(), args: vec![] },
+                TransformSpec {
+                    name: "mavg".into(),
+                    args: vec![4.0],
+                },
+                TransformSpec {
+                    name: "reverse".into(),
+                    args: vec![],
+                },
             ],
             32,
         )
@@ -1045,13 +1069,22 @@ mod tests {
     fn warp_composition_rejected_via_engine_error() {
         let err = resolve_transforms(
             &[
-                TransformSpec { name: "warp".into(), args: vec![2.0] },
-                TransformSpec { name: "reverse".into(), args: vec![] },
+                TransformSpec {
+                    name: "warp".into(),
+                    args: vec![2.0],
+                },
+                TransformSpec {
+                    name: "reverse".into(),
+                    args: vec![],
+                },
             ],
             16,
         )
         .unwrap_err();
-        assert!(matches!(err, LangError::Engine(tsq_core::Error::Unsupported(_))));
+        assert!(matches!(
+            err,
+            LangError::Engine(tsq_core::Error::Unsupported(_))
+        ));
     }
 
     #[test]

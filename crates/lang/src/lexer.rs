@@ -16,27 +16,45 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                tokens.push(Token { pos: i, kind: TokenKind::LParen });
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::LParen,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { pos: i, kind: TokenKind::RParen });
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::RParen,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { pos: i, kind: TokenKind::LBracket });
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::LBracket,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { pos: i, kind: TokenKind::RBracket });
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::RBracket,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { pos: i, kind: TokenKind::Comma });
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             '.' if i + 1 < bytes.len() && !(bytes[i + 1] as char).is_ascii_digit() => {
-                tokens.push(Token { pos: i, kind: TokenKind::Dot });
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::Dot,
+                });
                 i += 1;
             }
             '-' | '+' | '.' | '0'..='9' => {
@@ -44,8 +62,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                 i += 1;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
-                    let exp_sign = (d == '-' || d == '+')
-                        && matches!(bytes[i - 1] as char, 'e' | 'E');
+                    let exp_sign =
+                        (d == '-' || d == '+') && matches!(bytes[i - 1] as char, 'e' | 'E');
                     if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exp_sign {
                         i += 1;
                     } else {
@@ -67,7 +85,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                         message: format!("number {text:?} overflows f64"),
                     });
                 }
-                tokens.push(Token { pos: start, kind: TokenKind::Number(value) });
+                tokens.push(Token {
+                    pos: start,
+                    kind: TokenKind::Number(value),
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -93,7 +114,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
             }
         }
     }
-    tokens.push(Token { pos: src.len(), kind: TokenKind::Eof });
+    tokens.push(Token {
+        pos: src.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 
@@ -175,6 +199,9 @@ mod tests {
             }
         }
         // Large but representable literals still pass.
-        assert_eq!(kinds("1e300"), vec![TokenKind::Number(1e300), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e300"),
+            vec![TokenKind::Number(1e300), TokenKind::Eof]
+        );
     }
 }

@@ -20,6 +20,14 @@
 //! makes one catalog safely shareable across any number of client threads,
 //! and [`Catalog::run_batch`] fans a batch of queries over a worker pool
 //! with per-batch [`BatchSummary`] statistics.
+//!
+//! Catalogs are durable: [`Catalog::save`] snapshots every relation,
+//! whole-match index (R\*-tree structure preserved byte-identically) and
+//! cached subsequence ST-index to one checksummed binary file, and
+//! [`Catalog::open`] / [`Catalog::load`] restore it with query results —
+//! and traversal statistics — guaranteed identical to the saved catalog.
+//! The shell exposes this as `.save <path>` / `.open <path>` and a
+//! `tsq --snapshot <path>` startup flag.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +37,7 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+mod snapshot;
 pub mod token;
 
 pub use ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};

@@ -363,11 +363,20 @@ mod tests {
             } => {
                 assert_eq!(
                     source,
-                    Source::Ref { relation: "stocks".into(), label: "BBA".into() }
+                    Source::Ref {
+                        relation: "stocks".into(),
+                        label: "BBA".into()
+                    }
                 );
                 assert_eq!(relation, "stocks");
                 assert_eq!(eps, 2.75);
-                assert_eq!(transforms, vec![TransformSpec { name: "mavg".into(), args: vec![20.0] }]);
+                assert_eq!(
+                    transforms,
+                    vec![TransformSpec {
+                        name: "mavg".into(),
+                        args: vec![20.0]
+                    }]
+                );
                 assert_eq!(window, WindowSpec::default());
             }
             other => panic!("unexpected {other:?}"),
@@ -378,7 +387,12 @@ mod tests {
     fn parse_nearest_with_literal() {
         let q = parse("find 3 nearest to [1, 2, 3.5] in walks apply reverse").unwrap();
         match q {
-            Query::Nearest { source, relation, k, transforms } => {
+            Query::Nearest {
+                source,
+                relation,
+                k,
+                transforms,
+            } => {
                 assert_eq!(source, Source::Literal(vec![1.0, 2.0, 3.5]));
                 assert_eq!(relation, "walks");
                 assert_eq!(k, 3);
@@ -393,7 +407,12 @@ mod tests {
     fn parse_join_with_method() {
         let q = parse("JOIN stocks WITHIN 1.5 APPLY mavg(20) USING TREE").unwrap();
         match q {
-            Query::Join { relation, eps, transforms, method } => {
+            Query::Join {
+                relation,
+                eps,
+                transforms,
+                method,
+            } => {
                 assert_eq!(relation, "stocks");
                 assert_eq!(eps, 1.5);
                 assert_eq!(transforms.len(), 1);
@@ -460,7 +479,12 @@ mod tests {
     fn parse_subsequence_range() {
         let q = parse("FIND SUBSEQUENCE OF [1, 2, 3] IN walks WITHIN 0.5 WINDOW 3").unwrap();
         match q {
-            Query::SubseqSimilar { source, relation, eps, window } => {
+            Query::SubseqSimilar {
+                source,
+                relation,
+                eps,
+                window,
+            } => {
                 assert_eq!(source, Source::Literal(vec![1.0, 2.0, 3.0]));
                 assert_eq!(relation, "walks");
                 assert_eq!(eps, 0.5);
@@ -474,8 +498,19 @@ mod tests {
     fn parse_subsequence_nearest() {
         let q = parse("find 7 nearest subsequence of pats.q IN walks window 16").unwrap();
         match q {
-            Query::SubseqNearest { source, relation, k, window } => {
-                assert_eq!(source, Source::Ref { relation: "pats".into(), label: "q".into() });
+            Query::SubseqNearest {
+                source,
+                relation,
+                k,
+                window,
+            } => {
+                assert_eq!(
+                    source,
+                    Source::Ref {
+                        relation: "pats".into(),
+                        label: "q".into()
+                    }
+                );
                 assert_eq!(relation, "walks");
                 assert_eq!(k, 7);
                 assert_eq!(window, 16);

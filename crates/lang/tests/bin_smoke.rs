@@ -11,8 +11,14 @@ fn help_prints_grammar() {
     let out = Command::new(BIN).arg("--help").output().expect("run tsq");
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("meta-commands"), "missing help text: {stdout}");
-    assert!(stdout.contains("FIND SIMILAR TO"), "missing grammar: {stdout}");
+    assert!(
+        stdout.contains("meta-commands"),
+        "missing help text: {stdout}"
+    );
+    assert!(
+        stdout.contains("FIND SIMILAR TO"),
+        "missing grammar: {stdout}"
+    );
 }
 
 #[test]
@@ -21,6 +27,91 @@ fn unknown_argument_is_rejected() {
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
+}
+
+#[test]
+fn snapshot_flag_restores_a_saved_catalog() {
+    let dir = std::env::temp_dir().join(format!("tsq-bin-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("session.tsq");
+    let path_str = path.to_str().unwrap();
+
+    // Session 1: generate, query, snapshot.
+    let mut child = Command::new(BIN)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsq");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            format!(".gen w rw 8 16 1\nFIND 2 NEAREST TO w.s0 IN w\n.save {path_str}\n.quit\n")
+                .as_bytes(),
+        )
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait tsq");
+    assert!(out.status.success());
+    let first = String::from_utf8(out.stdout).unwrap();
+    assert!(first.contains("snapshot: 1 relation(s)"), "{first}");
+
+    // Session 2: a fresh process restores the snapshot via the flag and
+    // answers the same query identically.
+    let mut child = Command::new(BIN)
+        .arg("--snapshot")
+        .arg(path_str)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsq --snapshot");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"FIND 2 NEAREST TO w.s0 IN w\n.rel\n.quit\n")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait tsq");
+    assert!(out.status.success());
+    let second = String::from_utf8(out.stdout).unwrap();
+    assert!(second.contains("restored 1 relation(s)"), "{second}");
+    assert!(second.contains("w: 8 series of length 16"), "{second}");
+    let rows = |s: &str| -> Vec<String> {
+        s.lines()
+            .map(|l| l.trim_start_matches("tsq> ").to_string())
+            .filter(|l| l.contains("D = "))
+            .collect()
+    };
+    assert_eq!(
+        rows(&first),
+        rows(&second),
+        "answers must survive the restart"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_flag_rejects_a_missing_file() {
+    let out = Command::new(BIN)
+        .arg("--snapshot")
+        .arg("/nonexistent/nope.tsq")
+        .output()
+        .expect("run tsq");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("cannot restore snapshot"),
+        "stderr: {stderr}"
+    );
+
+    // And the flag without a path is a usage error.
+    let out = Command::new(BIN)
+        .arg("--snapshot")
+        .output()
+        .expect("run tsq");
+    assert!(!out.status.success());
 }
 
 #[test]
@@ -45,7 +136,10 @@ fn tiny_session_generates_and_queries() {
     let out = child.wait_with_output().expect("wait tsq");
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("registered w (8 series)"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("registered w (8 series)"),
+        "stdout: {stdout}"
+    );
     assert!(stdout.contains("D = "), "query produced no rows: {stdout}");
     assert!(
         stdout.contains("w: 8 series of length 16"),

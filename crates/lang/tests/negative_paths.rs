@@ -74,7 +74,10 @@ fn engine_level_validation_surfaces_typed_errors() {
         .unwrap_err();
     assert!(matches!(
         err,
-        LangError::Engine(tsq_core::Error::LengthMismatch { expected: 8, got: 32 })
+        LangError::Engine(tsq_core::Error::LengthMismatch {
+            expected: 8,
+            got: 32
+        })
     ));
     // Programmatic (non-parser) construction of a negative threshold is
     // caught by the engine's own typed check.
@@ -150,7 +153,10 @@ fn whole_sequence_negative_eps_reported_with_position() {
     // result set via the engine's generic Unsupported path.
     match parse("FIND SIMILAR TO walks.s0 IN walks WITHIN -5") {
         Err(LangError::Parse { message, .. }) => {
-            assert!(message.contains("-5"), "message should cite the value: {message}")
+            assert!(
+                message.contains("-5"),
+                "message should cite the value: {message}"
+            )
         }
         other => panic!("expected parse error, got {other:?}"),
     }

@@ -42,11 +42,7 @@ impl<T: Send> RStarTree<T> {
     ///
     /// # Panics
     /// Panics if rectangles disagree in dimensionality.
-    pub fn bulk_load_parallel(
-        config: RTreeConfig,
-        items: Vec<(Rect, T)>,
-        threads: usize,
-    ) -> Self {
+    pub fn bulk_load_parallel(config: RTreeConfig, items: Vec<(Rect, T)>, threads: usize) -> Self {
         if threads <= 1 {
             return Self::bulk_load(config, items);
         }

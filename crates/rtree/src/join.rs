@@ -262,7 +262,9 @@ mod tests {
     fn join_prunes_subtrees() {
         // Two distant clusters: the cross-cluster subtree pairs must be
         // pruned, so entry tests stay far below the n*m worst case.
-        let pts_a: Vec<[f64; 2]> = (0..100).map(|i| [i as f64 % 10.0, (i / 10) as f64]).collect();
+        let pts_a: Vec<[f64; 2]> = (0..100)
+            .map(|i| [i as f64 % 10.0, (i / 10) as f64])
+            .collect();
         let pts_b: Vec<[f64; 2]> = pts_a
             .iter()
             .map(|p| [p[0] + 1000.0, p[1] + 1000.0])

@@ -113,7 +113,15 @@ impl<T> RStarTree<T> {
                 }
                 HeapPayload::Item(rect, item) => {
                     stats.candidates += 1;
-                    insert_sorted(&mut results, Neighbor { distance: dist, rect, item }, k);
+                    insert_sorted(
+                        &mut results,
+                        Neighbor {
+                            distance: dist,
+                            rect,
+                            item,
+                        },
+                        k,
+                    );
                     // When the k-th distance is settled, the loop's break
                     // condition prunes the remaining heap.
                 }

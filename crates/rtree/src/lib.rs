@@ -29,6 +29,7 @@ pub mod bulk;
 pub mod config;
 pub mod join;
 pub mod knn;
+pub mod persist;
 pub mod rect;
 pub mod search;
 pub mod stats;

@@ -62,11 +62,7 @@ impl<T> Node<T> {
     /// callers guard that case).
     pub(crate) fn mbr(&self) -> Rect {
         let mut it = self.entries.iter();
-        let first = it
-            .next()
-            .expect("mbr of empty node")
-            .rect()
-            .clone();
+        let first = it.next().expect("mbr of empty node").rect().clone();
         it.fold(first, |mut acc, e| {
             acc.union_assign(e.rect());
             acc

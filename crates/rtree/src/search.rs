@@ -127,7 +127,12 @@ impl<T: Sync> RStarTree<T> {
         let per_subtree = crate::par::parallel_map(threads, subtrees, |node| {
             let mut out = Vec::new();
             let mut local = SearchStats::default();
-            self.visit_node(node, &mut |r| accept(r), &mut |r, item| out.push((r, item)), &mut local);
+            self.visit_node(
+                node,
+                &mut |r| accept(r),
+                &mut |r, item| out.push((r, item)),
+                &mut local,
+            );
             (out, local)
         });
         let mut out = Vec::new();
@@ -263,7 +268,10 @@ mod tests {
     fn parallel_search_on_small_and_empty_trees() {
         let empty: RStarTree<u8> = RStarTree::default();
         let q = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
-        assert!(empty.search_with_parallel(|r| r.intersects(&q), 4).0.is_empty());
+        assert!(empty
+            .search_with_parallel(|r| r.intersects(&q), 4)
+            .0
+            .is_empty());
         // Root-only leaf tree takes the sequential fallback.
         let mut small = RStarTree::new(RTreeConfig::with_max_entries(8));
         for i in 0..5 {

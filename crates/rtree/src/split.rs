@@ -15,7 +15,10 @@ pub(crate) fn rstar_split<T>(
     _max: usize,
 ) -> (Vec<Entry<T>>, Vec<Entry<T>>) {
     let total = entries.len();
-    debug_assert!(total >= 2 * min, "cannot split {total} entries with min {min}");
+    debug_assert!(
+        total >= 2 * min,
+        "cannot split {total} entries with min {min}"
+    );
     let dims = entries[0].rect().dims();
     // Number of candidate distributions per sorted order.
     let k_count = total - 2 * min + 1;
@@ -30,17 +33,13 @@ pub(crate) fn rstar_split<T>(
     for axis in 0..dims {
         let mut by_lo: Vec<usize> = (0..total).collect();
         by_lo.sort_by(|&a, &b| {
-            entries[a]
-                .rect()
-                .lo()[axis]
+            entries[a].rect().lo()[axis]
                 .total_cmp(&entries[b].rect().lo()[axis])
                 .then(entries[a].rect().hi()[axis].total_cmp(&entries[b].rect().hi()[axis]))
         });
         let mut by_hi: Vec<usize> = (0..total).collect();
         by_hi.sort_by(|&a, &b| {
-            entries[a]
-                .rect()
-                .hi()[axis]
+            entries[a].rect().hi()[axis]
                 .total_cmp(&entries[b].rect().hi()[axis])
                 .then(entries[a].rect().lo()[axis].total_cmp(&entries[b].rect().lo()[axis]))
         });
@@ -74,9 +73,7 @@ pub(crate) fn rstar_split<T>(
             let area = r1.area() + r2.area();
             let better = match &best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some((overlap, area, oi, split_at));
@@ -150,7 +147,11 @@ mod tests {
         // Two well-separated clusters along x should split cleanly.
         let mut entries: Vec<Entry<usize>> = Vec::new();
         for i in 0..5 {
-            entries.push(leaf_entry([i as f64 * 0.1, 0.0], [i as f64 * 0.1 + 0.05, 1.0], i));
+            entries.push(leaf_entry(
+                [i as f64 * 0.1, 0.0],
+                [i as f64 * 0.1 + 0.05, 1.0],
+                i,
+            ));
         }
         for i in 0..4 {
             entries.push(leaf_entry(
@@ -181,7 +182,11 @@ mod tests {
             }
             r
         };
-        assert_eq!(mbr(&g1).intersection_area(&mbr(&g2)), 0.0, "groups {a:?} / {b:?}");
+        assert_eq!(
+            mbr(&g1).intersection_area(&mbr(&g2)),
+            0.0,
+            "groups {a:?} / {b:?}"
+        );
     }
 
     #[test]

@@ -282,7 +282,10 @@ fn validate_node<T>(node: &Node<T>, cfg: &RTreeConfig, is_root: bool) -> usize {
             cfg.min_entries
         );
     } else if !node.is_leaf() {
-        assert!(node.entries.len() >= 2, "internal root must have >= 2 entries");
+        assert!(
+            node.entries.len() >= 2,
+            "internal root must have >= 2 entries"
+        );
     }
     if node.is_leaf() {
         for e in &node.entries {

@@ -47,7 +47,9 @@ impl RandomWalkGenerator {
         if len == 0 {
             return TimeSeries::new(out);
         }
-        let mut v = self.rng.random_range(self.start_range.0..=self.start_range.1);
+        let mut v = self
+            .rng
+            .random_range(self.start_range.0..=self.start_range.1);
         out.push(v);
         for _ in 1..len {
             v += self.rng.random_range(self.step_range.0..=self.step_range.1);
@@ -166,7 +168,9 @@ impl StockGenerator {
                 1.0
             };
             let beta = self.rng.random_range(self.beta_range.0..=self.beta_range.1);
-            let drift = self.rng.random_range(self.drift_range.0..=self.drift_range.1);
+            let drift = self
+                .rng
+                .random_range(self.drift_range.0..=self.drift_range.1);
             let base = self.rng.random_range(5.0..80.0);
             let mut price = base;
             let mut vals = Vec::with_capacity(len);

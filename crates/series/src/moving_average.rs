@@ -166,7 +166,9 @@ mod tests {
         // length of the sequence ... both averages are almost the same"
         // (Example 1.1): away from the wrap-around region they coincide
         // exactly.
-        let vals: Vec<f64> = (0..128).map(|i| (i as f64 * 0.17).sin() * 10.0 + 50.0).collect();
+        let vals: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 0.17).sin() * 10.0 + 50.0)
+            .collect();
         let s = TimeSeries::new(vals);
         let w = 5;
         let circ = circular_moving_average(&s, w);
@@ -198,7 +200,9 @@ mod tests {
     fn ma_brings_similar_series_closer() {
         // Smoothing reduces distance contributed by uncorrelated noise.
         let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin() * 5.0).collect();
-        let noise: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let noise: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let b: Vec<f64> = a.iter().zip(&noise).map(|(x, e)| x + e).collect();
         let sa = TimeSeries::new(a);
         let sb = TimeSeries::new(b);

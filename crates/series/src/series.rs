@@ -197,7 +197,13 @@ mod tests {
         assert_eq!(err.index, 2);
         assert!(err.value.is_nan());
         let err = TimeSeries::try_new(vec![f64::INFINITY]).unwrap_err();
-        assert_eq!(err, NonFiniteValue { index: 0, value: f64::INFINITY });
+        assert_eq!(
+            err,
+            NonFiniteValue {
+                index: 0,
+                value: f64::INFINITY
+            }
+        );
         assert!(err.to_string().contains("position 0"));
         assert_eq!(
             TimeSeries::try_new(vec![1.0, -2.0]).unwrap().values(),

@@ -62,7 +62,10 @@ mod tests {
         // p = (20, 21, 20, 23) stretched by 2 gives s = (20,20,21,21,20,20,23,23).
         let p = TimeSeries::from([20.0, 21.0, 20.0, 23.0]);
         let s = stretch(&p, 2);
-        assert_eq!(s.values(), &[20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]);
+        assert_eq!(
+            s.values(),
+            &[20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]
+        );
     }
 
     #[test]

@@ -34,11 +34,8 @@ fn main() {
     )
     .expect("register walks");
     cat.register(
-        SeriesRelation::from_series(
-            "stocks",
-            StockGenerator::new(20_260_728).relation(300, 128),
-        )
-        .expect("generate stocks"),
+        SeriesRelation::from_series("stocks", StockGenerator::new(20_260_728).relation(300, 128))
+            .expect("generate stocks"),
     )
     .expect("register stocks");
     let shared = SharedCatalog::new(cat);
@@ -79,11 +76,9 @@ fn main() {
         }
         let writer = shared.clone();
         scope.spawn(move || {
-            let fresh = SeriesRelation::from_series(
-                "fresh",
-                RandomWalkGenerator::new(7).relation(50, 64),
-            )
-            .expect("generate fresh");
+            let fresh =
+                SeriesRelation::from_series("fresh", RandomWalkGenerator::new(7).relation(50, 64))
+                    .expect("generate fresh");
             writer.register(fresh).expect("register mid-flight");
         });
     });

@@ -9,8 +9,8 @@
 
 use tsq_core::{IndexConfig, LinearTransform, QueryWindow, SimilarityIndex};
 use tsq_series::generate::StockGenerator;
-use tsq_series::stats::pearson;
 use tsq_series::normal::normal_form;
+use tsq_series::stats::pearson;
 
 fn main() {
     // A synthetic market with a healthy share of inverse-loading stocks
@@ -35,8 +35,14 @@ fn main() {
     let nq = normal_form(q);
     for m in matches.iter().take(8) {
         let corr = pearson(nq.values(), normal_form(&stocks[m.id]).values());
-        println!("  stock {:3}  D = {:6.3}  corr = {corr:+.2}", m.id, m.distance);
-        assert!(corr < 0.0, "an opposite mover must be negatively correlated");
+        println!(
+            "  stock {:3}  D = {:6.3}  corr = {corr:+.2}",
+            m.id, m.distance
+        );
+        assert!(
+            corr < 0.0,
+            "an opposite mover must be negatively correlated"
+        );
     }
 
     // All opposite-moving pairs, via the reverse self-join. Applying T_rev
@@ -46,6 +52,9 @@ fn main() {
     println!("\n3 best hedges for stock #0:");
     for m in &knn.0 {
         let corr = pearson(nq.values(), normal_form(&stocks[m.id]).values());
-        println!("  stock {:3}  D = {:6.3}  corr = {corr:+.2}", m.id, m.distance);
+        println!(
+            "  stock {:3}  D = {:6.3}  corr = {corr:+.2}",
+            m.id, m.distance
+        );
     }
 }

@@ -36,7 +36,11 @@ fn main() {
         println!("\ntsq> {q}");
         match catalog.run(q) {
             Ok(out) => {
-                println!("  {} row(s), {} node accesses", out.rows.len(), out.nodes_visited);
+                println!(
+                    "  {} row(s), {} node accesses",
+                    out.rows.len(),
+                    out.nodes_visited
+                );
                 for row in out.rows.iter().take(6) {
                     match &row.b {
                         Some(b) => println!("  {}  ~  {}   D = {:.4}", row.a, b, row.distance),

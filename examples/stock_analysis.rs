@@ -99,5 +99,8 @@ fn example_2_3_shape() {
     }
     // The paper's point: even after ten rounds the distance stays
     // substantial for genuinely different trends (theirs: 6.57 from 11.06).
-    assert!(last > 0.5, "unrelated stocks should stay distant, got {last}");
+    assert!(
+        last > 0.5,
+        "unrelated stocks should stay distant, got {last}"
+    );
 }

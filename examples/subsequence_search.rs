@@ -60,14 +60,20 @@ fn main() {
         scan_stats.windows,
     );
     for m in matches.iter().take(5) {
-        println!("  series {:3} @ offset {:3}   D = {:.4}", m.series, m.offset, m.distance);
+        println!(
+            "  series {:3} @ offset {:3}   D = {:.4}",
+            m.series, m.offset, m.distance
+        );
     }
 
     // 4. The 5 nearest windows anywhere in the relation.
     let (knn, _) = index.subseq_knn(&q, 5).expect("knn");
     println!("\n5 nearest windows:");
     for m in &knn {
-        println!("  series {:3} @ offset {:3}   D = {:.4}", m.series, m.offset, m.distance);
+        println!(
+            "  series {:3} @ offset {:3}   D = {:.4}",
+            m.series, m.offset, m.distance
+        );
     }
 
     // 5. The same power through the query language. Named relations hold
@@ -89,7 +95,10 @@ fn main() {
         literal.join(", ")
     );
     let out = catalog.run(&query).expect("language query");
-    println!("\nvia the query language ({} node accesses):", out.nodes_visited);
+    println!(
+        "\nvia the query language ({} node accesses):",
+        out.nodes_visited
+    );
     for row in &out.rows {
         println!(
             "  {} @ {}   D = {:.4}",

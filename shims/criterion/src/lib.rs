@@ -171,7 +171,11 @@ impl BenchmarkGroup<'_> {
         }
         let n = bencher.samples.len() as f64;
         let mean = bencher.samples.iter().sum::<f64>() / n;
-        let min = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = bencher
             .samples
             .iter()
@@ -212,9 +216,7 @@ impl Default for Criterion {
     /// Reads the command line: the first non-flag argument is a substring
     /// filter on `group/function/param` ids (as under real criterion).
     fn default() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }

@@ -19,8 +19,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use tsq::core::{
-    executor, BatchQuery, IndexConfig, LinearTransform, QueryExecutor, QueryWindow,
-    SeriesRelation, SimilarityIndex,
+    executor, BatchQuery, IndexConfig, LinearTransform, QueryExecutor, QueryWindow, SeriesRelation,
+    SimilarityIndex,
 };
 use tsq::lang::LangError;
 use tsq::series::generate::{RandomWalkGenerator, StockGenerator};
@@ -45,7 +45,9 @@ fn workload() -> Vec<String> {
     let mut queries = Vec::new();
     for i in 0..10 {
         queries.push(format!("FIND SIMILAR TO walks.s{i} IN walks WITHIN 2"));
-        queries.push(format!("FIND 5 NEAREST TO stocks.s{i} IN stocks APPLY mavg(8)"));
+        queries.push(format!(
+            "FIND 5 NEAREST TO stocks.s{i} IN stocks APPLY mavg(8)"
+        ));
         queries.push(format!(
             "FIND SUBSEQUENCE OF walks.s{i} IN walks WITHIN 40 WINDOW 64"
         ));
@@ -230,8 +232,7 @@ fn parallel_build_threads_never_change_answers() {
     let mut g = RandomWalkGenerator::new(36);
     let rel: Vec<TimeSeries> = (0..20).map(|i| g.series(100 + (i % 4) * 17)).collect();
     let q = TimeSeries::new(rel[5].values()[10..42].to_vec());
-    let seq = tsq::core::SubseqIndex::build(tsq::core::SubseqConfig::new(32), rel.clone())
-        .unwrap();
+    let seq = tsq::core::SubseqIndex::build(tsq::core::SubseqConfig::new(32), rel.clone()).unwrap();
     let (want, _) = seq.subseq_range(&q, 4.0).unwrap();
     for threads in [2usize, 3, executor::default_threads().max(2)] {
         let par = tsq::core::SubseqIndex::build_parallel(
@@ -240,6 +241,10 @@ fn parallel_build_threads_never_change_answers() {
             threads,
         )
         .unwrap();
-        assert_eq!(par.subseq_range(&q, 4.0).unwrap().0, want, "threads = {threads}");
+        assert_eq!(
+            par.subseq_range(&q, 4.0).unwrap().0,
+            want,
+            "threads = {threads}"
+        );
     }
 }

@@ -3,8 +3,7 @@
 //! transformation kind, both coordinate spaces, and both feature schemas.
 
 use tsq_core::{
-    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex,
-    SpaceKind,
+    FeatureSchema, IndexConfig, LinearTransform, QueryWindow, ScanMode, SimilarityIndex, SpaceKind,
 };
 use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
 
@@ -40,7 +39,9 @@ fn no_false_dismissals_polar_normal_form() {
         for (qid, eps) in [(0usize, 0.5), (42, 1.5), (123, 3.0)] {
             let q = idx.series(qid).unwrap().clone();
             let (scan, _) = idx.scan_range(&q, eps, &t, ScanMode::Naive).unwrap();
-            let (indexed, stats) = idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
+            let (indexed, stats) = idx
+                .range_query(&q, eps, &t, &QueryWindow::default())
+                .unwrap();
             assert_eq!(scan, indexed, "transform {} qid {qid} eps {eps}", t.name());
             // The index must actually prune (not degenerate to a scan).
             assert!(
@@ -64,7 +65,9 @@ fn no_false_dismissals_rectangular() {
         let q = idx.series(7).unwrap().clone();
         for eps in [0.4, 1.2, 4.0] {
             let (scan, _) = idx.scan_range(&q, eps, &t, ScanMode::Naive).unwrap();
-            let (indexed, _) = idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
+            let (indexed, _) = idx
+                .range_query(&q, eps, &t, &QueryWindow::default())
+                .unwrap();
             assert_eq!(scan, indexed, "transform {} eps {eps}", t.name());
         }
     }
@@ -96,9 +99,15 @@ fn no_false_dismissals_raw_schema() {
             let q = idx.series(11).unwrap().clone();
             for eps in [1.0, 10.0, 60.0] {
                 let (scan, _) = idx.scan_range(&q, eps, &t, ScanMode::Naive).unwrap();
-                let (indexed, _) =
-                    idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
-                assert_eq!(scan, indexed, "space {space:?} transform {} eps {eps}", t.name());
+                let (indexed, _) = idx
+                    .range_query(&q, eps, &t, &QueryWindow::default())
+                    .unwrap();
+                assert_eq!(
+                    scan,
+                    indexed,
+                    "space {space:?} transform {} eps {eps}",
+                    t.name()
+                );
             }
         }
     }
@@ -117,7 +126,9 @@ fn varying_k_never_loses_answers() {
             ..IndexConfig::default()
         };
         let idx = SimilarityIndex::build(cfg, rel.clone()).unwrap();
-        let (matches, _) = idx.range_query(&q, 2.0, &t, &QueryWindow::default()).unwrap();
+        let (matches, _) = idx
+            .range_query(&q, 2.0, &t, &QueryWindow::default())
+            .unwrap();
         match &reference {
             None => reference = Some(matches),
             Some(r) => assert_eq!(r, &matches, "k = {k}"),
@@ -139,7 +150,9 @@ fn candidate_counts_shrink_with_k() {
             ..IndexConfig::default()
         };
         let idx = SimilarityIndex::build(cfg, rel.clone()).unwrap();
-        let (_, stats) = idx.range_query(&q, 1.0, &t, &QueryWindow::default()).unwrap();
+        let (_, stats) = idx
+            .range_query(&q, 1.0, &t, &QueryWindow::default())
+            .unwrap();
         let cand = stats.candidates as u64;
         assert!(
             cand <= last,

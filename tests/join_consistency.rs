@@ -11,10 +11,7 @@ fn stock_index(count: usize, seed: u64) -> SimilarityIndex {
 }
 
 fn undirected(pairs: &[tsq_core::JoinPair]) -> Vec<(usize, usize)> {
-    let mut v: Vec<(usize, usize)> = pairs
-        .iter()
-        .map(|p| (p.a.min(p.b), p.a.max(p.b)))
-        .collect();
+    let mut v: Vec<(usize, usize)> = pairs.iter().map(|p| (p.a.min(p.b), p.a.max(p.b))).collect();
     v.sort_unstable();
     v.dedup();
     v
@@ -46,7 +43,9 @@ fn method_c_differs_from_method_d() {
     // join (d) admits at least as many pairs, usually more.
     let idx = stock_index(150, 3002);
     let eps = 1.5;
-    let c = idx.join_index(eps, &LinearTransform::identity(128)).unwrap();
+    let c = idx
+        .join_index(eps, &LinearTransform::identity(128))
+        .unwrap();
     let d = idx
         .join_index(eps, &LinearTransform::moving_average(128, 20))
         .unwrap();
@@ -121,7 +120,9 @@ fn table_1_shape_on_stand_in_relation() {
     let eps = 1.0;
     let a = idx.join_scan(eps, &t, ScanMode::Naive).unwrap();
     let d = idx.join_index(eps, &t).unwrap();
-    let c = idx.join_index(eps, &LinearTransform::identity(128)).unwrap();
+    let c = idx
+        .join_index(eps, &LinearTransform::identity(128))
+        .unwrap();
     assert_eq!(d.pairs.len(), 2 * a.pairs.len());
     assert!(c.pairs.len() <= d.pairs.len());
 }

@@ -84,12 +84,9 @@ fn theorem_2_counterexample() {
     assert!(tr.im < lo_im || tr.im > hi_im, "counterexample must escape");
     // And the engine rejects exactly this situation: complex multipliers
     // are unsafe in S_rect (Theorem 2)...
-    let t = LinearTransform::from_parts(
-        vec![s; 8],
-        vec![tsq_dft::complex::ZERO; 8],
-        "complex-scale",
-    )
-    .unwrap();
+    let t =
+        LinearTransform::from_parts(vec![s; 8], vec![tsq_dft::complex::ZERO; 8], "complex-scale")
+            .unwrap();
     let schema = FeatureSchema::NormalForm { k: 2 };
     assert!(SpaceKind::Rectangular.check_safety(&t, schema).is_err());
     // ... while the same transformation is safe in S_pol (Theorem 3).
@@ -122,7 +119,9 @@ fn lemma_1_superset_before_postprocessing() {
     let t = LinearTransform::moving_average(64, 8);
     let q = idx.series(9).unwrap().clone();
     let eps = 1.5;
-    let (matches, stats) = idx.range_query(&q, eps, &t, &QueryWindow::default()).unwrap();
+    let (matches, stats) = idx
+        .range_query(&q, eps, &t, &QueryWindow::default())
+        .unwrap();
     assert!(stats.candidates >= matches.len());
     assert_eq!(stats.candidates, matches.len() + stats.false_hits);
 }
@@ -134,14 +133,11 @@ fn identity_transform_costs_no_extra_disk_accesses() {
     let idx = SimilarityIndex::build(IndexConfig::default(), rel).unwrap();
     let q = idx.series(100).unwrap().clone();
     let t = LinearTransform::identity(128);
-    let (_, stats) = idx.range_query(&q, 1.0, &t, &QueryWindow::default()).unwrap();
+    let (_, stats) = idx
+        .range_query(&q, 1.0, &t, &QueryWindow::default())
+        .unwrap();
     let qf = idx.query_features(&q, &t).unwrap();
-    let rect = SpaceKind::Polar.search_rect(
-        &qf,
-        idx.config().schema,
-        1.0,
-        &QueryWindow::default(),
-    );
+    let rect = SpaceKind::Polar.search_rect(&qf, idx.config().schema, 1.0, &QueryWindow::default());
     let plain = idx.tree().search(&rect, |_, _| {});
     assert_eq!(stats.index.nodes_visited, plain.nodes_visited);
 }
