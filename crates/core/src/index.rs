@@ -408,21 +408,14 @@ impl SimilarityIndex {
         let qrect = space.search_rect(qf, schema, eps, window);
         // 2. Search: transform every MBR on the fly; collect candidates.
         // The identity fast path skips the per-rectangle transformation.
-        let identity = !force_transform && t.is_identity(1e-12);
-        let intersects = |r: &Rect| r.intersects(&qrect);
-        let transformed = |r: &Rect| space.transformed_intersects(r, t, schema, &qrect);
         let (ids, index_stats) = if threads <= 1 {
-            // Sequential: project candidate ids during the traversal
-            // itself — the hot path for plain queries and the n
+            // Sequential: the one filter implementation, shared with the
             // per-series probes of an index join.
-            let mut ids: Vec<usize> = Vec::new();
-            let stats = if identity {
-                self.tree.search_with(intersects, |_, &id| ids.push(id))
-            } else {
-                self.tree.search_with(transformed, |_, &id| ids.push(id))
-            };
-            (ids, stats)
+            self.filter_rect(&qrect, t, force_transform)
         } else {
+            let identity = !force_transform && t.is_identity(1e-12);
+            let intersects = |r: &Rect| r.intersects(&qrect);
+            let transformed = |r: &Rect| space.transformed_intersects(r, t, schema, &qrect);
             let (candidates, stats) = if identity {
                 self.tree.search_with_parallel(intersects, threads)
             } else {
@@ -445,6 +438,51 @@ impl SimilarityIndex {
         stats.false_hits = stats.exact_checks - matches.len();
         matches.sort_by_key(|m| m.id);
         Ok((matches, stats))
+    }
+
+    /// The index-level *filter* step of Algorithm 2 on its own: candidate
+    /// ids (in traversal order) for a range query around precomputed query
+    /// features, without the refine phase. Shared by the join strategies,
+    /// whose refine path ([`crate::queries`]) batches exact checks per
+    /// probe. The caller is responsible for validation.
+    pub(crate) fn filter_candidates(
+        &self,
+        qf: &Features,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+    ) -> (Vec<usize>, SearchStats) {
+        let qrect = self
+            .config
+            .space
+            .search_rect(qf, self.config.schema, eps, window);
+        self.filter_rect(&qrect, t, false)
+    }
+
+    /// Sequential candidate traversal against a prebuilt search
+    /// rectangle — the single filter implementation behind
+    /// [`SimilarityIndex::range_query`]'s sequential path and the join
+    /// probes. `force_transform` exercises the transformed traversal even
+    /// for the identity (the Figure-8/9 overhead experiment).
+    fn filter_rect(
+        &self,
+        qrect: &Rect,
+        t: &LinearTransform,
+        force_transform: bool,
+    ) -> (Vec<usize>, SearchStats) {
+        let schema = self.config.schema;
+        let space = self.config.space;
+        let mut ids = Vec::new();
+        let stats = if !force_transform && t.is_identity(1e-12) {
+            self.tree
+                .search_with(|r| r.intersects(qrect), |_, &id| ids.push(id))
+        } else {
+            self.tree.search_with(
+                |r| space.transformed_intersects(r, t, schema, qrect),
+                |_, &id| ids.push(id),
+            )
+        };
+        (ids, stats)
     }
 
     /// Nearest-neighbor query under a transformation: the `k` stored series

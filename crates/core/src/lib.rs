@@ -75,6 +75,7 @@ pub mod executor;
 pub mod features;
 pub mod geometry;
 pub mod index;
+pub mod plan;
 pub mod queries;
 pub mod relation;
 pub mod scan;
@@ -87,6 +88,10 @@ pub use error::{Error, Result};
 pub use executor::{BatchQuery, BatchStats, QueryExecutor, SubseqBatchQuery};
 pub use features::{FeatureSchema, Features};
 pub use index::{IndexConfig, Match, QueryStats, SimilarityIndex, StoredSeries};
+pub use plan::{
+    execute_plan, CostEstimate, ExecStats, JoinHint, LogicalPlan, PhysicalOp, PhysicalPlan,
+    PlanChoice, PlanPreference, PlanRows, Planner, RelationStats, SpaceProfile,
+};
 pub use queries::{JoinOutcome, JoinPair, JoinStats};
 pub use relation::SeriesRelation;
 pub use scan::{ScanMode, ScanStats};

@@ -1,0 +1,1631 @@
+//! Cost-based query planning: logical plans, physical operator choice,
+//! and the single plan executor every query runs through.
+//!
+//! The paper frames every similarity query as a choice among access
+//! paths — sequential scan, early-abandoning scan, index
+//! filter-and-refine, transformed-MBR traversal — and Table 1 / Figures
+//! 10–12 show the winner flips with cardinality, length and selectivity.
+//! This module makes that choice explicit and automatic:
+//!
+//! 1. A [`LogicalPlan`] states *what* the query asks (resolved query
+//!    series, threshold or `k`, composed transformation, filter window),
+//!    independent of how it will run.
+//! 2. A [`Planner`] costs every admissible [`PhysicalOp`] for that logical
+//!    plan from catalog statistics ([`RelationStats`]) and picks the
+//!    cheapest, unless a `USING` hint or a [`PlanPreference`] override
+//!    forces one.
+//! 3. [`execute_plan`] runs the chosen [`PhysicalPlan`] — the one dispatch
+//!    point between the language and the engine — and reports full
+//!    [`ExecStats`] (candidates, refines, node visits, simulated disk
+//!    accesses).
+//!
+//! ## The cost model
+//!
+//! Statistics come from the R\*-tree itself ([`tsq_rtree::LevelStats`]):
+//! per level, the node count and the average MBR side length in every
+//! dimension, plus the root bounds and the relation's cardinality and
+//! series length. Node accesses are predicted with the classic R-tree
+//! expectation (Kamel & Faloutsos): a node at a level with average extents
+//! `s_j` intersects a query rectangle with sides `q_j` inside data bounds
+//! of extents `W_j` with probability `Π_j min(1, (s_j + q_j) / W_j)`.
+//! Candidates (and so refine work) follow from the same volume ratio over
+//! the stored points. Selectivity for a threshold query uses the *actual*
+//! search rectangle of the query's feature point (the paper's Figure-7
+//! construction), clipped against the root MBR.
+//!
+//! The unit of cost is one simulated page read. CPU work (exact distance
+//! refines, per-node MBR transformation — the Figure 8/9 overhead) is
+//! converted at [`POINT_OPS_PER_PAGE`] floating-point operations per page
+//! read. A transformation's user-assigned Equation-10 cost
+//! ([`LinearTransform::with_cost`], the `cost.rs` machinery) is folded in
+//! as a planning surcharge per transformed traversal, so a user can
+//! declare a transformation expensive and steer the planner away from
+//! transform-heavy paths.
+//!
+//! Disk-access accounting matches the reproduction benches: a sequential
+//! scan charges one access per stored record; an index plan charges one
+//! per visited node plus one per candidate record fetched for refinement.
+
+use tsq_rtree::{LevelStats, RStarTree, Rect};
+use tsq_series::TimeSeries;
+
+use crate::error::{Error, Result};
+use crate::index::{Match, SimilarityIndex};
+use crate::queries::JoinPair;
+use crate::scan::ScanMode;
+use crate::space::{QueryWindow, SpaceKind};
+use crate::subseq::{SubseqConfig, SubseqIndex, SubseqMatch};
+use crate::transform::LinearTransform;
+
+/// Floating-point operations assumed equivalent to one simulated page
+/// read when converting CPU work into cost units.
+pub const POINT_OPS_PER_PAGE: f64 = 4096.0;
+
+/// Fraction of a full distance computation an early-abandoning check is
+/// assumed to cost on average (the paper reports roughly an order of
+/// magnitude; we stay conservative).
+const EARLY_ABANDON_FACTOR: f64 = 0.25;
+
+/// What the query asks, with every name resolved: the immutable input to
+/// planning and execution. Construction is the language layer's lowering
+/// step (AST → `LogicalPlan`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Range query: all stored series within `eps` of the query under `t`.
+    Range {
+        /// Relation searched (for display; the catalog resolves it).
+        relation: String,
+        /// Resolved query series.
+        query: TimeSeries,
+        /// Distance threshold.
+        eps: f64,
+        /// Composed data-side transformation.
+        transform: LinearTransform,
+        /// Optional mean/std filter window.
+        window: QueryWindow,
+    },
+    /// Nearest-neighbor query: the `k` stored series closest to the query.
+    Knn {
+        /// Relation searched.
+        relation: String,
+        /// Resolved query series.
+        query: TimeSeries,
+        /// Number of neighbors.
+        k: usize,
+        /// Composed data-side transformation.
+        transform: LinearTransform,
+    },
+    /// All-pairs self-join within `eps` under `t`.
+    Join {
+        /// Relation self-joined.
+        relation: String,
+        /// Distance threshold.
+        eps: f64,
+        /// Composed transformation (applied to both sides).
+        transform: LinearTransform,
+        /// `USING` override from the language, if any. A hint also pins
+        /// the historical answer multiplicity of the method (index/tree
+        /// joins report each pair twice, scans once); without a hint the
+        /// executor canonicalizes every strategy to one row per unordered
+        /// pair, so the planner's choice can never change the answer.
+        hint: Option<JoinHint>,
+    },
+    /// Subsequence range query over a sliding window of length `window`.
+    SubseqRange {
+        /// Relation searched.
+        relation: String,
+        /// Resolved query series (exactly `window` samples).
+        query: TimeSeries,
+        /// Distance threshold.
+        eps: f64,
+        /// Sliding-window length.
+        window: usize,
+    },
+    /// K-nearest-subsequence query.
+    SubseqKnn {
+        /// Relation searched.
+        relation: String,
+        /// Resolved query series (exactly `window` samples).
+        query: TimeSeries,
+        /// Number of neighbors.
+        k: usize,
+        /// Sliding-window length.
+        window: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// The relation this plan runs against.
+    pub fn relation(&self) -> &str {
+        match self {
+            LogicalPlan::Range { relation, .. }
+            | LogicalPlan::Knn { relation, .. }
+            | LogicalPlan::Join { relation, .. }
+            | LogicalPlan::SubseqRange { relation, .. }
+            | LogicalPlan::SubseqKnn { relation, .. } => relation,
+        }
+    }
+
+    /// The sliding-window length for subsequence forms.
+    pub fn subseq_window(&self) -> Option<usize> {
+        match self {
+            LogicalPlan::SubseqRange { window, .. } | LogicalPlan::SubseqKnn { window, .. } => {
+                Some(*window)
+            }
+            _ => None,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            LogicalPlan::Range { .. } => "Range",
+            LogicalPlan::Knn { .. } => "Knn",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::SubseqRange { .. } => "SubseqRange",
+            LogicalPlan::SubseqKnn { .. } => "SubseqKnn",
+        }
+    }
+}
+
+/// `USING` methods a join query may force (Table 1's methods).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinHint {
+    /// Sequential scan, full distances (method a).
+    ScanFull,
+    /// Sequential scan with early abandoning (method b).
+    Scan,
+    /// Index-nested-loop join (methods c/d).
+    Index,
+    /// Synchronized tree↔tree join (extension).
+    Tree,
+}
+
+/// A physical operator: one concrete access path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysicalOp {
+    /// Sequential scan with full distance computations.
+    SeqScan,
+    /// Sequential scan with early-abandoning distance computations.
+    EarlyAbandonScan,
+    /// R\*-tree filter-and-refine range traversal (Algorithm 2).
+    IndexRange,
+    /// Best-first nearest-neighbor traversal with transformed MBR bounds.
+    IndexKnn,
+    /// All-pairs sequential scan join.
+    JoinScan {
+        /// Whether distance computations may abandon early.
+        mode: ScanMode,
+    },
+    /// Index-nested-loop join: one transformed range probe per series.
+    JoinIndex {
+        /// Canonicalize to one row per unordered pair (planner default;
+        /// `false` preserves the paper's twice-per-pair accounting for
+        /// `USING INDEX`).
+        dedup: bool,
+    },
+    /// Synchronized tree↔tree join.
+    JoinTree {
+        /// Canonicalize to one row per unordered pair (see `JoinIndex`).
+        dedup: bool,
+    },
+    /// ST-index trail probe (range or k-NN over sliding windows).
+    SubseqIndexProbe {
+        /// K-nearest form (`false` = range form).
+        knn: bool,
+        /// Whether a cached ST-index existed at planning time (a cold
+        /// probe pays the trail-extraction build first).
+        cached: bool,
+    },
+}
+
+impl PhysicalOp {
+    /// Stable display name (used by EXPLAIN and the shell).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::SeqScan => "SeqScan",
+            PhysicalOp::EarlyAbandonScan => "EarlyAbandonScan",
+            PhysicalOp::IndexRange => "IndexRange",
+            PhysicalOp::IndexKnn => "IndexKnn",
+            PhysicalOp::JoinScan {
+                mode: ScanMode::Naive,
+            } => "JoinScan(full)",
+            PhysicalOp::JoinScan {
+                mode: ScanMode::EarlyAbandon,
+            } => "JoinScan",
+            PhysicalOp::JoinIndex { .. } => "JoinIndex",
+            PhysicalOp::JoinTree { .. } => "JoinTree",
+            PhysicalOp::SubseqIndexProbe { .. } => "SubseqIndexProbe",
+        }
+    }
+}
+
+/// Predicted effort of one physical operator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostEstimate {
+    /// Predicted R\*-tree node visits (0 for scans).
+    pub nodes: f64,
+    /// Predicted index-level candidates (records the filter step emits).
+    pub candidates: f64,
+    /// Predicted exact distance computations.
+    pub refines: f64,
+    /// Predicted simulated disk accesses (nodes + record fetches; a scan
+    /// charges one access per stored record).
+    pub disk: f64,
+    /// Predicted CPU cost in page-read units (see [`POINT_OPS_PER_PAGE`]).
+    pub cpu: f64,
+}
+
+impl CostEstimate {
+    /// Total cost in page-read units — what the planner minimizes.
+    pub fn total(&self) -> f64 {
+        self.disk + self.cpu
+    }
+}
+
+/// The planner's decision: a chosen operator with its estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// The access path to run.
+    pub op: PhysicalOp,
+    /// Its predicted cost.
+    pub estimate: CostEstimate,
+    /// True when a `USING` hint or [`PlanPreference`] override picked the
+    /// operator instead of the cost comparison.
+    pub forced: bool,
+}
+
+/// A planning outcome: the chosen plan plus every alternative considered
+/// (operator name and estimate, in enumeration order) for EXPLAIN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice {
+    /// The plan the executor will run.
+    pub plan: PhysicalPlan,
+    /// All candidates costed, chosen one included.
+    pub considered: Vec<(&'static str, CostEstimate)>,
+}
+
+/// Planner-level override, used by ablation benches and tests to force an
+/// access-path family regardless of the cost comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanPreference {
+    /// Pick the cheapest estimate (the default).
+    #[default]
+    Auto,
+    /// Force the sequential-scan family (early-abandoning where possible).
+    ForceScan,
+    /// Force the index family.
+    ForceIndex,
+}
+
+/// Shape statistics of one indexed point population: the root bounds and
+/// per-level node profile the cost model consumes. Deterministic given
+/// the tree structure, so a snapshot-restored index profiles identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpaceProfile {
+    /// Points (whole series, or sliding windows) indexed.
+    pub population: u64,
+    /// Root MBR lower corner (empty when the tree is empty).
+    pub bounds_lo: Vec<f64>,
+    /// Root MBR upper corner.
+    pub bounds_hi: Vec<f64>,
+    /// Per-level node statistics, leaf level first, root last.
+    pub levels: Vec<LevelStats>,
+}
+
+impl SpaceProfile {
+    /// Profiles a built tree; `population` is the logical point count the
+    /// caller indexes (tree items for whole-series indexes, total windows
+    /// for trail-compressed ST-indexes).
+    pub fn of_tree<T>(tree: &RStarTree<T>, population: u64) -> Self {
+        let (bounds_lo, bounds_hi) = match tree.bounds() {
+            Some(b) => (b.lo().to_vec(), b.hi().to_vec()),
+            None => (Vec::new(), Vec::new()),
+        };
+        SpaceProfile {
+            population,
+            bounds_lo,
+            bounds_hi,
+            levels: tree.level_profile(),
+        }
+    }
+
+    /// Total tree nodes.
+    pub fn nodes_total(&self) -> u64 {
+        self.levels.iter().map(|l| l.nodes).sum()
+    }
+
+    /// Data extent in dimension `d` (0 for an empty profile).
+    fn extent(&self, d: usize) -> f64 {
+        if d < self.bounds_lo.len() {
+            self.bounds_hi[d] - self.bounds_lo[d]
+        } else {
+            0.0
+        }
+    }
+
+    /// Expected `(node visits, point-selectivity fraction)` for a query
+    /// rectangle given by per-dimension sides (`f64::INFINITY` =
+    /// unconstrained). Sides are clipped to the data extent; the root is
+    /// always visited.
+    pub fn visit_estimate(&self, sides: &[f64]) -> (f64, f64) {
+        if self.levels.is_empty() {
+            return (0.0, 0.0);
+        }
+        let dims = self.bounds_lo.len();
+        let mut point_frac = 1.0f64;
+        for d in 0..dims {
+            let w = self.extent(d);
+            if w <= 0.0 {
+                continue;
+            }
+            let q = sides.get(d).copied().unwrap_or(f64::INFINITY).min(w);
+            point_frac *= (q / w).clamp(0.0, 1.0);
+        }
+        let mut nodes = 0.0;
+        let top = self.levels.len() - 1;
+        for (i, level) in self.levels.iter().enumerate() {
+            if i == top {
+                nodes += 1.0; // the root is always read
+                continue;
+            }
+            let mut p = 1.0f64;
+            for d in 0..dims {
+                let w = self.extent(d);
+                if w <= 0.0 {
+                    continue;
+                }
+                let q = sides.get(d).copied().unwrap_or(f64::INFINITY).min(w);
+                let s = level.avg_extent.get(d).copied().unwrap_or(0.0);
+                p *= ((s + q) / w).clamp(0.0, 1.0);
+            }
+            nodes += (level.nodes as f64 * p).min(level.nodes as f64);
+        }
+        (nodes, point_frac)
+    }
+}
+
+/// Per-relation statistics the planner consumes — computed at
+/// registration, persisted in catalog snapshots so a restored catalog
+/// plans byte-for-byte identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RelationStats {
+    /// Stored series.
+    pub cardinality: usize,
+    /// Length of every stored series.
+    pub series_len: usize,
+    /// Feature-space dimensionality of the whole-match index.
+    pub dims: usize,
+    /// Shape of the whole-match R\*-tree.
+    pub profile: SpaceProfile,
+}
+
+impl RelationStats {
+    /// Derives statistics from a built whole-match index.
+    pub fn from_index(index: &SimilarityIndex) -> Self {
+        RelationStats {
+            cardinality: index.len(),
+            series_len: index.series_len(),
+            dims: index.config().schema.dims(),
+            profile: SpaceProfile::of_tree(index.tree(), index.len() as u64),
+        }
+    }
+
+    /// Height of the profiled tree.
+    pub fn height(&self) -> u32 {
+        self.profile.levels.len() as u32
+    }
+}
+
+/// The cost-based planner: statistics plus the index whose configuration
+/// (feature schema, coordinate space) shapes search rectangles.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner<'a> {
+    index: &'a SimilarityIndex,
+    stats: &'a RelationStats,
+    pref: PlanPreference,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over one relation's index and statistics.
+    pub fn new(index: &'a SimilarityIndex, stats: &'a RelationStats) -> Self {
+        Planner {
+            index,
+            stats,
+            pref: PlanPreference::Auto,
+        }
+    }
+
+    /// Overrides the access-path family (ablation benches and tests).
+    pub fn with_preference(mut self, pref: PlanPreference) -> Self {
+        self.pref = pref;
+        self
+    }
+
+    /// Picks the cheapest admissible physical plan for `logical`.
+    /// `subseq` is the cached ST-index for subsequence forms, if any —
+    /// planning never builds one (EXPLAIN must not execute anything).
+    ///
+    /// # Errors
+    /// The same validation failures execution would report: length
+    /// mismatches, unsafe transformations, non-finite thresholds.
+    pub fn plan(&self, logical: &LogicalPlan, subseq: Option<&SubseqIndex>) -> Result<PlanChoice> {
+        match logical {
+            LogicalPlan::Range {
+                query,
+                eps,
+                transform,
+                window,
+                ..
+            } => self.plan_range(query, *eps, transform, window),
+            LogicalPlan::Knn {
+                query,
+                k,
+                transform,
+                ..
+            } => self.plan_knn(query, *k, transform),
+            LogicalPlan::Join {
+                eps,
+                transform,
+                hint,
+                ..
+            } => self.plan_join(*eps, transform, *hint),
+            LogicalPlan::SubseqRange {
+                query, eps, window, ..
+            } => self.plan_subseq(query, Some(*eps), None, *window, subseq),
+            LogicalPlan::SubseqKnn {
+                query, k, window, ..
+            } => self.plan_subseq(query, None, Some(*k), *window, subseq),
+        }
+    }
+
+    /// CPU cost (in page units) of `checks` exact distance computations.
+    fn refine_cpu(&self, checks: f64, transformed: bool) -> f64 {
+        let ops_per_check = self.stats.series_len as f64 * if transformed { 2.0 } else { 1.0 };
+        checks * ops_per_check / POINT_OPS_PER_PAGE
+    }
+
+    /// CPU surcharge of transforming `nodes` MBRs on the fly (Figure 8/9's
+    /// overhead) plus the transformation's user-assigned Equation-10 cost.
+    fn traversal_cpu(&self, nodes: f64, t: &LinearTransform) -> f64 {
+        if t.is_identity(1e-12) {
+            return 0.0;
+        }
+        nodes * (self.stats.dims as f64 * 8.0) / POINT_OPS_PER_PAGE + t.cost()
+    }
+
+    fn scan_estimate(&self, mode: ScanMode, transformed: bool) -> CostEstimate {
+        let n = self.stats.cardinality as f64;
+        let factor = match mode {
+            ScanMode::Naive => 1.0,
+            ScanMode::EarlyAbandon => EARLY_ABANDON_FACTOR,
+        };
+        CostEstimate {
+            nodes: 0.0,
+            candidates: n,
+            refines: n,
+            disk: n,
+            cpu: self.refine_cpu(n, transformed) * factor,
+        }
+    }
+
+    fn index_range_estimate(&self, sides: &[f64], t: &LinearTransform) -> CostEstimate {
+        let (nodes, frac) = self.stats.profile.visit_estimate(sides);
+        let candidates = self.stats.cardinality as f64 * frac;
+        CostEstimate {
+            nodes,
+            candidates,
+            refines: candidates,
+            disk: nodes + candidates,
+            cpu: self.refine_cpu(candidates, !t.is_identity(1e-12)) + self.traversal_cpu(nodes, t),
+        }
+    }
+
+    fn plan_range(
+        &self,
+        query: &TimeSeries,
+        eps: f64,
+        t: &LinearTransform,
+        window: &QueryWindow,
+    ) -> Result<PlanChoice> {
+        Error::check_threshold(eps)?;
+        self.index.check_transform(t)?;
+        let qf = self.index.query_features(query, t)?;
+        let config = self.index.config();
+        let qrect = config.space.search_rect(&qf, config.schema, eps, window);
+        let sides = rect_sides(&qrect);
+        let transformed = !t.is_identity(1e-12);
+        let index_est = self.index_range_estimate(&sides, t);
+        let ea_est = self.scan_estimate(ScanMode::EarlyAbandon, transformed);
+        let seq_est = self.scan_estimate(ScanMode::Naive, transformed);
+        let considered = vec![
+            (PhysicalOp::IndexRange.name(), index_est),
+            (PhysicalOp::EarlyAbandonScan.name(), ea_est),
+            (PhysicalOp::SeqScan.name(), seq_est),
+        ];
+        let (op, estimate, forced) = match self.pref {
+            PlanPreference::ForceScan => (PhysicalOp::EarlyAbandonScan, ea_est, true),
+            PlanPreference::ForceIndex => (PhysicalOp::IndexRange, index_est, true),
+            PlanPreference::Auto => {
+                if index_est.total() <= ea_est.total() {
+                    (PhysicalOp::IndexRange, index_est, false)
+                } else {
+                    (PhysicalOp::EarlyAbandonScan, ea_est, false)
+                }
+            }
+        };
+        Ok(PlanChoice {
+            plan: PhysicalPlan {
+                op,
+                estimate,
+                forced,
+            },
+            considered,
+        })
+    }
+
+    fn plan_knn(&self, query: &TimeSeries, k: usize, t: &LinearTransform) -> Result<PlanChoice> {
+        self.index.check_transform(t)?;
+        // Validate the query length exactly as execution will.
+        let _ = self.index.query_features(query, t)?;
+        let n = self.stats.cardinality;
+        let transformed = !t.is_identity(1e-12);
+        // Equivalent-radius heuristic: the rectangle enclosing the k
+        // nearest points covers about a k/n volume fraction of the data
+        // bounds, so each side scales by (k/n)^(1/dims).
+        let sides: Vec<f64> = if n == 0 {
+            vec![0.0; self.stats.dims]
+        } else {
+            let frac = (k as f64 / n as f64).min(1.0);
+            let scale = frac.powf(1.0 / self.stats.dims.max(1) as f64);
+            (0..self.stats.dims)
+                .map(|d| self.stats.profile.extent(d) * scale)
+                .collect()
+        };
+        let (nodes, frac) = self.stats.profile.visit_estimate(&sides);
+        // Best-first search refines a small multiple of the answer set.
+        let refines = (2.0 * (k as f64).max(n as f64 * frac)).min(n as f64);
+        let index_est = CostEstimate {
+            nodes,
+            candidates: refines,
+            refines,
+            disk: nodes + refines,
+            cpu: self.refine_cpu(refines, transformed) + self.traversal_cpu(nodes, t),
+        };
+        let scan_est = self.scan_estimate(ScanMode::Naive, transformed);
+        let considered = vec![
+            (PhysicalOp::IndexKnn.name(), index_est),
+            (PhysicalOp::SeqScan.name(), scan_est),
+        ];
+        let (op, estimate, forced) = match self.pref {
+            PlanPreference::ForceScan => (PhysicalOp::SeqScan, scan_est, true),
+            PlanPreference::ForceIndex => (PhysicalOp::IndexKnn, index_est, true),
+            PlanPreference::Auto => {
+                if index_est.total() <= scan_est.total() {
+                    (PhysicalOp::IndexKnn, index_est, false)
+                } else {
+                    (PhysicalOp::SeqScan, scan_est, false)
+                }
+            }
+        };
+        Ok(PlanChoice {
+            plan: PhysicalPlan {
+                op,
+                estimate,
+                forced,
+            },
+            considered,
+        })
+    }
+
+    fn plan_join(
+        &self,
+        eps: f64,
+        t: &LinearTransform,
+        hint: Option<JoinHint>,
+    ) -> Result<PlanChoice> {
+        Error::check_threshold(eps)?;
+        if t.warp() <= 1 {
+            self.index.check_transform(t)?;
+        }
+        let n = self.stats.cardinality as f64;
+        let pairs = n * (n - 1.0).max(0.0) / 2.0;
+        let transformed = !t.is_identity(1e-12);
+        let scan_full = CostEstimate {
+            nodes: 0.0,
+            candidates: pairs,
+            refines: pairs,
+            disk: n,
+            cpu: self.refine_cpu(pairs, transformed),
+        };
+        let scan_ea = CostEstimate {
+            cpu: scan_full.cpu * EARLY_ABANDON_FACTOR,
+            ..scan_full
+        };
+        // An average probe: the eps-ball search rectangle around a typical
+        // feature point (the center of the data bounds), with the mean/std
+        // filter dimensions unconstrained.
+        let sides = self.eps_probe_sides(eps);
+        let per_probe = self.index_range_estimate(&sides, t);
+        let join_index = CostEstimate {
+            nodes: n * per_probe.nodes,
+            candidates: n * per_probe.candidates,
+            refines: n * per_probe.refines,
+            disk: n * per_probe.disk,
+            cpu: n * per_probe.cpu,
+        };
+        // The synchronized join prunes both sides at once: at each level,
+        // node pairs survive with the Minkowski probability of their two
+        // average extents, and each surviving pair costs two node reads.
+        let mut tree_nodes = 0.0;
+        let dims = self.stats.dims;
+        let top = self.stats.profile.levels.len().saturating_sub(1);
+        for (i, level) in self.stats.profile.levels.iter().enumerate() {
+            if i == top {
+                tree_nodes += 1.0;
+                continue;
+            }
+            let mut p = 1.0f64;
+            for d in 0..dims {
+                let w = self.stats.profile.extent(d);
+                if w <= 0.0 {
+                    continue;
+                }
+                let s = level.avg_extent.get(d).copied().unwrap_or(0.0);
+                let q = sides.get(d).copied().unwrap_or(f64::INFINITY).min(w);
+                p *= ((2.0 * s + q) / w).clamp(0.0, 1.0);
+            }
+            let nodes_l = level.nodes as f64;
+            tree_nodes += (nodes_l * (1.0 + nodes_l * p)).min(nodes_l * nodes_l).min(
+                // Never model the synchronized join as costlier than
+                // probing every node once per series.
+                n * nodes_l,
+            );
+        }
+        let join_tree = CostEstimate {
+            nodes: tree_nodes,
+            candidates: join_index.candidates,
+            refines: join_index.refines,
+            disk: tree_nodes + join_index.candidates,
+            cpu: self.refine_cpu(join_index.refines, transformed)
+                + self.traversal_cpu(tree_nodes, t),
+        };
+        let considered = vec![
+            (PhysicalOp::JoinIndex { dedup: true }.name(), join_index),
+            (PhysicalOp::JoinTree { dedup: true }.name(), join_tree),
+            (
+                PhysicalOp::JoinScan {
+                    mode: ScanMode::EarlyAbandon,
+                }
+                .name(),
+                scan_ea,
+            ),
+            (
+                PhysicalOp::JoinScan {
+                    mode: ScanMode::Naive,
+                }
+                .name(),
+                scan_full,
+            ),
+        ];
+        let (op, estimate, forced) = match hint {
+            Some(JoinHint::ScanFull) => (
+                PhysicalOp::JoinScan {
+                    mode: ScanMode::Naive,
+                },
+                scan_full,
+                true,
+            ),
+            Some(JoinHint::Scan) => (
+                PhysicalOp::JoinScan {
+                    mode: ScanMode::EarlyAbandon,
+                },
+                scan_ea,
+                true,
+            ),
+            Some(JoinHint::Index) => (PhysicalOp::JoinIndex { dedup: false }, join_index, true),
+            Some(JoinHint::Tree) => (PhysicalOp::JoinTree { dedup: false }, join_tree, true),
+            None => match self.pref {
+                PlanPreference::ForceScan => (
+                    PhysicalOp::JoinScan {
+                        mode: ScanMode::EarlyAbandon,
+                    },
+                    scan_ea,
+                    true,
+                ),
+                PlanPreference::ForceIndex => {
+                    (PhysicalOp::JoinIndex { dedup: true }, join_index, true)
+                }
+                PlanPreference::Auto => {
+                    let mut best = (PhysicalOp::JoinIndex { dedup: true }, join_index);
+                    if join_tree.total() < best.1.total() {
+                        best = (PhysicalOp::JoinTree { dedup: true }, join_tree);
+                    }
+                    if scan_ea.total() < best.1.total() {
+                        best = (
+                            PhysicalOp::JoinScan {
+                                mode: ScanMode::EarlyAbandon,
+                            },
+                            scan_ea,
+                        );
+                    }
+                    (best.0, best.1, false)
+                }
+            },
+        };
+        Ok(PlanChoice {
+            plan: PhysicalPlan {
+                op,
+                estimate,
+                forced,
+            },
+            considered,
+        })
+    }
+
+    /// Per-dimension sides of an average eps-ball search rectangle: the
+    /// Figure-7 block around the center of the data bounds, mean/std
+    /// filter dimensions unconstrained.
+    fn eps_probe_sides(&self, eps: f64) -> Vec<f64> {
+        let config = self.index.config();
+        let aux = config.schema.aux_dims();
+        let mut sides = vec![f64::INFINITY; aux];
+        let mut d = aux;
+        while d < self.stats.dims {
+            match config.space {
+                SpaceKind::Rectangular => {
+                    sides.push(2.0 * eps);
+                    sides.push(2.0 * eps);
+                }
+                SpaceKind::Polar => {
+                    // Magnitude dimension, then angle dimension.
+                    sides.push(2.0 * eps);
+                    let lo = if d < self.stats.profile.bounds_lo.len() {
+                        self.stats.profile.bounds_lo[d]
+                    } else {
+                        0.0
+                    };
+                    let mag_center = (lo + self.stats.profile.extent(d) / 2.0).max(1e-9);
+                    let angle_side = if eps >= mag_center {
+                        2.0 * std::f64::consts::PI
+                    } else {
+                        2.0 * (eps / mag_center).asin()
+                    };
+                    sides.push(angle_side);
+                }
+            }
+            d += 2;
+        }
+        sides
+    }
+
+    fn plan_subseq(
+        &self,
+        query: &TimeSeries,
+        eps: Option<f64>,
+        k: Option<usize>,
+        window: usize,
+        subseq: Option<&SubseqIndex>,
+    ) -> Result<PlanChoice> {
+        if let Some(eps) = eps {
+            Error::check_threshold(eps)?;
+        }
+        if query.len() != window {
+            return Err(Error::LengthMismatch {
+                expected: window,
+                got: query.len(),
+            });
+        }
+        let config = match subseq {
+            Some(idx) => *idx.config(),
+            None => SubseqConfig::new(window),
+        };
+        let dims = 2 * config.k.min(window);
+        let windows_per_series = (self.stats.series_len + 1).saturating_sub(window);
+        let windows_total = match subseq {
+            Some(idx) => idx.windows_total() as f64,
+            None => (self.stats.cardinality * windows_per_series) as f64,
+        };
+        // The ST-index query rectangle is a cube of side 2 eps in the
+        // window-feature space; k-NN uses the equivalent-radius heuristic.
+        let side = match (eps, k) {
+            (Some(eps), _) => 2.0 * eps,
+            (None, Some(k)) => {
+                let frac = if windows_total > 0.0 {
+                    (k as f64 / windows_total).min(1.0)
+                } else {
+                    0.0
+                };
+                frac.powf(1.0 / dims.max(1) as f64)
+            }
+            (None, None) => 0.0,
+        };
+        let (probe, build_cpu) = match subseq {
+            Some(idx) => {
+                let profile = SpaceProfile::of_tree(idx.tree(), idx.windows_total() as u64);
+                let sides: Vec<f64> = (0..dims)
+                    .map(|d| match (eps, k) {
+                        (Some(_), _) => side,
+                        _ => profile.extent(d) * side,
+                    })
+                    .collect();
+                let (nodes, frac) = profile.visit_estimate(&sides);
+                let candidates = windows_total * frac;
+                (
+                    CostEstimate {
+                        nodes,
+                        candidates,
+                        refines: candidates,
+                        disk: nodes + candidates,
+                        cpu: candidates * window as f64 / POINT_OPS_PER_PAGE,
+                    },
+                    0.0,
+                )
+            }
+            None => {
+                // Cold probe: coarse estimate (no tree to profile yet) plus
+                // the sliding-DFT build the executor will run first.
+                let trails = (windows_total / config.trail as f64).ceil();
+                let fanout = config.rtree.max_entries.max(2) as f64;
+                let mut level_nodes = (trails / fanout).ceil().max(1.0);
+                let mut nodes = 0.0;
+                while level_nodes > 1.0 {
+                    nodes += level_nodes;
+                    level_nodes = (level_nodes / fanout).ceil();
+                }
+                nodes += 1.0;
+                let candidates = (windows_total * 0.05).max(1.0).min(windows_total);
+                let build_cpu = windows_total * window as f64 / POINT_OPS_PER_PAGE;
+                (
+                    CostEstimate {
+                        nodes,
+                        candidates,
+                        refines: candidates,
+                        disk: nodes + candidates,
+                        cpu: candidates * window as f64 / POINT_OPS_PER_PAGE,
+                    },
+                    build_cpu,
+                )
+            }
+        };
+        let estimate = CostEstimate {
+            cpu: probe.cpu + build_cpu,
+            ..probe
+        };
+        let op = PhysicalOp::SubseqIndexProbe {
+            knn: k.is_some(),
+            cached: subseq.is_some(),
+        };
+        Ok(PlanChoice {
+            plan: PhysicalPlan {
+                op,
+                estimate,
+                forced: false,
+            },
+            considered: vec![(op.name(), estimate)],
+        })
+    }
+}
+
+/// Side lengths of a search rectangle, with the unbounded filter
+/// dimensions (|bound| ≥ 1e17) reported as infinite.
+fn rect_sides(rect: &Rect) -> Vec<f64> {
+    rect.lo()
+        .iter()
+        .zip(rect.hi())
+        .map(|(lo, hi)| {
+            if *lo <= -1e17 || *hi >= 1e17 {
+                f64::INFINITY
+            } else {
+                hi - lo
+            }
+        })
+        .collect()
+}
+
+/// Counters actually observed while running a plan. `disk_accesses`
+/// follows the bench accounting: scans charge one access per stored
+/// record, index plans one per visited node plus one per candidate fetch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Index-level candidates produced (scans: records compared).
+    pub candidates: usize,
+    /// Exact distance computations performed.
+    pub refined: usize,
+    /// Refined candidates rejected by the exact check.
+    pub false_hits: usize,
+    /// R\*-tree nodes visited (0 for scans).
+    pub nodes_visited: u64,
+    /// Simulated disk accesses of the whole plan.
+    pub disk_accesses: u64,
+}
+
+/// Typed answer rows of a plan execution, before the language layer
+/// attaches labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanRows {
+    /// Whole-series matches (range and k-NN forms).
+    Whole(Vec<Match>),
+    /// Join pairs.
+    Pairs(Vec<JoinPair>),
+    /// Subsequence window matches.
+    Windows(Vec<SubseqMatch>),
+}
+
+impl PlanRows {
+    /// Number of answer rows.
+    pub fn len(&self) -> usize {
+        match self {
+            PlanRows::Whole(v) => v.len(),
+            PlanRows::Pairs(v) => v.len(),
+            PlanRows::Windows(v) => v.len(),
+        }
+    }
+
+    /// True when the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Whether `features` passes the query's mean/std filter window — the
+/// scan-side equivalent of the index path's search-rectangle bounds on
+/// the two auxiliary dimensions.
+fn window_admits(features: &crate::features::Features, window: &QueryWindow) -> bool {
+    if let Some((lo, hi)) = window.mean {
+        if features.mean < lo || features.mean > hi {
+            return false;
+        }
+    }
+    if let Some((lo, hi)) = window.std {
+        if features.std < lo || features.std > hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// Executes a physical plan — the single dispatch point between planned
+/// queries and the engine. `subseq` must be provided for subsequence
+/// plans (the catalog builds or fetches it from its cache).
+///
+/// # Errors
+/// Engine validation failures, or [`Error::Unsupported`] when the plan
+/// does not fit the logical query (never produced by the [`Planner`]).
+pub fn execute_plan(
+    logical: &LogicalPlan,
+    plan: &PhysicalPlan,
+    index: &SimilarityIndex,
+    subseq: Option<&SubseqIndex>,
+) -> Result<(PlanRows, ExecStats)> {
+    let n = index.len();
+    match (logical, plan.op) {
+        (
+            LogicalPlan::Range {
+                query,
+                eps,
+                transform,
+                window,
+                ..
+            },
+            PhysicalOp::IndexRange,
+        ) => {
+            let (matches, stats) = index.range_query(query, *eps, transform, window)?;
+            let exec = ExecStats {
+                candidates: stats.candidates,
+                refined: stats.exact_checks,
+                false_hits: stats.false_hits,
+                nodes_visited: stats.index.nodes_visited,
+                disk_accesses: stats.index.nodes_visited + stats.candidates as u64,
+            };
+            Ok((PlanRows::Whole(matches), exec))
+        }
+        (
+            LogicalPlan::Range {
+                query,
+                eps,
+                transform,
+                window,
+                ..
+            },
+            PhysicalOp::SeqScan | PhysicalOp::EarlyAbandonScan,
+        ) => {
+            Error::check_threshold(*eps)?;
+            index.check_transform(transform)?;
+            let qf = index.query_features(query, transform)?;
+            let early = matches!(plan.op, PhysicalOp::EarlyAbandonScan);
+            let mut exec = ExecStats {
+                disk_accesses: n as u64,
+                ..ExecStats::default()
+            };
+            let mut matches = Vec::new();
+            for id in 0..n {
+                let features = index.features(id).expect("id < len");
+                if !window_admits(features, window) {
+                    continue;
+                }
+                exec.candidates += 1;
+                exec.refined += 1;
+                let hit = if early {
+                    index.exact_distance_bounded(id, transform, &qf, *eps)
+                } else {
+                    Some(index.exact_distance(id, transform, &qf)).filter(|d| *d <= *eps)
+                };
+                match hit {
+                    Some(distance) => matches.push(Match { id, distance }),
+                    None => exec.false_hits += 1,
+                }
+            }
+            Ok((PlanRows::Whole(matches), exec))
+        }
+        (
+            LogicalPlan::Knn {
+                query,
+                k,
+                transform,
+                ..
+            },
+            PhysicalOp::IndexKnn,
+        ) => {
+            let (matches, stats) = index.knn_query(query, *k, transform)?;
+            let exec = ExecStats {
+                candidates: stats.candidates,
+                refined: stats.exact_checks,
+                false_hits: 0,
+                nodes_visited: stats.index.nodes_visited,
+                disk_accesses: stats.index.nodes_visited + stats.exact_checks as u64,
+            };
+            Ok((PlanRows::Whole(matches), exec))
+        }
+        (
+            LogicalPlan::Knn {
+                query,
+                k,
+                transform,
+                ..
+            },
+            PhysicalOp::SeqScan,
+        ) => {
+            let matches = index.scan_knn(query, *k, transform)?;
+            let exec = ExecStats {
+                candidates: n,
+                refined: n,
+                false_hits: n - matches.len(),
+                nodes_visited: 0,
+                disk_accesses: n as u64,
+            };
+            Ok((PlanRows::Whole(matches), exec))
+        }
+        (LogicalPlan::Join { eps, transform, .. }, PhysicalOp::JoinScan { mode }) => {
+            let outcome = index.join_scan(*eps, transform, mode)?;
+            let exec = ExecStats {
+                candidates: outcome.stats.exact_checks,
+                refined: outcome.stats.exact_checks,
+                false_hits: outcome.stats.exact_checks - outcome.pairs.len(),
+                nodes_visited: 0,
+                disk_accesses: n as u64,
+            };
+            Ok((PlanRows::Pairs(outcome.pairs), exec))
+        }
+        (
+            LogicalPlan::Join { eps, transform, .. },
+            PhysicalOp::JoinIndex { dedup } | PhysicalOp::JoinTree { dedup },
+        ) => {
+            let outcome = if matches!(plan.op, PhysicalOp::JoinIndex { .. }) {
+                index.join_index(*eps, transform)?
+            } else {
+                index.join_tree(*eps, transform)?
+            };
+            let mut pairs = outcome.pairs;
+            if dedup {
+                // Canonical answer: one row per unordered pair, `a < b`,
+                // sorted — identical to the scan strategies' output keys.
+                pairs.retain(|p| p.a < p.b);
+                pairs.sort_by_key(|p| (p.a, p.b));
+            }
+            let exec = ExecStats {
+                candidates: outcome.stats.candidates,
+                refined: outcome.stats.exact_checks,
+                // Refines rejected by the exact check. Derived from the
+                // abandon counter, not `refined - rows`: an index probe's
+                // own series is a candidate that *passes* the check yet is
+                // never emitted as a pair.
+                false_hits: outcome.stats.abandoned,
+                nodes_visited: outcome.stats.index.nodes_visited,
+                disk_accesses: outcome.stats.index.nodes_visited + outcome.stats.candidates as u64,
+            };
+            Ok((PlanRows::Pairs(pairs), exec))
+        }
+        (
+            LogicalPlan::SubseqRange { query, eps, .. },
+            PhysicalOp::SubseqIndexProbe { knn: false, .. },
+        ) => {
+            let idx = subseq.ok_or_else(|| {
+                Error::Unsupported("subsequence plan executed without an ST-index".to_string())
+            })?;
+            let (matches, stats) = idx.subseq_range(query, *eps)?;
+            Ok((PlanRows::Windows(matches), subseq_exec(&stats)))
+        }
+        (
+            LogicalPlan::SubseqKnn { query, k, .. },
+            PhysicalOp::SubseqIndexProbe { knn: true, .. },
+        ) => {
+            let idx = subseq.ok_or_else(|| {
+                Error::Unsupported("subsequence plan executed without an ST-index".to_string())
+            })?;
+            let (matches, stats) = idx.subseq_knn(query, *k)?;
+            Ok((PlanRows::Windows(matches), subseq_exec(&stats)))
+        }
+        _ => Err(Error::Unsupported(format!(
+            "physical operator {} does not implement logical form {}",
+            plan.op.name(),
+            logical.label()
+        ))),
+    }
+}
+
+fn subseq_exec(stats: &crate::subseq::SubseqStats) -> ExecStats {
+    ExecStats {
+        candidates: stats.candidates,
+        refined: stats.candidates,
+        false_hits: stats.false_hits,
+        nodes_visited: stats.index.nodes_visited,
+        disk_accesses: stats.index.nodes_visited + stats.candidates as u64,
+    }
+}
+
+fn fmt_est(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Renders a chosen plan as the `EXPLAIN` tree: the logical form, the
+/// relation's statistics line, the chosen operator with its estimates,
+/// and every alternative considered. Append actual counters (the
+/// `EXPLAIN ANALYZE` form) via [`render_analyze`].
+pub fn render_plan(logical: &LogicalPlan, choice: &PlanChoice, stats: &RelationStats) -> String {
+    let mut out = String::new();
+    let header = match logical {
+        LogicalPlan::Range {
+            relation,
+            eps,
+            transform,
+            window,
+            ..
+        } => {
+            let filter = match (window.mean, window.std) {
+                (None, None) => String::new(),
+                (mean, std) => {
+                    let mut parts = Vec::new();
+                    if let Some((lo, hi)) = mean {
+                        parts.push(format!("mean in [{lo}, {hi}]"));
+                    }
+                    if let Some((lo, hi)) = std {
+                        parts.push(format!("std in [{lo}, {hi}]"));
+                    }
+                    format!(", where {}", parts.join(" and "))
+                }
+            };
+            format!(
+                "Range on \"{relation}\": eps={eps}, transform={}{filter}",
+                transform.name()
+            )
+        }
+        LogicalPlan::Knn {
+            relation,
+            k,
+            transform,
+            ..
+        } => format!(
+            "Knn on \"{relation}\": k={k}, transform={}",
+            transform.name()
+        ),
+        LogicalPlan::Join {
+            relation,
+            eps,
+            transform,
+            hint,
+        } => {
+            let hint = match hint {
+                None => String::new(),
+                Some(JoinHint::ScanFull) => ", using SCANFULL".to_string(),
+                Some(JoinHint::Scan) => ", using SCAN".to_string(),
+                Some(JoinHint::Index) => ", using INDEX".to_string(),
+                Some(JoinHint::Tree) => ", using TREE".to_string(),
+            };
+            format!(
+                "Join on \"{relation}\": eps={eps}, transform={}{hint}",
+                transform.name()
+            )
+        }
+        LogicalPlan::SubseqRange {
+            relation,
+            eps,
+            window,
+            ..
+        } => format!("SubseqRange on \"{relation}\": eps={eps}, window={window}"),
+        LogicalPlan::SubseqKnn {
+            relation,
+            k,
+            window,
+            ..
+        } => format!("SubseqKnn on \"{relation}\": k={k}, window={window}"),
+    };
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&format!(
+        "  relation: {} series x {} points; index: {}-d R*-tree, height {}, {} node(s)\n",
+        stats.cardinality,
+        stats.series_len,
+        stats.dims,
+        stats.height(),
+        stats.profile.nodes_total(),
+    ));
+    let plan = &choice.plan;
+    let mode = if plan.forced { " [forced]" } else { "" };
+    let extra = match plan.op {
+        PhysicalOp::SubseqIndexProbe { cached, .. } if !cached => " [cold: builds ST-index]",
+        _ => "",
+    };
+    out.push_str(&format!(
+        "  => {}{mode}{extra}  (cost {}: disk {}, cpu {}; nodes {}, candidates {}, refines {})\n",
+        plan.op.name(),
+        fmt_est(plan.estimate.total()),
+        fmt_est(plan.estimate.disk),
+        fmt_est(plan.estimate.cpu),
+        fmt_est(plan.estimate.nodes),
+        fmt_est(plan.estimate.candidates),
+        fmt_est(plan.estimate.refines),
+    ));
+    let alts: Vec<String> = choice
+        .considered
+        .iter()
+        .map(|(name, est)| format!("{name} {}", fmt_est(est.total())))
+        .collect();
+    out.push_str(&format!("     considered: {}\n", alts.join(" | ")));
+    out
+}
+
+/// Appends the `EXPLAIN ANALYZE` actual-counter line to a rendered plan.
+/// The counters are exactly the [`ExecStats`] the execution returned.
+pub fn render_analyze(rendered: &mut String, rows: usize, stats: &ExecStats) {
+    rendered.push_str(&format!(
+        "     actual: rows={rows}, nodes={}, candidates={}, refined={}, false_hits={}, disk={}\n",
+        stats.nodes_visited, stats.candidates, stats.refined, stats.false_hits, stats.disk_accesses,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    fn index(count: usize, len: usize, seed: u64) -> SimilarityIndex {
+        let rel = RandomWalkGenerator::new(seed).relation(count, len);
+        SimilarityIndex::build(IndexConfig::default(), rel).unwrap()
+    }
+
+    fn range_logical(idx: &SimilarityIndex, qid: usize, eps: f64) -> LogicalPlan {
+        LogicalPlan::Range {
+            relation: "r".into(),
+            query: idx.series(qid).unwrap().clone(),
+            eps,
+            transform: LinearTransform::identity(idx.series_len()),
+            window: QueryWindow::default(),
+        }
+    }
+
+    #[test]
+    fn relation_stats_deterministic() {
+        let idx = index(120, 64, 1);
+        let a = RelationStats::from_index(&idx);
+        let b = RelationStats::from_index(&idx);
+        assert_eq!(a, b);
+        assert_eq!(a.cardinality, 120);
+        assert_eq!(a.series_len, 64);
+        assert_eq!(a.dims, 6);
+        assert_eq!(a.profile.population, 120);
+        assert!(a.height() >= 1);
+    }
+
+    #[test]
+    fn selective_query_plans_index_unselective_plans_scan() {
+        let idx = index(300, 32, 2);
+        let stats = RelationStats::from_index(&idx);
+        let planner = Planner::new(&idx, &stats);
+        let tight = planner.plan(&range_logical(&idx, 0, 0.05), None).unwrap();
+        assert_eq!(tight.plan.op, PhysicalOp::IndexRange);
+        assert!(!tight.plan.forced);
+        // eps large enough that every record qualifies: scanning must win.
+        let loose = planner.plan(&range_logical(&idx, 0, 1e6), None).unwrap();
+        assert_eq!(loose.plan.op, PhysicalOp::EarlyAbandonScan);
+        assert_eq!(loose.considered.len(), 3);
+    }
+
+    #[test]
+    fn preference_overrides_cost() {
+        let idx = index(100, 32, 3);
+        let stats = RelationStats::from_index(&idx);
+        let logical = range_logical(&idx, 1, 0.1);
+        let scan = Planner::new(&idx, &stats)
+            .with_preference(PlanPreference::ForceScan)
+            .plan(&logical, None)
+            .unwrap();
+        assert_eq!(scan.plan.op, PhysicalOp::EarlyAbandonScan);
+        assert!(scan.plan.forced);
+        let index_plan = Planner::new(&idx, &stats)
+            .with_preference(PlanPreference::ForceIndex)
+            .plan(&logical, None)
+            .unwrap();
+        assert_eq!(index_plan.plan.op, PhysicalOp::IndexRange);
+        assert!(index_plan.plan.forced);
+    }
+
+    #[test]
+    fn planned_range_matches_forced_plans() {
+        let idx = index(150, 32, 4);
+        let stats = RelationStats::from_index(&idx);
+        for eps in [0.2, 1.0, 3.0, 10.0] {
+            let logical = range_logical(&idx, 7, eps);
+            let mut answers = Vec::new();
+            for pref in [
+                PlanPreference::Auto,
+                PlanPreference::ForceScan,
+                PlanPreference::ForceIndex,
+            ] {
+                let choice = Planner::new(&idx, &stats)
+                    .with_preference(pref)
+                    .plan(&logical, None)
+                    .unwrap();
+                let (rows, exec) = execute_plan(&logical, &choice.plan, &idx, None).unwrap();
+                if matches!(choice.plan.op, PhysicalOp::IndexRange) {
+                    assert!(exec.nodes_visited > 0);
+                } else {
+                    assert_eq!(exec.nodes_visited, 0);
+                    assert_eq!(exec.disk_accesses, 150);
+                }
+                answers.push(rows);
+            }
+            let PlanRows::Whole(auto) = &answers[0] else {
+                panic!("range plans return whole-series rows")
+            };
+            for other in &answers[1..] {
+                let PlanRows::Whole(o) = other else { panic!() };
+                let ids: Vec<usize> = auto.iter().map(|m| m.id).collect();
+                let oids: Vec<usize> = o.iter().map(|m| m.id).collect();
+                assert_eq!(ids, oids, "eps={eps}");
+                for (a, b) in auto.iter().zip(o) {
+                    assert!((a.distance - b.distance).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_auto_answers_match_scan_oracle() {
+        let idx = index(60, 32, 5);
+        let stats = RelationStats::from_index(&idx);
+        let t = LinearTransform::moving_average(32, 4);
+        let logical = LogicalPlan::Join {
+            relation: "r".into(),
+            eps: 1.6,
+            transform: t.clone(),
+            hint: None,
+        };
+        let oracle = idx.join_scan(1.6, &t, ScanMode::Naive).unwrap();
+        for pref in [
+            PlanPreference::Auto,
+            PlanPreference::ForceScan,
+            PlanPreference::ForceIndex,
+        ] {
+            let choice = Planner::new(&idx, &stats)
+                .with_preference(pref)
+                .plan(&logical, None)
+                .unwrap();
+            let (rows, _) = execute_plan(&logical, &choice.plan, &idx, None).unwrap();
+            let PlanRows::Pairs(pairs) = rows else {
+                panic!()
+            };
+            let got: Vec<(usize, usize)> = pairs.iter().map(|p| (p.a, p.b)).collect();
+            let want: Vec<(usize, usize)> = oracle.pairs.iter().map(|p| (p.a, p.b)).collect();
+            assert_eq!(got, want, "{pref:?}");
+        }
+    }
+
+    #[test]
+    fn hinted_join_preserves_method_accounting() {
+        let idx = index(60, 32, 6);
+        let stats = RelationStats::from_index(&idx);
+        let t = LinearTransform::moving_average(32, 4);
+        let hinted = LogicalPlan::Join {
+            relation: "r".into(),
+            eps: 1.6,
+            transform: t.clone(),
+            hint: Some(JoinHint::Index),
+        };
+        let choice = Planner::new(&idx, &stats).plan(&hinted, None).unwrap();
+        assert!(choice.plan.forced);
+        assert_eq!(choice.plan.op, PhysicalOp::JoinIndex { dedup: false });
+        let (rows, _) = execute_plan(&hinted, &choice.plan, &idx, None).unwrap();
+        let scan = idx.join_scan(1.6, &t, ScanMode::Naive).unwrap();
+        // The paper's accounting: each unordered pair reported twice.
+        assert_eq!(rows.len(), 2 * scan.pairs.len());
+    }
+
+    #[test]
+    fn join_false_hits_exclude_self_pairs() {
+        // Every index-join probe's own series is a candidate that passes
+        // the exact check (distance 0) without producing a pair; it must
+        // not be reported as a false hit.
+        let idx = index(20, 32, 12);
+        let stats = RelationStats::from_index(&idx);
+        let hinted = LogicalPlan::Join {
+            relation: "r".into(),
+            eps: 1e-3,
+            transform: LinearTransform::identity(32),
+            hint: Some(JoinHint::Index),
+        };
+        let choice = Planner::new(&idx, &stats).plan(&hinted, None).unwrap();
+        let (rows, exec) = execute_plan(&hinted, &choice.plan, &idx, None).unwrap();
+        assert!(rows.is_empty(), "1e-3 admits no distinct pairs");
+        assert!(exec.refined >= 20, "each probe refines at least itself");
+        assert_eq!(
+            exec.false_hits, 0,
+            "self-pair refines passed the exact check and are not false hits"
+        );
+    }
+
+    #[test]
+    fn knn_plans_execute_identically() {
+        let idx = index(200, 32, 7);
+        let stats = RelationStats::from_index(&idx);
+        let logical = LogicalPlan::Knn {
+            relation: "r".into(),
+            query: idx.series(3).unwrap().clone(),
+            k: 5,
+            transform: LinearTransform::moving_average(32, 4),
+        };
+        let mut results = Vec::new();
+        for pref in [PlanPreference::ForceScan, PlanPreference::ForceIndex] {
+            let choice = Planner::new(&idx, &stats)
+                .with_preference(pref)
+                .plan(&logical, None)
+                .unwrap();
+            let (rows, _) = execute_plan(&logical, &choice.plan, &idx, None).unwrap();
+            let PlanRows::Whole(m) = rows else { panic!() };
+            assert_eq!(m.len(), 5);
+            results.push(m);
+        }
+        for (a, b) in results[0].iter().zip(&results[1]) {
+            assert!((a.distance - b.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_filter_applies_on_scan_plans() {
+        let idx = index(120, 32, 8);
+        let stats = RelationStats::from_index(&idx);
+        let m = idx.series(0).unwrap().mean();
+        let window = QueryWindow {
+            mean: Some((m - 0.5, m + 0.5)),
+            std: None,
+        };
+        let logical = LogicalPlan::Range {
+            relation: "r".into(),
+            query: idx.series(0).unwrap().clone(),
+            eps: 100.0,
+            transform: LinearTransform::identity(32),
+            window,
+        };
+        let planner = Planner::new(&idx, &stats);
+        let scan = planner
+            .with_preference(PlanPreference::ForceScan)
+            .plan(&logical, None)
+            .unwrap();
+        let via_index = planner
+            .with_preference(PlanPreference::ForceIndex)
+            .plan(&logical, None)
+            .unwrap();
+        let (a, sa) = execute_plan(&logical, &scan.plan, &idx, None).unwrap();
+        let (b, _) = execute_plan(&logical, &via_index.plan, &idx, None).unwrap();
+        assert_eq!(a, b);
+        // The filter pruned scan candidates below the relation size.
+        assert!(sa.candidates < 120);
+    }
+
+    #[test]
+    fn mismatched_plan_is_typed_error() {
+        let idx = index(10, 16, 9);
+        let logical = LogicalPlan::Knn {
+            relation: "r".into(),
+            query: idx.series(0).unwrap().clone(),
+            k: 2,
+            transform: LinearTransform::identity(16),
+        };
+        let bad = PhysicalPlan {
+            op: PhysicalOp::JoinTree { dedup: true },
+            estimate: CostEstimate::default(),
+            forced: false,
+        };
+        assert!(matches!(
+            execute_plan(&logical, &bad, &idx, None),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn subseq_plan_requires_index_at_execution_only() {
+        let idx = index(20, 32, 10);
+        let stats = RelationStats::from_index(&idx);
+        let logical = LogicalPlan::SubseqRange {
+            relation: "r".into(),
+            query: TimeSeries::new(idx.series(0).unwrap().values()[..8].to_vec()),
+            eps: 1.0,
+            window: 8,
+        };
+        // Planning without a cached ST-index works (cold estimate)...
+        let choice = Planner::new(&idx, &stats).plan(&logical, None).unwrap();
+        assert_eq!(
+            choice.plan.op,
+            PhysicalOp::SubseqIndexProbe {
+                knn: false,
+                cached: false
+            }
+        );
+        // ...but execution needs the index.
+        assert!(matches!(
+            execute_plan(&logical, &choice.plan, &idx, None),
+            Err(Error::Unsupported(_))
+        ));
+        let st = SubseqIndex::build(
+            SubseqConfig::new(8),
+            (0..idx.len())
+                .map(|i| idx.series(i).unwrap().clone())
+                .collect(),
+        )
+        .unwrap();
+        let cached_choice = Planner::new(&idx, &stats)
+            .plan(&logical, Some(&st))
+            .unwrap();
+        assert_eq!(
+            cached_choice.plan.op,
+            PhysicalOp::SubseqIndexProbe {
+                knn: false,
+                cached: true
+            }
+        );
+        let (rows, exec) = execute_plan(&logical, &cached_choice.plan, &idx, Some(&st)).unwrap();
+        assert!(matches!(rows, PlanRows::Windows(_)));
+        assert_eq!(
+            exec.disk_accesses,
+            exec.nodes_visited + exec.candidates as u64
+        );
+    }
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let idx = index(80, 32, 11);
+        let stats = RelationStats::from_index(&idx);
+        let logical = range_logical(&idx, 2, 1.5);
+        let choice = Planner::new(&idx, &stats).plan(&logical, None).unwrap();
+        let a = render_plan(&logical, &choice, &stats);
+        let b = render_plan(&logical, &choice, &stats);
+        assert_eq!(a, b);
+        assert!(a.contains("Range on \"r\""));
+        assert!(a.contains("considered: IndexRange"));
+        assert!(a.contains("EarlyAbandonScan"));
+        let mut analyzed = a.clone();
+        let exec = ExecStats {
+            candidates: 3,
+            refined: 3,
+            false_hits: 1,
+            nodes_visited: 7,
+            disk_accesses: 10,
+        };
+        render_analyze(&mut analyzed, 2, &exec);
+        assert!(analyzed.contains("actual: rows=2, nodes=7, candidates=3"));
+    }
+}

@@ -129,6 +129,38 @@ impl SimilarityIndex {
         Ok(out)
     }
 
+    /// The single filter-and-refine back end shared by the index-nested-
+    /// loop and synchronized tree joins: for one probe group `(i,
+    /// partners)` the probe's transformed features are computed once, and
+    /// every partner's exact distance is checked with early abandoning at
+    /// `eps`. Every check counts toward `exact_checks`, abandoned checks
+    /// toward `abandoned`, and self-pairs are refined (they are index
+    /// candidates) but never emitted. Callers invoke it per probe, so
+    /// candidate memory stays bounded by one probe's answer.
+    fn refine_group(
+        &self,
+        eps: f64,
+        t: &LinearTransform,
+        probe: usize,
+        partners: &[usize],
+        out: &mut JoinOutcome,
+    ) -> Result<()> {
+        let qf = self.transformed_features(probe, t)?;
+        for &j in partners {
+            out.stats.exact_checks += 1;
+            match self.exact_distance_bounded(j, t, &qf, eps) {
+                Some(d) if j != probe => out.pairs.push(JoinPair {
+                    a: probe,
+                    b: j,
+                    distance: d,
+                }),
+                Some(_) => {}
+                None => out.stats.abandoned += 1,
+            }
+        }
+        Ok(())
+    }
+
     /// Table 1 methods (c)/(d): index-nested-loop self-join. For every
     /// sequence a search rectangle is built (around its *transformed*
     /// feature point) and posed to the on-the-fly transformed index as a
@@ -140,24 +172,17 @@ impl SimilarityIndex {
         if t.warp() > 1 {
             return Err(Error::Unsupported("self-join under time warp".to_string()));
         }
+        Error::check_threshold(eps)?;
         self.check_transform(t)?;
         let mut out = JoinOutcome::default();
         let window = QueryWindow::default();
         for i in 0..self.len() {
             let qf = self.transformed_features(i, t)?;
-            let (matches, qstats) = self.range_query_features(&qf, eps, t, &window)?;
-            out.stats.index.absorb(&qstats.index);
-            out.stats.candidates += qstats.candidates;
-            out.stats.exact_checks += qstats.exact_checks;
-            for m in matches {
-                if m.id != i {
-                    out.pairs.push(JoinPair {
-                        a: i,
-                        b: m.id,
-                        distance: m.distance,
-                    });
-                }
-            }
+            let (mut ids, fstats) = self.filter_candidates(&qf, eps, t, &window);
+            ids.sort_unstable();
+            out.stats.index.absorb(&fstats);
+            out.stats.candidates += ids.len();
+            self.refine_group(eps, t, i, &ids, &mut out)?;
         }
         Ok(out)
     }
@@ -170,6 +195,7 @@ impl SimilarityIndex {
         if t.warp() > 1 {
             return Err(Error::Unsupported("self-join under time warp".to_string()));
         }
+        Error::check_threshold(eps)?;
         self.check_transform(t)?;
         let schema = self.config().schema;
         let space = self.config().space;
@@ -198,17 +224,16 @@ impl SimilarityIndex {
         );
         out.stats.index = stats;
         out.stats.candidates = candidate_pairs.len();
-        for (i, j) in candidate_pairs {
-            out.stats.exact_checks += 1;
-            let qf = self.transformed_features(i, t)?;
-            match self.exact_distance_bounded(j, t, &qf, eps) {
-                Some(d) => out.pairs.push(JoinPair {
-                    a: i,
-                    b: j,
-                    distance: d,
-                }),
-                None => out.stats.abandoned += 1,
-            }
+        // Feed runs of same-probe candidates to the shared refine path
+        // (one transformed-feature computation per probe).
+        candidate_pairs.sort_unstable();
+        let mut at = 0;
+        while at < candidate_pairs.len() {
+            let probe = candidate_pairs[at].0;
+            let end = at + candidate_pairs[at..].partition_point(|&(i, _)| i == probe);
+            let partners: Vec<usize> = candidate_pairs[at..end].iter().map(|&(_, j)| j).collect();
+            self.refine_group(eps, t, probe, &partners, &mut out)?;
+            at = end;
         }
         out.pairs.sort_by_key(|p| (p.a, p.b));
         Ok(out)

@@ -59,7 +59,7 @@ fn transform(x: &[Complex64], sign: f64) -> Vec<Complex64> {
 
 /// Extracts the first `k` unitary DFT coefficients of a real sequence.
 ///
-/// This is the feature-extraction primitive of [AFS93]-style indexing: for
+/// This is the feature-extraction primitive of AFS93-style indexing: for
 /// most "brown noise"-like sequences the energy concentrates in the first few
 /// coefficients, so the prefix is a faithful low-dimensional signature.
 pub fn dft_prefix(x: &[f64], k: usize) -> Vec<Complex64> {

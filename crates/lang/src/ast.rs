@@ -70,6 +70,15 @@ pub enum Query {
         /// Sliding-window length.
         window: usize,
     },
+    /// `EXPLAIN [ANALYZE] <query>` — show the planner's chosen physical
+    /// plan with cost estimates. The plain form never executes the inner
+    /// query; `ANALYZE` runs it and appends the actual counters.
+    Explain {
+        /// Execute the inner query and report actual counters.
+        analyze: bool,
+        /// The query being explained (never itself an `Explain`).
+        query: Box<Query>,
+    },
 }
 
 /// The query object of a FIND.
@@ -104,15 +113,21 @@ pub struct WindowSpec {
     pub std: Option<(f64, f64)>,
 }
 
-/// Join strategies (Table 1 methods).
+/// Join strategies (Table 1 methods). Without a `USING` clause the
+/// cost-based planner picks the strategy — and canonicalizes the answer to
+/// one row per unordered pair, so the choice can never change the result.
+/// An explicit `USING` keeps that method's historical accounting (index
+/// and tree joins report each pair twice, as the paper tabulates).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinMethod {
+    /// Let the planner choose (the default when `USING` is absent).
+    #[default]
+    Auto,
     /// Sequential scan with full distances (method a).
     ScanFull,
     /// Sequential scan with early abandoning (method b).
     Scan,
     /// Index-nested-loop over the transformed index (methods c/d).
-    #[default]
     Index,
     /// Synchronized tree↔tree join (extension).
     Tree,

@@ -39,6 +39,12 @@ queries:
   FIND SUBSEQUENCE OF [v1, ..., vw] IN <rel> WITHIN <eps> WINDOW <w>
   FIND <k> NEAREST SUBSEQUENCE OF [v1, ..., vw] IN <rel> WINDOW <w>
   JOIN <rel> WITHIN <eps> [APPLY ...] [USING SCAN|SCANFULL|INDEX|TREE]
+planning:
+  every query runs through the cost-based planner; USING forces a join method
+  EXPLAIN <query>            show the chosen plan and cost estimates (no execution)
+  EXPLAIN ANALYZE <query>    run the plan and append the actual counters
+  e.g.  EXPLAIN FIND SIMILAR TO walks.s0 IN walks WITHIN 2
+        EXPLAIN ANALYZE JOIN walks WITHIN 1.5 APPLY mavg(4)
 transformations:
   identity | mavg(w) | wmavg(w1, w2, ...) | reverse | shift(c) | scale(c) | warp(m)";
 
@@ -103,6 +109,12 @@ fn main() {
         }
         match catalog.run(line) {
             Ok(out) => {
+                if let Some(explain) = &out.explain {
+                    for l in explain.lines() {
+                        println!("  {l}");
+                    }
+                    continue;
+                }
                 for row in out.rows.iter().take(20) {
                     match (&row.b, row.offset) {
                         (Some(b), _) => {
@@ -118,9 +130,13 @@ fn main() {
                     println!("  ... {} more row(s)", out.rows.len() - 20);
                 }
                 println!(
-                    "  ({} row(s), {} simulated disk accesses)",
+                    "  ({} row(s), plan {}, {} candidate(s), {} refined, \
+                     {} simulated disk accesses)",
                     out.rows.len(),
-                    out.nodes_visited
+                    out.plan,
+                    out.stats.candidates,
+                    out.stats.refined,
+                    out.stats.disk_accesses
                 );
             }
             Err(e) => println!("  error: {e}"),
@@ -200,13 +216,16 @@ fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
                     }
                     println!(
                         "  batch: {} quer{} on {} thread(s), {} error(s), {} row(s), \
-                         {} disk accesses, {:.1} ms ({:.0} q/s)",
+                         {} candidate(s), {} refined, {} disk accesses, \
+                         {:.1} ms ({:.0} q/s)",
                         summary.queries,
                         if summary.queries == 1 { "y" } else { "ies" },
                         summary.threads,
                         summary.errors,
                         summary.rows,
-                        summary.nodes_visited,
+                        summary.candidates,
+                        summary.refined,
+                        summary.disk_accesses,
                         summary.elapsed.as_secs_f64() * 1e3,
                         summary.queries_per_second()
                     );

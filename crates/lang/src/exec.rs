@@ -1,4 +1,12 @@
-//! Planning and execution: AST → `tsq-core` calls.
+//! Planning and execution: AST → [`LogicalPlan`] → cost-based
+//! [`Planner`] → [`tsq_core::PhysicalPlan`] → the single plan executor.
+//!
+//! [`Catalog::execute`] no longer dispatches per query variant: it lowers
+//! the AST to a resolved logical plan, asks the planner (fed by
+//! per-relation [`RelationStats`], which snapshots persist) for the
+//! cheapest physical operator, and runs it through
+//! [`tsq_core::plan::execute_plan`]. A `USING` clause on joins is an
+//! override hint; `EXPLAIN` / `EXPLAIN ANALYZE` surface the choice.
 //!
 //! Two layers of concurrency live here:
 //!
@@ -26,8 +34,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
+use tsq_core::plan::{self, ExecStats, JoinHint, LogicalPlan, PlanRows, Planner, RelationStats};
 use tsq_core::{
-    executor, IndexConfig, LinearTransform, QueryWindow, ScanMode, SeriesRelation, SimilarityIndex,
+    executor, IndexConfig, LinearTransform, QueryWindow, SeriesRelation, SimilarityIndex,
     SubseqConfig, SubseqIndex,
 };
 use tsq_series::TimeSeries;
@@ -75,6 +84,9 @@ impl Default for SubseqCache {
 pub struct Catalog {
     pub(crate) relations: HashMap<String, SeriesRelation>,
     pub(crate) indexes: HashMap<String, SimilarityIndex>,
+    /// Planner statistics per relation, computed at registration and
+    /// persisted in snapshots so a restored catalog plans identically.
+    pub(crate) stats: HashMap<String, RelationStats>,
     pub(crate) subseq: RwLock<SubseqCache>,
     /// Logical LRU clock; bumped on every cache access.
     pub(crate) clock: AtomicU64,
@@ -121,9 +133,17 @@ impl Catalog {
         let name = relation.name().to_string();
         let index = relation.index(self.config)?;
         self.cache_write().map.retain(|(rel, _), _| rel != &name);
+        self.stats
+            .insert(name.clone(), RelationStats::from_index(&index));
         self.relations.insert(name.clone(), relation);
         self.indexes.insert(name, index);
         Ok(())
+    }
+
+    /// Planner statistics of a registered relation (cardinality, series
+    /// length, R\*-tree level profile).
+    pub fn relation_stats(&self, name: &str) -> Option<&RelationStats> {
+        self.stats.get(name)
     }
 
     /// Sets the worker-thread count for each on-demand ST-index build
@@ -303,6 +323,9 @@ impl Catalog {
                 Ok(out) => {
                     summary.rows += out.rows.len();
                     summary.nodes_visited += out.nodes_visited;
+                    summary.candidates += out.stats.candidates;
+                    summary.refined += out.stats.refined;
+                    summary.disk_accesses += out.stats.disk_accesses;
                 }
                 Err(_) => summary.errors += 1,
             }
@@ -311,8 +334,71 @@ impl Catalog {
         (results, summary)
     }
 
-    /// Executes a parsed query.
+    /// Executes a parsed query: lower to a [`LogicalPlan`], let the
+    /// cost-based [`Planner`] pick the cheapest [`tsq_core::PhysicalPlan`]
+    /// (a `USING` clause demotes to an override hint), run it through the
+    /// single plan executor, and attach labels.
     pub fn execute(&self, query: &Query) -> Result<QueryOutput, LangError> {
+        if let Query::Explain { analyze, query } = query {
+            return self.explain(query, *analyze);
+        }
+        let logical = self.lower(query)?;
+        let (rel, index) = self.resolve_relation(logical.relation())?;
+        let stats = self.stats_for(logical.relation(), index);
+        let subseq = match logical.subseq_window() {
+            Some(w) => Some(self.subseq_index(rel, w)?),
+            None => None,
+        };
+        let choice = Planner::new(index, &stats).plan(&logical, subseq.as_deref())?;
+        let (rows, exec) = plan::execute_plan(&logical, &choice.plan, index, subseq.as_deref())?;
+        Ok(label_output(rel, rows, exec, choice.plan.op.name(), None))
+    }
+
+    /// Plans a query and renders the plan tree without executing it
+    /// (`EXPLAIN`); with `analyze`, also runs the chosen plan and appends
+    /// the actual counters (`EXPLAIN ANALYZE`). The rendered text is in
+    /// [`QueryOutput::explain`]; `ANALYZE` outputs carry the run's
+    /// [`ExecStats`] (rows are never returned — the plan is the answer).
+    ///
+    /// # Errors
+    /// Same validation failures as executing the inner query.
+    pub fn explain(&self, query: &Query, analyze: bool) -> Result<QueryOutput, LangError> {
+        if matches!(query, Query::Explain { .. }) {
+            return Err(LangError::Resolve("cannot EXPLAIN an EXPLAIN".to_string()));
+        }
+        let logical = self.lower(query)?;
+        let (rel, index) = self.resolve_relation(logical.relation())?;
+        let stats = self.stats_for(logical.relation(), index);
+        // Planning must not execute anything, so only a *cached* ST-index
+        // informs the estimate; a cold probe is planned as such.
+        let cached = logical
+            .subseq_window()
+            .and_then(|w| self.peek_subseq(logical.relation(), w));
+        let choice = Planner::new(index, &stats).plan(&logical, cached.as_deref())?;
+        let mut text = plan::render_plan(&logical, &choice, &stats);
+        let mut exec = ExecStats::default();
+        if analyze {
+            let subseq = match logical.subseq_window() {
+                Some(w) => Some(self.subseq_index(rel, w)?),
+                None => cached,
+            };
+            let (rows, actual) =
+                plan::execute_plan(&logical, &choice.plan, index, subseq.as_deref())?;
+            plan::render_analyze(&mut text, rows.len(), &actual);
+            exec = actual;
+        }
+        Ok(QueryOutput {
+            rows: Vec::new(),
+            nodes_visited: exec.nodes_visited,
+            stats: exec,
+            plan: choice.plan.op.name().to_string(),
+            explain: Some(text),
+        })
+    }
+
+    /// Lowers an AST query to a resolved [`LogicalPlan`]: names resolved,
+    /// transformations composed and validated, `USING` demoted to a hint.
+    fn lower(&self, query: &Query) -> Result<LogicalPlan, LangError> {
         match query {
             Query::Similar {
                 source,
@@ -321,22 +407,13 @@ impl Catalog {
                 transforms,
                 window,
             } => {
-                let (rel, index) = self.resolve_relation(relation)?;
-                let q = self.resolve_source(source)?;
-                let t = resolve_transforms(transforms, index.series_len())?;
-                let w = to_window(window);
-                let (matches, stats) = index.range_query(&q, *eps, &t, &w)?;
-                Ok(QueryOutput {
-                    rows: matches
-                        .into_iter()
-                        .map(|m| Row {
-                            a: rel.label(m.id).unwrap_or("?").to_string(),
-                            b: None,
-                            offset: None,
-                            distance: m.distance,
-                        })
-                        .collect(),
-                    nodes_visited: stats.index.nodes_visited,
+                let (_, index) = self.resolve_relation(relation)?;
+                Ok(LogicalPlan::Range {
+                    relation: relation.clone(),
+                    query: self.resolve_source(source)?,
+                    eps: *eps,
+                    transform: resolve_transforms(transforms, index.series_len())?,
+                    window: to_window(window),
                 })
             }
             Query::Nearest {
@@ -345,21 +422,12 @@ impl Catalog {
                 k,
                 transforms,
             } => {
-                let (rel, index) = self.resolve_relation(relation)?;
-                let q = self.resolve_source(source)?;
-                let t = resolve_transforms(transforms, index.series_len())?;
-                let (matches, stats) = index.knn_query(&q, *k, &t)?;
-                Ok(QueryOutput {
-                    rows: matches
-                        .into_iter()
-                        .map(|m| Row {
-                            a: rel.label(m.id).unwrap_or("?").to_string(),
-                            b: None,
-                            offset: None,
-                            distance: m.distance,
-                        })
-                        .collect(),
-                    nodes_visited: stats.index.nodes_visited,
+                let (_, index) = self.resolve_relation(relation)?;
+                Ok(LogicalPlan::Knn {
+                    relation: relation.clone(),
+                    query: self.resolve_source(source)?,
+                    k: *k,
+                    transform: resolve_transforms(transforms, index.series_len())?,
                 })
             }
             Query::Join {
@@ -368,26 +436,19 @@ impl Catalog {
                 transforms,
                 method,
             } => {
-                let (rel, index) = self.resolve_relation(relation)?;
-                let t = resolve_transforms(transforms, index.series_len())?;
-                let outcome = match method {
-                    JoinMethod::ScanFull => index.join_scan(*eps, &t, ScanMode::Naive)?,
-                    JoinMethod::Scan => index.join_scan(*eps, &t, ScanMode::EarlyAbandon)?,
-                    JoinMethod::Index => index.join_index(*eps, &t)?,
-                    JoinMethod::Tree => index.join_tree(*eps, &t)?,
+                let (_, index) = self.resolve_relation(relation)?;
+                let hint = match method {
+                    JoinMethod::Auto => None,
+                    JoinMethod::ScanFull => Some(JoinHint::ScanFull),
+                    JoinMethod::Scan => Some(JoinHint::Scan),
+                    JoinMethod::Index => Some(JoinHint::Index),
+                    JoinMethod::Tree => Some(JoinHint::Tree),
                 };
-                Ok(QueryOutput {
-                    rows: outcome
-                        .pairs
-                        .into_iter()
-                        .map(|p| Row {
-                            a: rel.label(p.a).unwrap_or("?").to_string(),
-                            b: Some(rel.label(p.b).unwrap_or("?").to_string()),
-                            offset: None,
-                            distance: p.distance,
-                        })
-                        .collect(),
-                    nodes_visited: outcome.stats.index.nodes_visited,
+                Ok(LogicalPlan::Join {
+                    relation: relation.clone(),
+                    eps: *eps,
+                    transform: resolve_transforms(transforms, index.series_len())?,
+                    hint,
                 })
             }
             Query::SubseqSimilar {
@@ -396,11 +457,13 @@ impl Catalog {
                 eps,
                 window,
             } => {
-                let (rel, _) = self.resolve_relation(relation)?;
-                let index = self.subseq_index(rel, *window)?;
-                let q = self.resolve_source(source)?;
-                let (matches, stats) = index.subseq_range(&q, *eps)?;
-                Ok(subseq_output(rel, matches, stats.index.nodes_visited))
+                self.resolve_relation(relation)?;
+                Ok(LogicalPlan::SubseqRange {
+                    relation: relation.clone(),
+                    query: self.resolve_source(source)?,
+                    eps: *eps,
+                    window: *window,
+                })
             }
             Query::SubseqNearest {
                 source,
@@ -408,13 +471,37 @@ impl Catalog {
                 k,
                 window,
             } => {
-                let (rel, _) = self.resolve_relation(relation)?;
-                let index = self.subseq_index(rel, *window)?;
-                let q = self.resolve_source(source)?;
-                let (matches, stats) = index.subseq_knn(&q, *k)?;
-                Ok(subseq_output(rel, matches, stats.index.nodes_visited))
+                self.resolve_relation(relation)?;
+                Ok(LogicalPlan::SubseqKnn {
+                    relation: relation.clone(),
+                    query: self.resolve_source(source)?,
+                    k: *k,
+                    window: *window,
+                })
             }
+            Query::Explain { .. } => Err(LangError::Resolve(
+                "EXPLAIN is not itself a plannable query".to_string(),
+            )),
         }
+    }
+
+    /// The relation's planner statistics — tracked at registration; the
+    /// fallback recomputation is defensive (the maps are always in step).
+    fn stats_for(&self, name: &str, index: &SimilarityIndex) -> RelationStats {
+        self.stats
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| RelationStats::from_index(index))
+    }
+
+    /// A cached ST-index, if present — without building or LRU-touching
+    /// anything (the EXPLAIN path must not execute).
+    fn peek_subseq(&self, relation: &str, window: usize) -> Option<Arc<SubseqIndex>> {
+        let key = (relation.to_string(), window);
+        self.cache_read()
+            .map
+            .get(&key)
+            .map(|s| Arc::clone(&s.index))
     }
 }
 
@@ -427,8 +514,15 @@ pub struct BatchSummary {
     pub errors: usize,
     /// Total answer rows across successful queries.
     pub rows: usize,
-    /// Summed simulated disk accesses across successful queries.
+    /// Summed R\*-tree node visits across successful queries.
     pub nodes_visited: u64,
+    /// Summed index-level candidates examined.
+    pub candidates: usize,
+    /// Summed exact distance refinements.
+    pub refined: usize,
+    /// Summed simulated disk accesses (plan-level accounting: scans charge
+    /// one access per record, index plans nodes + candidate fetches).
+    pub disk_accesses: u64,
     /// Wall-clock time for the whole batch.
     pub elapsed: Duration,
     /// Worker threads the batch ran on.
@@ -531,22 +625,51 @@ impl SharedCatalog {
     }
 }
 
-fn subseq_output(
+/// Attaches labels to typed plan rows, producing the language-level
+/// answer.
+fn label_output(
     rel: &SeriesRelation,
-    matches: Vec<tsq_core::SubseqMatch>,
-    nodes_visited: u64,
+    rows: PlanRows,
+    stats: ExecStats,
+    plan: &str,
+    explain: Option<String>,
 ) -> QueryOutput {
-    QueryOutput {
-        rows: matches
+    let label = |id: usize| rel.label(id).unwrap_or("?").to_string();
+    let rows = match rows {
+        PlanRows::Whole(matches) => matches
             .into_iter()
             .map(|m| Row {
-                a: rel.label(m.series).unwrap_or("?").to_string(),
+                a: label(m.id),
+                b: None,
+                offset: None,
+                distance: m.distance,
+            })
+            .collect(),
+        PlanRows::Pairs(pairs) => pairs
+            .into_iter()
+            .map(|p| Row {
+                a: label(p.a),
+                b: Some(label(p.b)),
+                offset: None,
+                distance: p.distance,
+            })
+            .collect(),
+        PlanRows::Windows(matches) => matches
+            .into_iter()
+            .map(|m| Row {
+                a: label(m.series),
                 b: None,
                 offset: Some(m.offset),
                 distance: m.distance,
             })
             .collect(),
-        nodes_visited,
+    };
+    QueryOutput {
+        rows,
+        nodes_visited: stats.nodes_visited,
+        stats,
+        plan: plan.to_string(),
+        explain,
     }
 }
 
@@ -563,13 +686,21 @@ pub struct Row {
     pub distance: f64,
 }
 
-/// Query answer.
+/// Query answer: labeled rows plus the full execution counters and the
+/// plan the cost-based planner chose.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutput {
-    /// Answer rows.
+    /// Answer rows (empty for `EXPLAIN` forms).
     pub rows: Vec<Row>,
-    /// Simulated disk accesses of the index traversal (0 for scans).
+    /// R\*-tree nodes visited (0 for scan plans) — kept alongside the full
+    /// [`ExecStats`] for backward compatibility.
     pub nodes_visited: u64,
+    /// Full execution counters (candidates, refines, disk accesses).
+    pub stats: ExecStats,
+    /// Name of the physical operator that ran (e.g. `IndexRange`).
+    pub plan: String,
+    /// Rendered plan tree for `EXPLAIN` / `EXPLAIN ANALYZE`.
+    pub explain: Option<String>,
 }
 
 fn to_window(w: &WindowSpec) -> QueryWindow {
@@ -686,7 +817,16 @@ mod tests {
             .run("FIND SIMILAR TO walks.s0 IN walks WITHIN 2")
             .unwrap();
         assert!(out.rows.iter().any(|r| r.a == "s0" && r.distance < 1e-9));
-        assert!(out.nodes_visited > 0);
+        assert!(out.stats.disk_accesses > 0);
+        // A selective threshold makes the cost-based planner take the
+        // index path (an unselective one is correctly answered by a scan:
+        // on 60 records, 60 accesses beat nodes + 60 candidate fetches).
+        let tight = cat
+            .run("FIND SIMILAR TO walks.s0 IN walks WITHIN 0.5")
+            .unwrap();
+        assert_eq!(tight.plan, "IndexRange");
+        assert!(tight.nodes_visited > 0);
+        assert!(tight.rows.iter().any(|r| r.a == "s0" && r.distance < 1e-9));
         // With a data-side transformation the self-distance is
         // D(mavg(nf(s0)), nf(s0)) — nonzero; the query must still run and
         // agree with the sequential scan.

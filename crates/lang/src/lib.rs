@@ -13,7 +13,15 @@
 //! FIND SIMILAR TO stocks.BBA IN stocks WITHIN 2.75 APPLY mavg(20)
 //! FIND 5 NEAREST TO [36, 38, 40, ...] IN stocks APPLY reverse
 //! JOIN stocks WITHIN 1.5 APPLY mavg(20) USING INDEX
+//! EXPLAIN ANALYZE FIND SIMILAR TO stocks.BBA IN stocks WITHIN 2.75
 //! ```
+//!
+//! Every query runs through the cost-based planner
+//! ([`tsq_core::plan`]): the AST lowers to a `LogicalPlan`, catalog
+//! statistics cost each access path (scan, early-abandoning scan, index
+//! filter-and-refine, transformed-MBR traversal), and the cheapest
+//! physical plan executes. `USING` forces a join method; `EXPLAIN
+//! [ANALYZE]` renders the choice with estimates (and actual counters).
 //!
 //! Queries run against a [`Catalog`] of named [`tsq_core::SeriesRelation`]s
 //! whose similarity indexes are built on registration. [`SharedCatalog`]

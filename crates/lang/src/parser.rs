@@ -1,7 +1,7 @@
 //! Recursive-descent parser.
 //!
 //! ```text
-//! query      := find_query | join_query
+//! query      := [EXPLAIN [ANALYZE]] (find_query | join_query)
 //! find_query := FIND SIMILAR TO source IN ident WITHIN number
 //!               [APPLY tlist] [WHERE window (AND window)*]
 //!             | FIND SUBSEQUENCE OF source IN ident WITHIN number
@@ -18,6 +18,9 @@
 //! ```
 //!
 //! Keywords are case-insensitive; identifiers are case-sensitive.
+//! `EXPLAIN` renders the cost-based planner's chosen physical plan without
+//! executing; `EXPLAIN ANALYZE` also runs the query and appends the
+//! actual counters.
 //! Validation the parser performs (so nonsense fails before execution):
 //! every `WITHIN` threshold must be non-negative, and every `WINDOW`
 //! length must be an integer of at least 2.
@@ -157,12 +160,23 @@ impl Parser {
     }
 
     fn query(&mut self) -> Result<Query, LangError> {
+        if self.take_kw("EXPLAIN") {
+            let analyze = self.take_kw("ANALYZE");
+            if self.at_kw("EXPLAIN") {
+                return self.error("cannot EXPLAIN an EXPLAIN");
+            }
+            let inner = self.query()?;
+            return Ok(Query::Explain {
+                analyze,
+                query: Box::new(inner),
+            });
+        }
         if self.take_kw("FIND") {
             self.find_query()
         } else if self.take_kw("JOIN") {
             self.join_query()
         } else {
-            self.error("expected FIND or JOIN")
+            self.error("expected EXPLAIN, FIND or JOIN")
         }
     }
 
@@ -572,6 +586,47 @@ mod tests {
         }
         // The largest exactly-representable counts still parse.
         assert!(parse("FIND 9007199254740991 NEAREST TO r.a IN r").is_ok());
+    }
+
+    #[test]
+    fn parse_explain_forms() {
+        match parse("EXPLAIN FIND 3 NEAREST TO r.a IN r").unwrap() {
+            Query::Explain { analyze, query } => {
+                assert!(!analyze);
+                assert!(matches!(*query, Query::Nearest { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("explain analyze JOIN r WITHIN 1 USING TREE").unwrap() {
+            Query::Explain { analyze, query } => {
+                assert!(analyze);
+                assert!(matches!(
+                    *query,
+                    Query::Join {
+                        method: JoinMethod::Tree,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Nesting is rejected, and EXPLAIN still needs a query.
+        assert!(matches!(
+            parse("EXPLAIN EXPLAIN JOIN r WITHIN 1"),
+            Err(LangError::Parse { .. })
+        ));
+        assert!(matches!(parse("EXPLAIN"), Err(LangError::Parse { .. })));
+        // A relation may still be named "explain" (identifiers are only
+        // keyword-like in keyword positions).
+        assert!(parse("JOIN explain WITHIN 1").is_ok());
+    }
+
+    #[test]
+    fn join_without_using_is_auto() {
+        match parse("JOIN r WITHIN 1").unwrap() {
+            Query::Join { method, .. } => assert_eq!(method, JoinMethod::Auto),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

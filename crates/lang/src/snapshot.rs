@@ -27,7 +27,9 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use tsq_core::{executor, store as core_store, SeriesRelation, SimilarityIndex, SubseqIndex};
+use tsq_core::{
+    executor, store as core_store, RelationStats, SeriesRelation, SimilarityIndex, SubseqIndex,
+};
 use tsq_store::{read_payload, seal, unseal, write_file, Decoder, Encoder, StoreError};
 
 use crate::error::LangError;
@@ -38,8 +40,8 @@ use crate::exec::{CacheSlot, Catalog};
 /// only [`Catalog::load`] applies it — merging into an existing catalog
 /// keeps that catalog's configuration.
 struct DecodedSnapshot {
-    /// `(name, relation, index)` in the file's (sorted) order.
-    relations: Vec<(String, SeriesRelation, SimilarityIndex)>,
+    /// `(name, relation, index, stats)` in the file's (sorted) order.
+    relations: Vec<(String, SeriesRelation, SimilarityIndex, RelationStats)>,
     /// `(name, window, index)` in LRU order (least recent first).
     cache: Vec<(String, usize, SubseqIndex)>,
 }
@@ -67,6 +69,14 @@ impl Catalog {
                 section.str(rel.label(id).expect("label within len"));
             }
             index.write_to(&mut section);
+            // Planner statistics travel with the relation, so a restored
+            // catalog costs — and therefore chooses — plans identically.
+            let stats = self
+                .stats
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| RelationStats::from_index(index));
+            core_store::write_relation_stats(&mut section, &stats);
             enc.usize(section.len());
             enc.raw(&section.into_bytes());
         }
@@ -129,7 +139,7 @@ impl Catalog {
     /// endianness, checksum — has been validated by the caller).
     fn restore_payload(&mut self, payload: &[u8]) -> Result<Vec<String>, LangError> {
         let snapshot = decode_snapshot(payload).map_err(store_err)?;
-        for (name, _, _) in &snapshot.relations {
+        for (name, _, _, _) in &snapshot.relations {
             if self.relations.contains_key(name) {
                 return Err(store_err(StoreError::DuplicateRelation {
                     name: name.clone(),
@@ -137,13 +147,14 @@ impl Catalog {
             }
         }
         let mut restored = Vec::with_capacity(snapshot.relations.len());
-        for (name, relation, index) in snapshot.relations {
+        for (name, relation, index, stats) in snapshot.relations {
             // Fresh names cannot have stale cache entries, but re-assert
             // the PR-3 invalidation invariant anyway: nothing keyed by a
             // name being (re-)introduced survives the registration.
             self.cache_write().map.retain(|(rel, _), _| rel != &name);
             self.relations.insert(name.clone(), relation);
             self.indexes.insert(name.clone(), index);
+            self.stats.insert(name.clone(), stats);
             restored.push(name);
         }
         // Replay the cached ST-indexes least-recent-first with fresh
@@ -239,8 +250,8 @@ fn decode_snapshot(payload: &[u8]) -> Result<DecodedSnapshot, StoreError> {
         rel_sections,
         decode_relation_section,
     ))?;
-    for (i, (name, _, _)) in relations.iter().enumerate() {
-        if relations[..i].iter().any(|(n, _, _)| n == name) {
+    for (i, (name, _, _, _)) in relations.iter().enumerate() {
+        if relations[..i].iter().any(|(n, _, _, _)| n == name) {
             return Err(StoreError::corrupt(format!(
                 "relation {name:?} appears twice in the snapshot"
             )));
@@ -264,7 +275,7 @@ fn decode_snapshot(payload: &[u8]) -> Result<DecodedSnapshot, StoreError> {
 
 fn decode_relation_section(
     bytes: &[u8],
-) -> Result<(String, SeriesRelation, SimilarityIndex), StoreError> {
+) -> Result<(String, SeriesRelation, SimilarityIndex, RelationStats), StoreError> {
     let mut dec = Decoder::new(bytes);
     let name = dec.str("relation name")?;
     let label_count = dec.seq(8, "label count")?;
@@ -273,11 +284,21 @@ fn decode_relation_section(
         labels.push(dec.str("series label")?);
     }
     let index = SimilarityIndex::read_from(&mut dec).map_err(unwrap_core)?;
+    let stats = core_store::read_relation_stats(&mut dec)?;
     dec.finish()?;
     if index.len() != label_count {
         return Err(StoreError::corrupt(format!(
             "relation {name:?} has {label_count} label(s) for {} series",
             index.len()
+        )));
+    }
+    if stats.cardinality != index.len() || stats.series_len != index.series_len() {
+        return Err(StoreError::corrupt(format!(
+            "relation {name:?} stats describe {} series of length {}, index holds {} of length {}",
+            stats.cardinality,
+            stats.series_len,
+            index.len(),
+            index.series_len()
         )));
     }
     let items = labels
@@ -287,12 +308,12 @@ fn decode_relation_section(
         .collect();
     let relation = SeriesRelation::from_labeled(&name, items)
         .map_err(|e| StoreError::corrupt(format!("relation {name:?} cannot be rebuilt: {e}")))?;
-    Ok((name, relation, index))
+    Ok((name, relation, index, stats))
 }
 
 fn decode_cache_section(
     bytes: &[u8],
-    relations: &[(String, SeriesRelation, SimilarityIndex)],
+    relations: &[(String, SeriesRelation, SimilarityIndex, RelationStats)],
 ) -> Result<(String, usize, SubseqIndex), StoreError> {
     let mut dec = Decoder::new(bytes);
     let name = dec.str("cached relation name")?;
@@ -300,7 +321,7 @@ fn decode_cache_section(
     // Cached ST-indexes travel without their stored series (the
     // trails-only form): the owning relation's series *are* the store, so
     // hand them over instead of re-parsing a copy.
-    let Some((_, relation, _)) = relations.iter().find(|(n, _, _)| n == &name) else {
+    let Some((_, relation, _, _)) = relations.iter().find(|(n, _, _, _)| n == &name) else {
         return Err(StoreError::corrupt(format!(
             "cached ST-index references unknown relation {name:?}"
         )));

@@ -32,7 +32,7 @@ impl<T: Send> RStarTree<T> {
     /// [`RStarTree::bulk_load`] with the heavy per-level work — slab
     /// sorting and node packing — partitioned across up to `threads`
     /// worker threads. Both entry points share the one packing skeleton
-    /// ([`bulk_build`]); only the sort and pack steps differ.
+    /// (`bulk_build`); only the sort and pack steps differ.
     ///
     /// The parallel build produces a tree *identical* to the sequential
     /// one: the top-level sort is shared, every slab is sorted by the same

@@ -44,5 +44,5 @@ pub use config::RTreeConfig;
 pub use join::{spatial_join, spatial_join_with};
 pub use knn::Neighbor;
 pub use rect::Rect;
-pub use stats::SearchStats;
+pub use stats::{LevelStats, SearchStats};
 pub use tree::RStarTree;

@@ -6,6 +6,9 @@
 //! "the number of disk accesses is the same with and without
 //! transformations" (Section 5, Figure 8 discussion).
 
+use crate::node::{Entry, Node};
+use crate::tree::RStarTree;
+
 /// Counters collected during a single query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -31,9 +34,106 @@ impl SearchStats {
     }
 }
 
+/// Aggregate shape of one tree level, for cost estimation.
+///
+/// A query planner predicts node accesses with the classic R-tree cost
+/// model (Kamel & Faloutsos): the probability that a node's MBR intersects
+/// a query rectangle is, per dimension, roughly
+/// `min(1, (node_extent + query_extent) / data_extent)`. That needs, per
+/// level, the node count and the *average MBR side length* in every
+/// dimension — exactly what this profile carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// Distance from the leaves (`0` = leaf level, last entry = root).
+    pub level: u32,
+    /// Number of nodes at this level.
+    pub nodes: u64,
+    /// Total entries across this level's nodes.
+    pub entries: u64,
+    /// Mean MBR side length per dimension, averaged over the level's nodes.
+    pub avg_extent: Vec<f64>,
+}
+
+impl<T> RStarTree<T> {
+    /// Per-level shape statistics, leaf level first, root last. Empty for
+    /// an empty tree. The walk is deterministic (insertion structure), so
+    /// two structurally identical trees — e.g. one restored from a
+    /// snapshot — profile identically, bit for bit.
+    pub fn level_profile(&self) -> Vec<LevelStats> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let dims = self.dims().unwrap_or(0);
+        let levels = self.root.level as usize + 1;
+        let mut profile: Vec<LevelStats> = (0..levels)
+            .map(|level| LevelStats {
+                level: level as u32,
+                nodes: 0,
+                entries: 0,
+                avg_extent: vec![0.0; dims],
+            })
+            .collect();
+        profile_node(&self.root, &mut profile);
+        for level in &mut profile {
+            if level.nodes > 0 {
+                for e in &mut level.avg_extent {
+                    *e /= level.nodes as f64;
+                }
+            }
+        }
+        profile
+    }
+}
+
+fn profile_node<T>(node: &Node<T>, profile: &mut [LevelStats]) {
+    let slot = &mut profile[node.level as usize];
+    slot.nodes += 1;
+    slot.entries += node.entries.len() as u64;
+    let mbr = node.mbr();
+    for (d, e) in slot.avg_extent.iter_mut().enumerate() {
+        *e += mbr.hi()[d] - mbr.lo()[d];
+    }
+    for entry in &node.entries {
+        if let Entry::Node { child, .. } = entry {
+            profile_node(child, profile);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn level_profile_counts_nodes_and_extents() {
+        let mut tree = RStarTree::default();
+        assert!(tree.level_profile().is_empty());
+        for i in 0..200 {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            tree.insert(Rect::from_point(&[x, y]), i);
+        }
+        let profile = tree.level_profile();
+        assert_eq!(profile.len() as u32, tree.height());
+        // Leaf level first, root last; the root level has exactly one node.
+        assert_eq!(profile[0].level, 0);
+        assert_eq!(profile.last().unwrap().nodes, 1);
+        // Every inserted item appears exactly once among the leaf entries.
+        assert_eq!(profile[0].entries, 200);
+        // Internal entries at level l+1 reference the nodes at level l.
+        for w in profile.windows(2) {
+            assert_eq!(w[1].entries, w[0].nodes);
+        }
+        // Average extents are bounded by the data extent.
+        for level in &profile {
+            assert_eq!(level.avg_extent.len(), 2);
+            for (d, e) in level.avg_extent.iter().enumerate() {
+                let bounds = tree.bounds().unwrap();
+                assert!(*e >= 0.0 && *e <= bounds.hi()[d] - bounds.lo()[d] + 1e-12);
+            }
+        }
+    }
 
     #[test]
     fn absorb_sums() {

@@ -1,0 +1,288 @@
+//! Planner correctness property suite.
+//!
+//! Two invariants across randomized catalogs and every query form:
+//!
+//! 1. **Plan-independence of answers.** The planner-chosen plan returns
+//!    rows identical to the forced-scan oracle (same ids/pairs/offsets;
+//!    distances within float tolerance) — whatever access path the cost
+//!    model picks, the *answer* never changes. Forced-index plans agree
+//!    too.
+//! 2. **Snapshot plan stability.** A `save → open` round trip restores
+//!    the persisted [`RelationStats`], so the restored catalog renders
+//!    byte-for-byte identical `EXPLAIN` output and picks the same plans.
+//!
+//! Plus the `EXPLAIN ANALYZE` contract: the counters in the rendered text
+//! are exactly the [`tsq_lang::QueryOutput::stats`] of the run.
+
+use proptest::prelude::*;
+use tsq_core::{
+    execute_plan, JoinHint, LinearTransform, LogicalPlan, PlanPreference, PlanRows, Planner,
+    QueryWindow, RelationStats, ScanMode, SeriesRelation, SimilarityIndex,
+};
+use tsq_lang::Catalog;
+use tsq_series::generate::RandomWalkGenerator;
+use tsq_series::TimeSeries;
+
+fn relation(max_count: usize, max_len: usize) -> impl Strategy<Value = Vec<TimeSeries>> {
+    (4usize..=max_count, 8usize..=max_len).prop_flat_map(|(count, len)| {
+        prop::collection::vec(
+            prop::collection::vec(-1e2f64..1e2, len..=len).prop_map(TimeSeries::new),
+            count..=count,
+        )
+    })
+}
+
+fn assert_whole_rows_equal(a: &PlanRows, b: &PlanRows, what: &str) {
+    let (PlanRows::Whole(a), PlanRows::Whole(b)) = (a, b) else {
+        panic!("{what}: expected whole-series rows");
+    };
+    assert_eq!(
+        a.iter().map(|m| m.id).collect::<Vec<_>>(),
+        b.iter().map(|m| m.id).collect::<Vec<_>>(),
+        "{what}: answer ids differ between plans"
+    );
+    for (x, y) in a.iter().zip(b) {
+        assert!(
+            (x.distance - y.distance).abs() < 1e-9,
+            "{what}: distances diverge ({} vs {})",
+            x.distance,
+            y.distance
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Range queries: Auto / ForceScan / ForceIndex all return the
+    /// forced-scan oracle's rows, across selectivities.
+    #[test]
+    fn range_plans_agree_with_scan_oracle(
+        rel in relation(24, 40),
+        eps in 0.0f64..30.0,
+        smooth in 0u8..2,
+    ) {
+        let len = rel[0].len();
+        let idx = SimilarityIndex::build(Default::default(), rel).unwrap();
+        let stats = RelationStats::from_index(&idx);
+        let t = if smooth == 1 && len >= 4 {
+            LinearTransform::moving_average(len, 3)
+        } else {
+            LinearTransform::identity(len)
+        };
+        let logical = LogicalPlan::Range {
+            relation: "r".into(),
+            query: idx.series(0).unwrap().clone(),
+            eps,
+            transform: t,
+            window: QueryWindow::default(),
+        };
+        let run = |pref: PlanPreference| {
+            let choice = Planner::new(&idx, &stats).with_preference(pref).plan(&logical, None).unwrap();
+            execute_plan(&logical, &choice.plan, &idx, None).unwrap().0
+        };
+        let oracle = run(PlanPreference::ForceScan);
+        assert_whole_rows_equal(&run(PlanPreference::Auto), &oracle, "auto vs scan");
+        assert_whole_rows_equal(&run(PlanPreference::ForceIndex), &oracle, "index vs scan");
+    }
+
+    /// K-NN queries: both access paths produce the same neighbor set.
+    #[test]
+    fn knn_plans_agree_with_scan_oracle(rel in relation(20, 32), k in 1usize..8) {
+        let len = rel[0].len();
+        let idx = SimilarityIndex::build(Default::default(), rel).unwrap();
+        let stats = RelationStats::from_index(&idx);
+        let logical = LogicalPlan::Knn {
+            relation: "r".into(),
+            query: idx.series(1).unwrap().clone(),
+            k,
+            transform: LinearTransform::identity(len),
+        };
+        let run = |pref: PlanPreference| {
+            let choice = Planner::new(&idx, &stats).with_preference(pref).plan(&logical, None).unwrap();
+            execute_plan(&logical, &choice.plan, &idx, None).unwrap().0
+        };
+        let oracle = run(PlanPreference::ForceScan);
+        // Neighbor *distances* must agree exactly (ids may permute only
+        // between exactly-tied distances, which random data never hits).
+        assert_whole_rows_equal(&run(PlanPreference::Auto), &oracle, "auto vs scan");
+        assert_whole_rows_equal(&run(PlanPreference::ForceIndex), &oracle, "index vs scan");
+    }
+
+    /// Un-hinted joins: every strategy the planner may pick returns the
+    /// scan oracle's unordered pair set, once per pair.
+    #[test]
+    fn join_plans_agree_with_scan_oracle(rel in relation(16, 24), eps in 0.0f64..20.0) {
+        let len = rel[0].len();
+        let idx = SimilarityIndex::build(Default::default(), rel).unwrap();
+        let stats = RelationStats::from_index(&idx);
+        let t = LinearTransform::identity(len);
+        let logical = LogicalPlan::Join {
+            relation: "r".into(),
+            eps,
+            transform: t.clone(),
+            hint: None,
+        };
+        let oracle = idx.join_scan(eps, &t, ScanMode::Naive).unwrap();
+        let want: Vec<(usize, usize)> = oracle.pairs.iter().map(|p| (p.a, p.b)).collect();
+        for pref in [PlanPreference::Auto, PlanPreference::ForceScan, PlanPreference::ForceIndex] {
+            let choice = Planner::new(&idx, &stats).with_preference(pref).plan(&logical, None).unwrap();
+            let (rows, _) = execute_plan(&logical, &choice.plan, &idx, None).unwrap();
+            let PlanRows::Pairs(pairs) = rows else { panic!("join returns pairs") };
+            let got: Vec<(usize, usize)> = pairs.iter().map(|p| (p.a, p.b)).collect();
+            prop_assert_eq!(&got, &want, "{:?}", pref);
+        }
+        // Hinted joins keep the paper's twice-per-pair accounting.
+        let hinted = LogicalPlan::Join {
+            relation: "r".into(),
+            eps,
+            transform: t,
+            hint: Some(JoinHint::Tree),
+        };
+        let choice = Planner::new(&idx, &stats).plan(&hinted, None).unwrap();
+        let (rows, _) = execute_plan(&hinted, &choice.plan, &idx, None).unwrap();
+        prop_assert_eq!(rows.len(), 2 * want.len());
+    }
+}
+
+/// End-to-end through the language: the planner-run answer equals the
+/// subsequence sliding-scan oracle, and range answers equal the forced
+/// scan, on a realistic catalog.
+#[test]
+fn language_level_answers_are_plan_independent() {
+    let mut cat = Catalog::new();
+    let rel = SeriesRelation::from_series("walks", RandomWalkGenerator::new(4242).relation(80, 48))
+        .unwrap();
+    cat.register(rel).unwrap();
+    // Range across selectivities: compare against the core scan oracle.
+    let index = |name: &str, cat: &Catalog| -> SimilarityIndex {
+        // Rebuild an identical index for oracle scans (catalog internals
+        // are private; registration is deterministic).
+        let rel = cat.relation(name).unwrap();
+        SimilarityIndex::build(Default::default(), rel.series().to_vec()).unwrap()
+    };
+    let idx = index("walks", &cat);
+    for eps in [0.1, 1.0, 4.0, 50.0] {
+        let out = cat
+            .run(&format!("FIND SIMILAR TO walks.s7 IN walks WITHIN {eps}"))
+            .unwrap();
+        let (oracle, _) = idx
+            .scan_range(
+                idx.series(7).unwrap(),
+                eps,
+                &LinearTransform::identity(48),
+                ScanMode::Naive,
+            )
+            .unwrap();
+        assert_eq!(
+            out.rows.len(),
+            oracle.len(),
+            "eps={eps}: planner answer diverges from scan oracle"
+        );
+        for (row, m) in out.rows.iter().zip(&oracle) {
+            assert_eq!(row.a, format!("s{}", m.id), "eps={eps}");
+            assert!((row.distance - m.distance).abs() < 1e-9);
+        }
+    }
+}
+
+/// Snapshot round trip: the restored catalog plans byte-for-byte
+/// identically — same EXPLAIN text (estimates included) and same chosen
+/// plans, for every query form.
+#[test]
+fn snapshot_round_trip_preserves_plan_choices() {
+    let mut cat = Catalog::new();
+    for (name, seed, count, len) in [("walks", 7u64, 90usize, 64usize), ("small", 8, 12, 32)] {
+        let rel =
+            SeriesRelation::from_series(name, RandomWalkGenerator::new(seed).relation(count, len))
+                .unwrap();
+        cat.register(rel).unwrap();
+    }
+    // Prime a subseq cache entry so its plan is "cached" on both sides.
+    cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 5 WINDOW 64")
+        .unwrap();
+    let queries = [
+        "EXPLAIN FIND SIMILAR TO walks.s1 IN walks WITHIN 0.5",
+        "EXPLAIN FIND SIMILAR TO walks.s1 IN walks WITHIN 40",
+        "EXPLAIN FIND SIMILAR TO small.s2 IN small WITHIN 3 APPLY mavg(4)",
+        "EXPLAIN FIND 5 NEAREST TO walks.s3 IN walks",
+        "EXPLAIN JOIN small WITHIN 1.5 APPLY mavg(4)",
+        "EXPLAIN JOIN small WITHIN 1.5 USING TREE",
+        "EXPLAIN FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 5 WINDOW 64",
+    ];
+    let before: Vec<String> = queries
+        .iter()
+        .map(|q| cat.run(q).unwrap().explain.expect("explain text"))
+        .collect();
+
+    let bytes = cat.snapshot_bytes();
+    let mut restored = Catalog::new();
+    restored.restore_bytes(&bytes).unwrap();
+    // The primed cache entry travels with the snapshot, so the subseq
+    // EXPLAIN still sees a cached index.
+    assert_eq!(restored.subseq_cache_len(), 1);
+    let after: Vec<String> = queries
+        .iter()
+        .map(|q| restored.run(q).unwrap().explain.expect("explain text"))
+        .collect();
+    assert_eq!(before, after, "plan choices changed across the round trip");
+
+    // Executed plans agree too (plan label + stats + rows).
+    for q in [
+        "FIND SIMILAR TO walks.s1 IN walks WITHIN 0.5",
+        "FIND SIMILAR TO walks.s1 IN walks WITHIN 40",
+        "FIND 5 NEAREST TO walks.s3 IN walks",
+        "JOIN small WITHIN 1.5 APPLY mavg(4)",
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 5 WINDOW 64",
+    ] {
+        let a = cat.run(q).unwrap();
+        let b = restored.run(q).unwrap();
+        assert_eq!(a, b, "{q}");
+    }
+}
+
+/// The `EXPLAIN ANALYZE` counters printed in the text are exactly the
+/// stats of the execution it performed — and match an ordinary run of
+/// the same query.
+#[test]
+fn explain_analyze_counters_match_query_stats() {
+    let mut cat = Catalog::new();
+    let rel = SeriesRelation::from_series("walks", RandomWalkGenerator::new(99).relation(70, 32))
+        .unwrap();
+    cat.register(rel).unwrap();
+    for q in [
+        "FIND SIMILAR TO walks.s4 IN walks WITHIN 0.8",
+        "FIND SIMILAR TO walks.s4 IN walks WITHIN 25",
+        "FIND 3 NEAREST TO walks.s5 IN walks",
+        "JOIN walks WITHIN 1.2 APPLY mavg(4)",
+        "JOIN walks WITHIN 1.2 APPLY mavg(4) USING INDEX",
+        "FIND SUBSEQUENCE OF walks.s6 IN walks WITHIN 4 WINDOW 32",
+    ] {
+        let plain = cat.run(q).unwrap();
+        let analyzed = cat.run(&format!("EXPLAIN ANALYZE {q}")).unwrap();
+        assert!(analyzed.rows.is_empty(), "{q}: ANALYZE returns no rows");
+        assert_eq!(analyzed.stats, plain.stats, "{q}: counters diverge");
+        assert_eq!(analyzed.plan, plain.plan, "{q}: plans diverge");
+        let text = analyzed.explain.expect("analyze text");
+        let expected = format!(
+            "actual: rows={}, nodes={}, candidates={}, refined={}, false_hits={}, disk={}",
+            plain.rows.len(),
+            plain.stats.nodes_visited,
+            plain.stats.candidates,
+            plain.stats.refined,
+            plain.stats.false_hits,
+            plain.stats.disk_accesses,
+        );
+        assert!(
+            text.contains(&expected),
+            "{q}:\n{text}\nmissing: {expected}"
+        );
+    }
+    // Plain EXPLAIN never executes: no rows, zeroed counters.
+    let explained = cat
+        .run("EXPLAIN FIND SIMILAR TO walks.s4 IN walks WITHIN 0.8")
+        .unwrap();
+    assert!(explained.rows.is_empty());
+    assert_eq!(explained.stats, Default::default());
+    assert!(!explained.explain.unwrap().contains("actual:"));
+}
