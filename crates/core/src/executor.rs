@@ -25,6 +25,8 @@
 //! test suite asserts.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tsq_series::TimeSeries;
@@ -46,6 +48,60 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Most OS threads any single fan-out may request, as a multiple of the
+/// machine's available parallelism. Past this point extra threads only
+/// add scheduler pressure and per-thread stacks — a request like
+/// `.batch file 1000000` used to take this literally and spawn a million
+/// OS threads.
+pub const MAX_THREAD_MULTIPLIER: usize = 4;
+
+/// Clamps a requested worker count to `[1, MAX_THREAD_MULTIPLIER ×
+/// available_parallelism]`. `0` means "let the machine decide" and maps
+/// to [`default_threads`]. Every thread-count knob in the workspace
+/// (batch execution, the query service, the shell's `.batch`) funnels
+/// through here, so no user-supplied number can translate into unbounded
+/// OS-thread creation.
+pub fn clamp_threads(requested: usize) -> usize {
+    let cap = default_threads()
+        .saturating_mul(MAX_THREAD_MULTIPLIER)
+        .max(1);
+    match requested {
+        0 => default_threads(),
+        n => n.min(cap),
+    }
+}
+
+/// A cooperative cancellation flag shared between a controller and any
+/// number of workers — the executor-level hook the query service uses for
+/// graceful shutdown (stop admitting work, drain what is in flight).
+///
+/// Cancellation is one-way and idempotent: once [`CancelToken::cancel`]
+/// is called every clone observes [`CancelToken::is_cancelled`] `== true`
+/// forever. Workers are expected to poll between units of work; nothing
+/// is interrupted mid-computation, which is what keeps every parallel
+/// path byte-identical to its sequential oracle.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Signals cancellation to every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
 }
 
 /// One whole-sequence query of a batch, against a [`SimilarityIndex`].
@@ -144,11 +200,14 @@ impl Default for QueryExecutor {
 }
 
 impl QueryExecutor {
-    /// An executor fanning batches over `threads` workers (clamped to at
-    /// least 1).
+    /// An executor fanning batches over `threads` workers, clamped to
+    /// `[1, MAX_THREAD_MULTIPLIER × available_parallelism]` by
+    /// [`clamp_threads`] (`0` means the machine's parallelism) — an
+    /// absurd request degrades to the cap instead of an OS-thread bomb.
+    /// [`QueryExecutor::threads`] reports the count actually used.
     pub fn new(threads: usize) -> Self {
         QueryExecutor {
-            threads: threads.max(1),
+            threads: clamp_threads(threads),
         }
     }
 
@@ -360,6 +419,49 @@ mod tests {
             let got: Vec<_> = results.into_iter().map(|r| r.unwrap().0).collect();
             assert_eq!(got, want, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn thread_counts_are_clamped() {
+        let cap = default_threads() * MAX_THREAD_MULTIPLIER;
+        // Zero delegates to the machine.
+        assert_eq!(clamp_threads(0), default_threads());
+        // Sane requests pass through.
+        assert_eq!(clamp_threads(1), 1);
+        assert_eq!(clamp_threads(cap), cap);
+        // Absurd requests hit the cap instead of spawning a million
+        // OS threads.
+        assert_eq!(clamp_threads(1_000_000), cap);
+        assert_eq!(clamp_threads(usize::MAX), cap);
+        // The executor reports the clamped count.
+        assert_eq!(QueryExecutor::new(1_000_000).threads(), cap);
+        assert_eq!(QueryExecutor::new(0).threads(), default_threads());
+        // Clamped executors still answer correctly.
+        let rel = RandomWalkGenerator::new(7).relation(10, 32);
+        let index = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        let batch = vec![BatchQuery::Knn {
+            q: rel[0].clone(),
+            k: 3,
+            transform: LinearTransform::identity(32),
+        }];
+        let (results, stats) = QueryExecutor::new(usize::MAX).run_batch(&index, batch);
+        assert_eq!(stats.threads, cap);
+        assert_eq!(results[0].as_ref().unwrap().0.len(), 3);
+    }
+
+    #[test]
+    fn cancel_token_propagates_to_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        std::thread::scope(|scope| {
+            scope.spawn(move || clone.cancel());
+        });
+        assert!(token.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(token.is_cancelled());
     }
 
     #[test]

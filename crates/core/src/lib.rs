@@ -85,7 +85,7 @@ pub mod subseq;
 pub mod transform;
 
 pub use error::{Error, Result};
-pub use executor::{BatchQuery, BatchStats, QueryExecutor, SubseqBatchQuery};
+pub use executor::{BatchQuery, BatchStats, CancelToken, QueryExecutor, SubseqBatchQuery};
 pub use features::{FeatureSchema, Features};
 pub use index::{IndexConfig, Match, QueryStats, SimilarityIndex, StoredSeries};
 pub use plan::{

@@ -17,11 +17,17 @@ use std::io::{self, BufRead, Write};
 use std::path::Path;
 
 use tsq_core::SeriesRelation;
-use tsq_lang::Catalog;
+use tsq_lang::{Catalog, SharedCatalog};
 use tsq_series::generate::{RandomWalkGenerator, StockGenerator};
+use tsq_service::ServiceConfig;
 
 const HELP: &str = "\
-usage: tsq [--snapshot <path>]      start with a catalog restored from a snapshot
+usage: tsq [--snapshot <path>] [--serve <addr>]
+  --snapshot <path>   start with a catalog restored from a snapshot
+  --serve <addr>      serve the catalog over TCP (binary wire protocol +
+                      HTTP/JSON on one port) instead of reading stdin;
+                      stop it with `tsq-client <addr> shutdown` or
+                      `curl -X POST http://<addr>/shutdown`
 meta-commands:
   .gen <name> rw <count> <len> [seed]       generate random walks
   .gen <name> stocks <count> <len> [seed]   generate synthetic stocks
@@ -30,6 +36,8 @@ meta-commands:
   .open <path>                              restore a snapshot into this catalog
   .save <name> <path>                       write one relation back to CSV
   .batch <path> [threads]                   run a file of queries (one per line) on a worker pool
+                                            (thread counts are clamped to the machine)
+  .serve <addr>                             serve this catalog over TCP; Enter stops it
   .rel                                      list registered relations
   .help                                     this text
   .quit                                     exit
@@ -51,14 +59,38 @@ transformations:
 fn main() {
     let mut catalog = Catalog::new();
     let mut names: Vec<String> = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => {}
-        [flag] if matches!(flag.as_str(), "--help" | "-h" | "help") => {
-            println!("{HELP}");
-            return;
+    let mut snapshot: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" | "help" => {
+                println!("{HELP}");
+                return;
+            }
+            "--snapshot" => match args.next() {
+                Some(p) => snapshot = Some(p),
+                None => {
+                    eprintln!("--snapshot requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--serve" => match args.next() {
+                Some(a) => serve_addr = Some(a),
+                None => {
+                    eprintln!("--serve requires an address (e.g. 127.0.0.1:7878)");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}; the shell reads queries from stdin");
+                eprintln!("{HELP}");
+                std::process::exit(2);
+            }
         }
-        [flag, path] if flag == "--snapshot" => match Catalog::load(Path::new(path)) {
+    }
+    if let Some(path) = &snapshot {
+        match Catalog::load(Path::new(path)) {
             Ok(restored) => {
                 catalog = restored;
                 names = catalog.relation_names();
@@ -72,16 +104,33 @@ fn main() {
                 eprintln!("cannot restore snapshot {path}: {e}");
                 std::process::exit(2);
             }
-        },
-        [flag] if flag == "--snapshot" => {
-            eprintln!("--snapshot requires a path");
-            std::process::exit(2);
         }
-        [other, ..] => {
-            eprintln!("unknown argument {other:?}; the shell reads queries from stdin");
-            eprintln!("{HELP}");
-            std::process::exit(2);
+    }
+    if let Some(addr) = serve_addr {
+        // Headless service mode: no shell, runs until a remote shutdown
+        // (binary SHUTDOWN request or POST /shutdown) drains the server.
+        let shared = SharedCatalog::new(catalog);
+        match tsq_lang::serve(&addr, shared, ServiceConfig::default()) {
+            Ok(handle) => {
+                println!("serving on {} (binary wire protocol + http)", handle.addr());
+                io::stdout().flush().ok();
+                let snap = handle.wait();
+                println!(
+                    "server drained: {} ok, {} error(s), {} timeout(s), \
+                     {} tcp request(s), {} http request(s)",
+                    snap.queries_ok,
+                    snap.queries_err,
+                    snap.timeouts,
+                    snap.tcp_requests,
+                    snap.http_requests
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot serve on {addr}: {e}");
+                std::process::exit(2);
+            }
         }
+        return;
     }
     let stdin = io::stdin();
     let interactive = true;
@@ -102,7 +151,7 @@ fn main() {
             continue;
         }
         if let Some(rest) = line.strip_prefix('.') {
-            if !meta(rest, &mut catalog, &mut names) {
+            if !meta(rest, &mut catalog, &mut names, &mut lines) {
                 break;
             }
             continue;
@@ -144,8 +193,15 @@ fn main() {
     }
 }
 
-/// Handles a meta-command; returns false to exit the shell.
-fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
+/// Handles a meta-command; returns false to exit the shell. `lines` is
+/// the shell's stdin, borrowed so `.serve` can block on "press Enter to
+/// stop" without re-locking stdin.
+fn meta(
+    cmd: &str,
+    catalog: &mut Catalog,
+    names: &mut Vec<String>,
+    lines: &mut impl Iterator<Item = io::Result<String>>,
+) -> bool {
     let parts: Vec<&str> = cmd.split_whitespace().collect();
     match parts.as_slice() {
         ["quit"] | ["exit"] | ["q"] => return false,
@@ -208,6 +264,13 @@ fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
                         return true;
                     }
                     let (results, summary) = catalog.run_batch(queries.clone(), threads);
+                    if summary.threads != threads {
+                        println!(
+                            "  note: clamped {threads} thread(s) to {} \
+                             (machine bound; see executor::clamp_threads)",
+                            summary.threads
+                        );
+                    }
                     for (src, result) in queries.iter().zip(&results) {
                         match result {
                             Ok(out) => println!("  ok   {:>6} row(s)  {src}", out.rows.len()),
@@ -255,6 +318,41 @@ fn meta(cmd: &str, catalog: &mut Catalog, names: &mut Vec<String>) -> bool {
             }
             Err(e) => println!("  error: {e}"),
         },
+        ["serve", addr] => {
+            // Move the catalog behind a shared handle for the server's
+            // worker threads; it moves back when the server has drained.
+            let shared = SharedCatalog::new(std::mem::take(catalog));
+            match tsq_lang::serve(addr, shared.clone(), ServiceConfig::default()) {
+                Ok(handle) => {
+                    println!(
+                        "  serving on {} (binary wire protocol + http); \
+                         press Enter to stop",
+                        handle.addr()
+                    );
+                    io::stdout().flush().ok();
+                    let _ = lines.next();
+                    let snap = handle.shutdown();
+                    println!(
+                        "  server drained: {} ok, {} error(s), {} timeout(s), \
+                         {} tcp request(s), {} http request(s)",
+                        snap.queries_ok,
+                        snap.queries_err,
+                        snap.timeouts,
+                        snap.tcp_requests,
+                        snap.http_requests
+                    );
+                }
+                Err(e) => println!("  error: cannot serve on {addr}: {e}"),
+            }
+            match shared.into_inner() {
+                Ok(inner) => *catalog = inner,
+                // Unreachable once the server has joined all workers.
+                Err(_) => {
+                    *catalog = Catalog::new();
+                    println!("  warning: catalog handles leaked; starting fresh");
+                }
+            }
+        }
         ["save", name, path] => match catalog.relation(name) {
             Some(rel) => match tsq_series::io::save_csv(Path::new(path), rel.series()) {
                 Ok(()) => println!("  wrote {} series to {path}", rel.len()),

@@ -301,9 +301,12 @@ impl Catalog {
     }
 
     /// Parses and executes a batch of queries, fanning them over up to
-    /// `threads` worker threads. Results come back in batch order and are
-    /// identical to running each query sequentially; per-query failures
-    /// occupy their slot without affecting the rest of the batch.
+    /// `threads` worker threads (clamped by
+    /// [`tsq_core::executor::clamp_threads`], so a hostile or fat-fingered
+    /// request cannot spawn unbounded OS threads). Results come back in
+    /// batch order and are identical to running each query sequentially;
+    /// per-query failures occupy their slot without affecting the rest of
+    /// the batch.
     pub fn run_batch(
         &self,
         queries: Vec<String>,
@@ -311,26 +314,9 @@ impl Catalog {
     ) -> (Vec<Result<QueryOutput, LangError>>, BatchSummary) {
         let started = Instant::now();
         let count = queries.len();
-        let threads = threads.max(1);
+        let threads = executor::clamp_threads(threads);
         let results = executor::parallel_map(threads, queries, |src| self.run(&src));
-        let mut summary = BatchSummary {
-            queries: count,
-            threads,
-            ..BatchSummary::default()
-        };
-        for r in &results {
-            match r {
-                Ok(out) => {
-                    summary.rows += out.rows.len();
-                    summary.nodes_visited += out.nodes_visited;
-                    summary.candidates += out.stats.candidates;
-                    summary.refined += out.stats.refined;
-                    summary.disk_accesses += out.stats.disk_accesses;
-                }
-                Err(_) => summary.errors += 1,
-            }
-        }
-        summary.elapsed = started.elapsed();
+        let summary = summarize_batch(&results, count, threads, started.elapsed());
         (results, summary)
     }
 
@@ -608,14 +594,37 @@ impl SharedCatalog {
         self.read().execute(query)
     }
 
-    /// Runs a batch over the worker pool, holding the read lock for the
-    /// batch's duration (registrations wait; other query threads do not).
+    /// Runs a batch over the worker pool, taking the catalog read lock
+    /// **per query** rather than for the whole batch. A writer calling
+    /// [`SharedCatalog::register`] therefore only waits for the queries
+    /// currently executing, not for every remaining query in a long
+    /// batch — and queries that start after the registration see the new
+    /// relation. Results are still in batch order and, absent concurrent
+    /// writes, identical to [`Catalog::run_batch`]'s.
     pub fn run_batch(
         &self,
         queries: Vec<String>,
         threads: usize,
     ) -> (Vec<Result<QueryOutput, LangError>>, BatchSummary) {
-        self.read().run_batch(queries, threads)
+        let started = Instant::now();
+        let count = queries.len();
+        let threads = executor::clamp_threads(threads);
+        // `self.run` acquires and releases the read lock per query.
+        let results = executor::parallel_map(threads, queries, |src| self.run(&src));
+        let summary = summarize_batch(&results, count, threads, started.elapsed());
+        (results, summary)
+    }
+
+    /// Unwraps the shared catalog, returning the inner [`Catalog`] when
+    /// this is the last handle, or `Err(self)` while clones remain.
+    ///
+    /// # Errors
+    /// Returns `Err(self)` when other handles are still alive.
+    pub fn into_inner(self) -> Result<Catalog, SharedCatalog> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner().unwrap_or_else(PoisonError::into_inner)),
+            Err(inner) => Err(SharedCatalog { inner }),
+        }
     }
 
     /// Read-locked access to a relation (the guard cannot escape, so the
@@ -623,6 +632,36 @@ impl SharedCatalog {
     pub fn with_relation<R>(&self, name: &str, f: impl FnOnce(Option<&SeriesRelation>) -> R) -> R {
         f(self.read().relation(name))
     }
+}
+
+/// Folds per-query batch results into a [`BatchSummary`] — shared by the
+/// whole-batch ([`Catalog::run_batch`]) and per-query-lock
+/// ([`SharedCatalog::run_batch`]) paths so the two report identically.
+fn summarize_batch(
+    results: &[Result<QueryOutput, LangError>],
+    queries: usize,
+    threads: usize,
+    elapsed: Duration,
+) -> BatchSummary {
+    let mut summary = BatchSummary {
+        queries,
+        threads,
+        elapsed,
+        ..BatchSummary::default()
+    };
+    for r in results {
+        match r {
+            Ok(out) => {
+                summary.rows += out.rows.len();
+                summary.nodes_visited += out.nodes_visited;
+                summary.candidates += out.stats.candidates;
+                summary.refined += out.stats.refined;
+                summary.disk_accesses += out.stats.disk_accesses;
+            }
+            Err(_) => summary.errors += 1,
+        }
+    }
+    summary
 }
 
 /// Attaches labels to typed plan rows, producing the language-level

@@ -45,6 +45,7 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod serve;
 mod snapshot;
 pub mod token;
 
@@ -52,3 +53,4 @@ pub use ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
 pub use error::LangError;
 pub use exec::{BatchSummary, Catalog, QueryOutput, Row, SharedCatalog};
 pub use parser::parse;
+pub use serve::serve;

@@ -1,0 +1,123 @@
+//! Bridges the query language to `tsq-service`: implements the server's
+//! [`Engine`] trait for [`SharedCatalog`] and offers a one-call
+//! [`serve`] helper the shell's `.serve` / `--serve` paths use.
+//!
+//! The batch path deliberately routes through
+//! [`SharedCatalog::run_batch`], which takes the catalog read lock *per
+//! query*: a `register` issued while the server chews a long batch only
+//! waits for the handful of queries in flight, never for the whole
+//! batch.
+
+use tsq_service::engine::{Engine, EngineError, QueryReply, WireRow};
+use tsq_service::{Server, ServerHandle, ServiceConfig};
+
+use crate::error::LangError;
+use crate::exec::{QueryOutput, Row, SharedCatalog};
+
+fn to_wire_row(row: &Row) -> WireRow {
+    WireRow {
+        a: row.a.clone(),
+        b: row.b.clone(),
+        offset: row.offset.map(|o| o as u64),
+        distance: row.distance,
+    }
+}
+
+fn to_reply(out: &QueryOutput) -> QueryReply {
+    QueryReply {
+        rows: out.rows.iter().map(to_wire_row).collect(),
+        plan: out.plan.clone(),
+        stats: out.stats,
+    }
+}
+
+fn to_engine_error(err: LangError) -> EngineError {
+    match err {
+        LangError::Lex { .. } | LangError::Parse { .. } | LangError::Resolve(_) => {
+            EngineError::BadQuery(err.to_string())
+        }
+        LangError::Engine(_) => EngineError::Failed(err.to_string()),
+    }
+}
+
+impl Engine for SharedCatalog {
+    fn execute(&self, query: &str) -> Result<QueryReply, EngineError> {
+        self.run(query)
+            .map(|out| to_reply(&out))
+            .map_err(to_engine_error)
+    }
+
+    fn execute_batch(
+        &self,
+        queries: Vec<String>,
+        threads: usize,
+    ) -> Vec<Result<QueryReply, EngineError>> {
+        let (results, _) = self.run_batch(queries, threads);
+        results
+            .into_iter()
+            .map(|r| r.map(|out| to_reply(&out)).map_err(to_engine_error))
+            .collect()
+    }
+}
+
+/// Starts a [`tsq_service::Server`] over a shared catalog.
+///
+/// # Errors
+/// Propagates socket bind failures.
+pub fn serve(
+    addr: &str,
+    catalog: SharedCatalog,
+    config: ServiceConfig,
+) -> std::io::Result<ServerHandle> {
+    Server::start(addr, catalog, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Catalog;
+    use tsq_core::SeriesRelation;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    fn small_catalog() -> SharedCatalog {
+        let rel =
+            SeriesRelation::from_series("walks", RandomWalkGenerator::new(7).relation(16, 16))
+                .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(rel).unwrap();
+        SharedCatalog::new(catalog)
+    }
+
+    #[test]
+    fn shared_catalog_implements_engine() {
+        let engine = small_catalog();
+        let reply = Engine::execute(&engine, "FIND 3 NEAREST TO walks.s0 IN walks").unwrap();
+        assert_eq!(reply.rows.len(), 3);
+        assert_eq!(reply.rows[0].a, "s0");
+        assert!(!reply.plan.is_empty());
+
+        match Engine::execute(&engine, "FIND SIMILAR GARBAGE") {
+            Err(EngineError::BadQuery(_)) => {}
+            other => panic!("expected BadQuery, got {other:?}"),
+        }
+        match Engine::execute(&engine, "FIND 1 NEAREST TO nope.s0 IN nope") {
+            Err(EngineError::BadQuery(m)) => assert!(m.contains("nope")),
+            other => panic!("expected BadQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_batch_answers_in_order() {
+        let engine = small_catalog();
+        let queries = vec![
+            "FIND 1 NEAREST TO walks.s0 IN walks".to_string(),
+            "BAD QUERY".to_string(),
+            "FIND 2 NEAREST TO walks.s1 IN walks".to_string(),
+        ];
+        let slots = Engine::execute_batch(&engine, queries, 2);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0].as_ref().unwrap().rows[0].a, "s0");
+        assert!(matches!(slots[1], Err(EngineError::BadQuery(_))));
+        assert_eq!(slots[2].as_ref().unwrap().rows.len(), 2);
+    }
+}

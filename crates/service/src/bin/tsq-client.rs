@@ -1,0 +1,123 @@
+//! `tsq-client` — a small CLI for the binary wire protocol.
+//!
+//! ```text
+//! tsq-client <addr> ping
+//! tsq-client <addr> query <text...>
+//! tsq-client <addr> batch <file> [threads]
+//! tsq-client <addr> stats
+//! tsq-client <addr> shutdown
+//! ```
+//!
+//! Exit status 0 on success, 1 on any client or server error (the error
+//! is printed to stderr). Query answers print one row per line plus a
+//! summary; `stats` prints the server's metrics JSON verbatim.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tsq_service::{Client, QueryReply};
+
+const USAGE: &str =
+    "usage: tsq-client <addr> <ping|query <text...>|batch <file> [threads]|stats|shutdown>";
+
+fn print_reply(reply: &QueryReply) {
+    for row in &reply.rows {
+        match (&row.b, row.offset) {
+            (Some(b), _) => println!("{}\t{}\t{:.6}", row.a, b, row.distance),
+            (None, Some(off)) => println!("{}\t@{}\t{:.6}", row.a, off, row.distance),
+            (None, None) => println!("{}\t{:.6}", row.a, row.distance),
+        }
+    }
+    println!(
+        "# {} row(s)  plan={}  candidates={} refined={} false_hits={} nodes={} disk={}",
+        reply.rows.len(),
+        reply.plan,
+        reply.stats.candidates,
+        reply.stats.refined,
+        reply.stats.false_hits,
+        reply.stats.nodes_visited,
+        reply.stats.disk_accesses
+    );
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, cmd) = match args.split_first() {
+        Some((addr, rest)) if !rest.is_empty() => (addr.clone(), rest.to_vec()),
+        _ => return Err(USAGE.to_string()),
+    };
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    match cmd[0].as_str() {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+        }
+        "query" => {
+            let text = cmd[1..].join(" ");
+            if text.trim().is_empty() {
+                return Err(USAGE.to_string());
+            }
+            let reply = client.query(&text).map_err(|e| e.to_string())?;
+            print_reply(&reply);
+        }
+        "batch" => {
+            let Some(file) = cmd.get(1) else {
+                return Err(USAGE.to_string());
+            };
+            let threads: u32 = match cmd.get(2) {
+                Some(t) => t.parse().map_err(|_| format!("bad thread count {t:?}"))?,
+                None => 0,
+            };
+            let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+            let queries: Vec<String> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect();
+            if queries.is_empty() {
+                return Err(format!("{file}: no queries"));
+            }
+            let slots = client.batch(&queries, threads).map_err(|e| e.to_string())?;
+            let mut failures = 0usize;
+            for (query, slot) in queries.iter().zip(&slots) {
+                match slot {
+                    Ok(reply) => {
+                        println!("{query} => {} row(s) [{}]", reply.rows.len(), reply.plan)
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!("{query} => error [{}] {}", e.code.name(), e.message);
+                    }
+                }
+            }
+            println!("# {} quer(ies), {failures} failed", queries.len());
+            if failures > 0 {
+                return Err(format!("{failures} quer(ies) failed"));
+            }
+        }
+        "stats" => {
+            let json = client.stats_json().map_err(|e| e.to_string())?;
+            println!("{json}");
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server draining");
+        }
+        other => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tsq-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # tsq-service — network front end for the similarity query engine
+//!
+//! Puts the query engine of Rafiei & Mendelzon's *Similarity-Based
+//! Queries for Time Series Data* (SIGMOD 1997) behind a socket. One TCP
+//! port speaks two protocols, told apart by sniffing the first bytes of
+//! each connection:
+//!
+//! * **binary frames** — every message is a `tsq-store` frame (magic,
+//!   format version, endianness marker, length prefix, CRC-32 trailer),
+//!   so the wire inherits the snapshot format's versioning and
+//!   corruption detection ([`wire`]);
+//! * **HTTP/1.1 JSON** — a minimal facade for `curl` and scrapers:
+//!   `POST /query`, `GET /metrics`, `GET /health`, `POST /shutdown`
+//!   ([`http`]).
+//!
+//! The server ([`server`]) is generic over the object-safe
+//! [`engine::Engine`] trait — `tsq-lang` implements it for its shared
+//! catalog — and provides per-query timeouts, admission control with
+//! typed `Overloaded`/`Timeout` errors, cumulative metrics
+//! ([`metrics`]), and graceful shutdown that drains admitted work. A
+//! blocking [`client::Client`] and the `tsq-client` binary speak the
+//! binary protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use engine::{Engine, EngineError, QueryReply, WireRow};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{reply_json, Server, ServerHandle, ServiceConfig};
+pub use wire::{ErrorCode, FrameError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN};

@@ -1,0 +1,337 @@
+//! Server behavior over a real socket, with mock engines so timeouts,
+//! admission control, and shutdown draining are deterministic: the
+//! engine decides when to be slow or stuck; the server must stay typed,
+//! bounded, and drain-clean throughout.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tsq_service::engine::{Engine, EngineError, QueryReply, WireRow};
+use tsq_service::wire::ErrorCode;
+use tsq_service::{Client, ClientError, Server, ServerHandle, ServiceConfig};
+
+/// Answers every query with one row echoing the query text; `bad ...`
+/// and `boom ...` trigger the two engine error kinds.
+struct EchoEngine;
+
+impl Engine for EchoEngine {
+    fn execute(&self, query: &str) -> Result<QueryReply, EngineError> {
+        if let Some(rest) = query.strip_prefix("bad") {
+            return Err(EngineError::BadQuery(format!("rejected{rest}")));
+        }
+        if let Some(rest) = query.strip_prefix("boom") {
+            return Err(EngineError::Failed(format!("exploded{rest}")));
+        }
+        Ok(QueryReply {
+            rows: vec![WireRow {
+                a: query.to_string(),
+                b: None,
+                offset: None,
+                distance: query.len() as f64,
+            }],
+            plan: "Echo".to_string(),
+            stats: Default::default(),
+        })
+    }
+}
+
+/// Blocks every query until the test releases the gate; counts entries
+/// and exits so drain behavior is observable.
+struct GatedEngine {
+    entered: Arc<AtomicUsize>,
+    finished: Arc<AtomicUsize>,
+    release: Arc<AtomicBool>,
+}
+
+impl Engine for GatedEngine {
+    fn execute(&self, query: &str) -> Result<QueryReply, EngineError> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        while !self.release.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.finished.fetch_add(1, Ordering::SeqCst);
+        Ok(QueryReply {
+            rows: vec![],
+            plan: format!("Gated({query})"),
+            stats: Default::default(),
+        })
+    }
+}
+
+fn quick_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 3,
+        exec_threads: 2,
+        query_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(5),
+        frame_timeout: Duration::from_secs(2),
+        ..ServiceConfig::default()
+    }
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    client
+}
+
+#[test]
+fn binary_protocol_round_trips_over_a_socket() {
+    let handle = Server::start("127.0.0.1:0", EchoEngine, quick_config()).unwrap();
+    let mut client = connect(&handle);
+    client.ping().unwrap();
+    let reply = client.query("hello wire").unwrap();
+    assert_eq!(reply.rows.len(), 1);
+    assert_eq!(reply.rows[0].a, "hello wire");
+    assert_eq!(reply.plan, "Echo");
+
+    // Typed engine errors, session intact afterwards.
+    match client.query("bad grammar") {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::BadQuery);
+            assert!(e.message.contains("rejected"));
+        }
+        other => panic!("expected remote BadQuery, got {other:?}"),
+    }
+    match client.query("boom today") {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Engine),
+        other => panic!("expected remote Engine error, got {other:?}"),
+    }
+    client.ping().unwrap();
+
+    // Batches keep slot order, mixing successes and failures.
+    let queries: Vec<String> = vec!["one".into(), "bad two".into(), "three".into()];
+    let slots = client.batch(&queries, 2).unwrap();
+    assert_eq!(slots.len(), 3);
+    assert_eq!(slots[0].as_ref().unwrap().rows[0].a, "one");
+    assert_eq!(slots[1].as_ref().unwrap_err().code, ErrorCode::BadQuery);
+    assert_eq!(slots[2].as_ref().unwrap().rows[0].a, "three");
+
+    // Metrics saw all of it.
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"queries_ok\":3"), "{stats}");
+    assert!(stats.contains("\"plans\":{\"Echo\":3}"), "{stats}");
+
+    let snap = handle.shutdown();
+    assert_eq!(snap.queries_ok, 3);
+    assert_eq!(snap.queries_err, 3);
+    assert!(snap.tcp_requests >= 7);
+}
+
+#[test]
+fn per_query_timeout_returns_typed_error() {
+    let entered = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let engine = GatedEngine {
+        entered: Arc::clone(&entered),
+        finished: Arc::clone(&finished),
+        release: Arc::clone(&release),
+    };
+    let config = ServiceConfig {
+        query_timeout: Duration::from_millis(80),
+        ..quick_config()
+    };
+    let handle = Server::start("127.0.0.1:0", engine, config).unwrap();
+    let mut client = connect(&handle);
+    match client.query("stuck") {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Timeout),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    // The job was admitted and still completes server-side after release.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while entered.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "timed-out query never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    release.store(true, Ordering::SeqCst);
+    let snap = handle.shutdown();
+    assert_eq!(finished.load(Ordering::SeqCst), 1);
+    assert_eq!(snap.timeouts, 1);
+    assert_eq!(snap.in_flight, 0);
+}
+
+#[test]
+fn admission_control_rejects_with_overloaded() {
+    let entered = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let engine = GatedEngine {
+        entered: Arc::clone(&entered),
+        finished: Arc::clone(&finished),
+        release: Arc::clone(&release),
+    };
+    let config = ServiceConfig {
+        max_inflight: 1,
+        exec_threads: 1,
+        ..quick_config()
+    };
+    let handle = Server::start("127.0.0.1:0", engine, config).unwrap();
+
+    let addr = handle.addr();
+    let first = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        client.query("occupier")
+    });
+    // Wait until the first query holds the only in-flight slot.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while entered.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "first query never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut second = connect(&handle);
+    match second.query("rejected") {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Overloaded),
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    release.store(true, Ordering::SeqCst);
+    let reply = first.join().unwrap().unwrap();
+    assert_eq!(reply.plan, "Gated(occupier)");
+    let snap = handle.shutdown();
+    assert_eq!(snap.overloads, 1);
+    assert_eq!(snap.queries_ok, 1);
+    assert_eq!(finished.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let entered = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let engine = GatedEngine {
+        entered: Arc::clone(&entered),
+        finished: Arc::clone(&finished),
+        release: Arc::clone(&release),
+    };
+    let handle = Server::start("127.0.0.1:0", engine, quick_config()).unwrap();
+    let addr = handle.addr();
+
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        client.query("survivor")
+    });
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while entered.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "query never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Shutdown starts draining; it must block on the stuck query.
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(!shutdown.is_finished(), "shutdown dropped in-flight work");
+    assert_eq!(finished.load(Ordering::SeqCst), 0);
+
+    release.store(true, Ordering::SeqCst);
+    let snap = shutdown.join().unwrap();
+    // The in-flight query was answered, not dropped.
+    let reply = inflight.join().unwrap().unwrap();
+    assert_eq!(reply.plan, "Gated(survivor)");
+    assert_eq!(finished.load(Ordering::SeqCst), 1);
+    assert_eq!(snap.queries_ok, 1);
+    assert_eq!(snap.in_flight, 0);
+
+    // The port no longer serves new work.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            late.set_timeout(Some(Duration::from_secs(2))).ok();
+            assert!(late.ping().is_err(), "server still answering after drain");
+        }
+    }
+}
+
+#[test]
+fn remote_shutdown_request_stops_the_server() {
+    let handle = Server::start("127.0.0.1:0", EchoEngine, quick_config()).unwrap();
+    let addr = handle.addr();
+    let mut client = connect(&handle);
+    client.query("before").unwrap();
+    client.shutdown().unwrap();
+    // wait() observes the remote shutdown and returns final metrics.
+    let snap = handle.wait();
+    assert_eq!(snap.queries_ok, 1);
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            late.set_timeout(Some(Duration::from_secs(2))).ok();
+            assert!(late.ping().is_err());
+        }
+    }
+}
+
+fn http_round_trip(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn http_facade_speaks_json_on_the_same_port() {
+    let handle = Server::start("127.0.0.1:0", EchoEngine, quick_config()).unwrap();
+    let addr = handle.addr();
+
+    let health = http_round_trip(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    let ok = http_round_trip(
+        addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\nhello web",
+    );
+    assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+    assert!(ok.contains("\"a\":\"hello web\""), "{ok}");
+    assert!(ok.contains("\"plan\":\"Echo\""), "{ok}");
+
+    let bad = http_round_trip(
+        addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 7\r\n\r\nbad req",
+    );
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+    assert!(bad.contains("\"error\":\"bad-query\""), "{bad}");
+
+    let boom = http_round_trip(
+        addr,
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\nboom",
+    );
+    assert!(boom.starts_with("HTTP/1.1 500"), "{boom}");
+
+    let missing = http_round_trip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    let metrics = http_round_trip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(metrics.contains("\"queries_ok\":1"), "{metrics}");
+    assert!(metrics.contains("\"http_requests\":"), "{metrics}");
+    assert!(metrics.contains("\"plans\":{\"Echo\":1}"), "{metrics}");
+
+    // Both protocols on one port: a binary client still works.
+    let mut client = connect(&handle);
+    client.ping().unwrap();
+    let snap = handle.shutdown();
+    assert_eq!(snap.queries_ok, 1);
+    assert_eq!(snap.queries_err, 2);
+    assert!(snap.http_requests >= 5);
+}
+
+#[test]
+fn http_shutdown_endpoint_drains_the_server() {
+    let handle = Server::start("127.0.0.1:0", EchoEngine, quick_config()).unwrap();
+    let addr = handle.addr();
+    let bye = http_round_trip(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(bye.starts_with("HTTP/1.1 200 OK"), "{bye}");
+    assert!(bye.contains("draining"), "{bye}");
+    let snap = handle.wait();
+    assert_eq!(snap.queries_ok, 0);
+}

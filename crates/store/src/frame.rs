@@ -39,7 +39,58 @@ pub const FORMAT_VERSION: u32 = 2;
 const ENDIAN_MARKER: u32 = 0x0102_0304;
 
 /// Header length in bytes (magic + version + endian marker + payload len).
-const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+/// Public so stream readers (the query service's wire protocol) can pull
+/// exactly one header off a socket and validate it with [`parse_header`]
+/// before allocating anything for the payload.
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+/// Length of the CRC-32 trailer that follows every payload.
+pub const TRAILER_LEN: usize = 4;
+
+/// Validates a frame header (magic, version, endianness) and returns the
+/// declared payload length — without touching any payload bytes.
+///
+/// This is the incremental half of [`unseal`] for readers that receive a
+/// frame in pieces (e.g. off a socket): read [`HEADER_LEN`] bytes, call
+/// `parse_header` to learn how many payload + trailer bytes follow, apply
+/// an allocation cap, then hand the reassembled whole to [`unseal`] for
+/// the checksum verdict.
+///
+/// # Errors
+/// [`StoreError::Truncated`], [`StoreError::BadMagic`],
+/// [`StoreError::UnsupportedVersion`], [`StoreError::WrongEndian`],
+/// [`StoreError::Corrupt`] — the same validation order as [`unseal`].
+pub fn parse_header(header: &[u8]) -> StoreResult<u64> {
+    if header.len() < 8 {
+        return Err(StoreError::truncated("frame header magic"));
+    }
+    if &header[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    if header.len() < HEADER_LEN {
+        return Err(StoreError::truncated("frame header"));
+    }
+    let version = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            got: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let endian = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    if endian != ENDIAN_MARKER {
+        if endian == ENDIAN_MARKER.swap_bytes() {
+            return Err(StoreError::WrongEndian);
+        }
+        return Err(StoreError::corrupt(format!(
+            "endianness marker {endian:#010x} is neither little- nor big-endian"
+        )));
+    }
+    Ok(u64::from_le_bytes([
+        header[16], header[17], header[18], header[19], header[20], header[21], header[22],
+        header[23],
+    ]))
+}
 
 /// Wraps a payload in the snapshot frame: header + payload + CRC trailer.
 pub fn seal(payload: &[u8]) -> Vec<u8> {
@@ -61,34 +112,7 @@ pub fn seal(payload: &[u8]) -> Vec<u8> {
 /// [`StoreError::Corrupt`] (length overrun / trailing bytes) and
 /// [`StoreError::ChecksumMismatch`], in validation order.
 pub fn unseal(file: &[u8]) -> StoreResult<&[u8]> {
-    if file.len() < 8 {
-        return Err(StoreError::truncated("snapshot header magic"));
-    }
-    if &file[..8] != MAGIC {
-        return Err(StoreError::BadMagic);
-    }
-    if file.len() < HEADER_LEN {
-        return Err(StoreError::truncated("snapshot header"));
-    }
-    let version = u32::from_le_bytes([file[8], file[9], file[10], file[11]]);
-    if version == 0 || version > FORMAT_VERSION {
-        return Err(StoreError::UnsupportedVersion {
-            got: version,
-            supported: FORMAT_VERSION,
-        });
-    }
-    let endian = u32::from_le_bytes([file[12], file[13], file[14], file[15]]);
-    if endian != ENDIAN_MARKER {
-        if endian == ENDIAN_MARKER.swap_bytes() {
-            return Err(StoreError::WrongEndian);
-        }
-        return Err(StoreError::corrupt(format!(
-            "endianness marker {endian:#010x} is neither little- nor big-endian"
-        )));
-    }
-    let len = u64::from_le_bytes([
-        file[16], file[17], file[18], file[19], file[20], file[21], file[22], file[23],
-    ]);
+    let len = parse_header(&file[..file.len().min(HEADER_LEN)])?;
     let len = usize::try_from(len)
         .map_err(|_| StoreError::corrupt(format!("payload length {len} exceeds usize")))?;
     let body = &file[HEADER_LEN..];
@@ -242,6 +266,33 @@ mod tests {
             unseal(&bad),
             Err(StoreError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn parse_header_reports_payload_length_without_payload_bytes() {
+        let framed = seal(b"streamed payload");
+        // Only the header: the reader learns the length before any
+        // payload byte exists.
+        assert_eq!(
+            parse_header(&framed[..HEADER_LEN]).unwrap(),
+            b"streamed payload".len() as u64
+        );
+        // An absurd declared length parses fine — capping it is the
+        // *caller's* allocation guard; the header itself is well-formed.
+        let mut huge = framed[..HEADER_LEN].to_vec();
+        huge[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(parse_header(&huge).unwrap(), u64::MAX);
+        // Validation order matches unseal.
+        assert!(matches!(
+            parse_header(&framed[..10]),
+            Err(StoreError::Truncated { .. })
+        ));
+        let mut bad = framed[..HEADER_LEN].to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(parse_header(&bad).unwrap_err(), StoreError::BadMagic);
+        let mut swapped = framed[..HEADER_LEN].to_vec();
+        swapped[12..16].reverse();
+        assert_eq!(parse_header(&swapped).unwrap_err(), StoreError::WrongEndian);
     }
 
     #[test]

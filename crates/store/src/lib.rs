@@ -37,4 +37,7 @@ pub mod frame;
 pub use codec::{Decoder, Encoder};
 pub use crc::crc32;
 pub use error::{StoreError, StoreResult};
-pub use frame::{read_payload, seal, unseal, write_file, FORMAT_VERSION, MAGIC};
+pub use frame::{
+    parse_header, read_payload, seal, unseal, write_file, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    TRAILER_LEN,
+};

@@ -9,7 +9,7 @@
 //! The crate DAG underneath:
 //!
 //! ```text
-//! tsq-series ─→ tsq-dft ─→ tsq-rtree ─→ tsq-core ─→ tsq-lang
+//! tsq-series ─→ tsq-dft ─→ tsq-rtree ─→ tsq-core ─→ tsq-service ─→ tsq-lang
 //!                                            └─────→ tsq-bench
 //! ```
 
@@ -22,6 +22,7 @@ pub use tsq_dft as dft;
 pub use tsq_lang as lang;
 pub use tsq_rtree as rtree;
 pub use tsq_series as series;
+pub use tsq_service as service;
 
 pub use tsq_core::{QueryExecutor, SimilarityIndex};
 pub use tsq_lang::{Catalog, SharedCatalog};

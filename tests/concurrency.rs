@@ -17,6 +17,7 @@
 //!    invalidated on relation mutation and LRU-bounded.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use tsq::core::{
     executor, BatchQuery, IndexConfig, LinearTransform, QueryExecutor, QueryWindow, SeriesRelation,
@@ -96,6 +97,56 @@ fn batched_execution_agrees_with_sequential_oracle() {
         assert!(summary.nodes_visited > 0);
         assert!(summary.queries_per_second() > 0.0);
     }
+}
+
+#[test]
+fn register_completes_while_long_batch_in_flight() {
+    // Regression: `SharedCatalog::run_batch` used to hold the catalog
+    // read lock for the whole batch, so a concurrent `register` (write
+    // lock) stalled until every queued query had run. The lock is now
+    // taken per query: a writer waits for at most the queries currently
+    // executing, and the batch's answers are still byte-identical to the
+    // sequential oracle.
+    let shared = shared_catalog();
+    let queries: Vec<String> = (0..100)
+        .map(|i| {
+            format!(
+                "JOIN walks WITHIN {} APPLY mavg(6) USING INDEX",
+                1.0 + (i % 5) as f64 * 0.25
+            )
+        })
+        .collect();
+    let oracle: Vec<_> = queries.iter().map(|q| shared.run(q)).collect();
+    let batch_thread = {
+        let shared = shared.clone();
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            let out = shared.run_batch(queries, 2);
+            (out, Instant::now())
+        })
+    };
+    // Give the batch a head start, then register mid-flight.
+    std::thread::sleep(Duration::from_millis(30));
+    shared
+        .register(
+            SeriesRelation::from_series("late", RandomWalkGenerator::new(77).relation(10, 32))
+                .unwrap(),
+        )
+        .unwrap();
+    let writer_done = Instant::now();
+    // The new relation is queryable immediately — not after the batch.
+    assert!(shared.run("FIND 2 NEAREST TO late.s0 IN late").is_ok());
+    let probe_done = Instant::now();
+    let ((results, summary), batch_done) = batch_thread.join().unwrap();
+    assert!(
+        writer_done < batch_done && probe_done < batch_done,
+        "writer stalled behind the whole batch: the per-query lock regressed \
+         (batch finished {:?} before the writer)",
+        writer_done.saturating_duration_since(batch_done)
+    );
+    assert_eq!(results, oracle);
+    assert_eq!(summary.queries, queries.len());
+    assert_eq!(summary.errors, 0);
 }
 
 #[test]

@@ -1,0 +1,225 @@
+//! End-to-end service suite: a real `SharedCatalog` behind a real TCP
+//! server. Answers through the binary wire protocol and the HTTP facade
+//! must match direct in-process execution exactly; a writer must be able
+//! to register a relation while the server chews a long batch; metrics
+//! must account for everything; shutdown must drain.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tsq::core::SeriesRelation;
+use tsq::lang::QueryOutput;
+use tsq::series::generate::RandomWalkGenerator;
+use tsq::service::{Client, ServiceConfig};
+use tsq::{Catalog, SharedCatalog};
+
+fn shared_catalog() -> SharedCatalog {
+    let mut cat = Catalog::new();
+    cat.register(
+        SeriesRelation::from_series("walks", RandomWalkGenerator::new(41).relation(60, 64))
+            .unwrap(),
+    )
+    .unwrap();
+    SharedCatalog::new(cat)
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        exec_threads: 2,
+        poll_interval: Duration::from_millis(5),
+        ..ServiceConfig::default()
+    }
+}
+
+/// The queries the acceptance criteria call out: range, kNN, join,
+/// subsequence.
+fn acceptance_queries() -> Vec<String> {
+    vec![
+        "FIND SIMILAR TO walks.s3 IN walks WITHIN 2".to_string(),
+        "FIND 5 NEAREST TO walks.s7 IN walks APPLY mavg(8)".to_string(),
+        "JOIN walks WITHIN 1.5 APPLY mavg(6) USING INDEX".to_string(),
+        "FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 40 WINDOW 64".to_string(),
+    ]
+}
+
+/// Row-by-row equality between a wire answer and the in-process oracle.
+fn assert_reply_matches(reply: &tsq::service::QueryReply, oracle: &QueryOutput, query: &str) {
+    assert_eq!(reply.plan, oracle.plan, "{query}");
+    assert_eq!(reply.rows.len(), oracle.rows.len(), "{query}");
+    for (wire, direct) in reply.rows.iter().zip(&oracle.rows) {
+        assert_eq!(wire.a, direct.a, "{query}");
+        assert_eq!(wire.b, direct.b, "{query}");
+        assert_eq!(wire.offset, direct.offset.map(|o| o as u64), "{query}");
+        assert_eq!(
+            wire.distance.to_bits(),
+            direct.distance.to_bits(),
+            "{query}"
+        );
+    }
+    assert_eq!(reply.stats, oracle.stats, "{query}");
+}
+
+#[test]
+fn wire_answers_match_in_process_execution() {
+    let shared = shared_catalog();
+    let handle = tsq::lang::serve("127.0.0.1:0", shared.clone(), config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    for query in acceptance_queries() {
+        let oracle = shared.run(&query).unwrap();
+        let reply = client.query(&query).unwrap();
+        assert_reply_matches(&reply, &oracle, &query);
+    }
+
+    // The same queries as one batch: slot order and content preserved.
+    let queries = acceptance_queries();
+    let slots = client.batch(&queries, 2).unwrap();
+    assert_eq!(slots.len(), queries.len());
+    for (query, slot) in queries.iter().zip(&slots) {
+        let oracle = shared.run(query).unwrap();
+        assert_reply_matches(slot.as_ref().unwrap(), &oracle, query);
+    }
+
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"queries_ok\":8"), "{stats}");
+
+    let snap = handle.shutdown();
+    assert_eq!(snap.queries_ok, 8);
+    assert_eq!(snap.queries_err, 0);
+    assert_eq!(snap.in_flight, 0);
+}
+
+#[test]
+fn http_facade_matches_in_process_execution() {
+    let shared = shared_catalog();
+    let handle = tsq::lang::serve("127.0.0.1:0", shared.clone(), config()).unwrap();
+    let addr = handle.addr();
+
+    let query = "FIND 3 NEAREST TO walks.s2 IN walks";
+    let oracle = shared.run(query).unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+                query.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut answer = String::new();
+    stream.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 200 OK"), "{answer}");
+    assert!(
+        answer.contains(&format!("\"plan\":\"{}\"", oracle.plan)),
+        "{answer}"
+    );
+    assert!(
+        answer.contains(&format!("\"row_count\":{}", oracle.rows.len())),
+        "{answer}"
+    );
+    // The top row (the query series itself at distance 0) is rendered.
+    assert!(
+        answer.contains(&format!("\"a\":\"{}\"", oracle.rows[0].a)),
+        "{answer}"
+    );
+
+    // Unknown relation → 400 with the typed code.
+    let bad = "FIND 1 NEAREST TO ghosts.s0 IN ghosts";
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{bad}",
+                bad.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut answer = String::new();
+    stream.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+    assert!(answer.contains("\"error\":\"bad-query\""), "{answer}");
+
+    // /metrics sees both outcomes.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut metrics = String::new();
+    stream.read_to_string(&mut metrics).unwrap();
+    assert!(metrics.contains("\"queries_ok\":1"), "{metrics}");
+    assert!(metrics.contains("\"queries_err\":1"), "{metrics}");
+
+    let snap = handle.shutdown();
+    assert!(snap.http_requests >= 3);
+}
+
+#[test]
+fn register_completes_while_server_chews_a_long_batch() {
+    // The acceptance criterion for the batch-lock fix, through the full
+    // network stack: a long batch is served over TCP while a writer
+    // registers a new relation through the same shared catalog — the
+    // writer must finish before the batch does, and the new relation
+    // must be immediately queryable through the server.
+    let shared = shared_catalog();
+    let handle = tsq::lang::serve("127.0.0.1:0", shared.clone(), config()).unwrap();
+    let addr = handle.addr();
+
+    let batch: Vec<String> = (0..80)
+        .map(|i| {
+            format!(
+                "JOIN walks WITHIN {} APPLY mavg(6) USING INDEX",
+                1.0 + (i % 5) as f64 * 0.25
+            )
+        })
+        .collect();
+    let batch_thread = {
+        let batch = batch.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+            let slots = client.batch(&batch, 2).unwrap();
+            (slots, Instant::now())
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    shared
+        .register(
+            SeriesRelation::from_series("fresh", RandomWalkGenerator::new(43).relation(12, 32))
+                .unwrap(),
+        )
+        .unwrap();
+    let writer_done = Instant::now();
+
+    // Queryable through the server right away, on a new connection.
+    let mut probe = Client::connect(addr).unwrap();
+    probe.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let reply = probe.query("FIND 2 NEAREST TO fresh.s1 IN fresh").unwrap();
+    assert_eq!(reply.rows.len(), 2);
+    let probe_done = Instant::now();
+
+    let (slots, batch_done) = batch_thread.join().unwrap();
+    assert!(
+        writer_done < batch_done && probe_done < batch_done,
+        "register stalled behind the served batch"
+    );
+    assert_eq!(slots.len(), batch.len());
+    assert!(slots.iter().all(Result::is_ok));
+
+    let snap = handle.shutdown();
+    assert_eq!(snap.queries_err, 0);
+    assert_eq!(snap.queries_ok as usize, batch.len() + 1);
+}
