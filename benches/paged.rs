@@ -1,0 +1,193 @@
+//! Paged storage: cold vs. warm buffer-pool behavior under memory
+//! pressure, with *measured* counters.
+//!
+//! The dataset's R\*-tree is at least 2x the pool budget, so the pool
+//! genuinely evicts: a cold run faults every page it touches, a warm run
+//! answers partly from residency. The bench asserts what the counters
+//! must show —
+//!
+//! - answers are identical cold, warm, and against the in-memory tree;
+//! - a cold (flushed) sweep misses more than a warm sweep at the same
+//!   capacity;
+//! - with the pool grown to hold the whole file, a warm sweep misses
+//!   exactly zero times and every node visit is a hit.
+//!
+//! It also emits `BENCH_paged.json` (wall time and hit/miss traffic for
+//! both regimes) for the CI perf trajectory; CI uploads the artifact.
+//!
+//! Run with: `cargo bench --bench paged`
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsq_core::{IndexConfig, LinearTransform, QueryWindow, SimilarityIndex};
+use tsq_series::generate::RandomWalkGenerator;
+use tsq_series::TimeSeries;
+
+const SERIES: usize = 1500;
+const LEN: usize = 64;
+// A tight radius keeps each probe's page footprint small, so warm
+// sweeps genuinely reuse residency instead of LRU-flooding the pool.
+const PROBES: usize = 48;
+const EPS: f64 = 0.75;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsq-bench-paged-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!("{tag}.pages"))
+}
+
+fn paged_copy(mem: &SimilarityIndex, tag: &str, capacity: usize) -> SimilarityIndex {
+    let mut paged = mem.clone();
+    paged
+        .attach_paged(&temp_path(tag), capacity)
+        .expect("attach paged storage");
+    paged
+}
+
+/// One full sweep: a range query per probe. Returns the answers (for
+/// identity asserts) and the wall time.
+fn sweep(index: &SimilarityIndex, rel: &[TimeSeries]) -> (Vec<Vec<usize>>, f64) {
+    let t = LinearTransform::identity(LEN);
+    let window = QueryWindow::default();
+    let start = Instant::now();
+    let answers = (0..PROBES)
+        .map(|i| {
+            let (matches, _) = index
+                .range_query(&rel[i * (SERIES / PROBES)], EPS, &t, &window)
+                .expect("range query");
+            matches.into_iter().map(|m| m.id).collect()
+        })
+        .collect();
+    (answers, start.elapsed().as_secs_f64())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    pages: u64,
+    page_size: usize,
+    capacity: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    cold_misses: u64,
+    warm_misses: u64,
+    warm_hits: u64,
+) {
+    let json = format!(
+        "{{\n  \"bench\": \"paged\",\n  \"series\": {SERIES},\n  \"series_len\": {LEN},\n  \
+         \"probes\": {PROBES},\n  \"pages\": {pages},\n  \"page_size\": {page_size},\n  \
+         \"capacity_pages\": {capacity},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \
+         \"cold_misses\": {cold_misses},\n  \"warm_misses\": {warm_misses},\n  \
+         \"warm_hits\": {warm_hits}\n}}\n",
+        cold_secs * 1e3,
+        warm_secs * 1e3,
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+    } else {
+        println!("  wrote {path}");
+    }
+}
+
+fn bench_paged(c: &mut Criterion) {
+    let rel = RandomWalkGenerator::new(19_970_501).relation(SERIES, LEN);
+    let mem = SimilarityIndex::build(IndexConfig::default(), rel.clone()).expect("build index");
+    let (mem_answers, _) = sweep(&mem, &rel);
+
+    // Size the pool off the real page file: budget = half the tree, so
+    // the dataset is exactly 2x the pool and eviction is guaranteed.
+    let probe = paged_copy(&mem, "probe", 1);
+    let pages = probe.paged().expect("paged").page_count();
+    let page_size = probe.paged().expect("paged").page_size();
+    let capacity = usize::try_from(pages / 2)
+        .expect("capacity fits usize")
+        .max(1);
+    drop(probe);
+
+    let starved = paged_copy(&mem, "starved", capacity);
+    let pool = starved.paged().expect("paged").pool();
+
+    // Cold: every sweep starts from an empty pool.
+    pool.flush();
+    let (m0, start_misses) = (pool.misses(), pool.hits());
+    let _ = start_misses;
+    let (cold_answers, cold_secs) = sweep(&starved, &rel);
+    let cold_misses = pool.misses() - m0;
+    assert_eq!(
+        cold_answers, mem_answers,
+        "cold paged answers must match memory"
+    );
+    assert!(cold_misses > 0, "a cold pool must fault pages in");
+
+    // Warm at the same starved capacity: partial residency, fewer
+    // misses — but still some, because the file is 2x the pool.
+    let (m1, h1) = (pool.misses(), pool.hits());
+    let (warm_answers, warm_secs) = sweep(&starved, &rel);
+    let (warm_misses, warm_hits) = (pool.misses() - m1, pool.hits() - h1);
+    assert_eq!(
+        warm_answers, mem_answers,
+        "warm paged answers must match memory"
+    );
+    assert!(
+        warm_misses < cold_misses,
+        "warm sweep must reuse residency: {warm_misses} vs cold {cold_misses}"
+    );
+
+    // Grow the pool to the whole file: a warmed sweep does zero I/O.
+    let roomy = paged_copy(&mem, "roomy", usize::try_from(pages).expect("fits"));
+    let roomy_pool = roomy.paged().expect("paged").pool();
+    let _ = sweep(&roomy, &rel);
+    let m2 = roomy_pool.misses();
+    let (roomy_answers, _) = sweep(&roomy, &rel);
+    assert_eq!(roomy_answers, mem_answers);
+    assert_eq!(
+        roomy_pool.misses() - m2,
+        0,
+        "a pool holding every page must never fault when warm"
+    );
+
+    println!(
+        "paged: {pages} page(s) x {page_size} B, pool {capacity} page(s) (dataset {:.1}x pool)",
+        pages as f64 / capacity as f64
+    );
+    println!(
+        "  cold sweep: {:8.1} ms, {cold_misses} miss(es)",
+        cold_secs * 1e3
+    );
+    println!(
+        "  warm sweep: {:8.1} ms, {warm_misses} miss(es), {warm_hits} hit(s)",
+        warm_secs * 1e3
+    );
+    write_json(
+        "BENCH_paged.json",
+        pages,
+        page_size,
+        capacity,
+        cold_secs,
+        warm_secs,
+        cold_misses,
+        warm_misses,
+        warm_hits,
+    );
+
+    let mut group = c.benchmark_group("paged");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            pool.flush();
+            black_box(sweep(&starved, &rel))
+        })
+    });
+    group.bench_function("warm", |b| b.iter(|| black_box(sweep(&starved, &rel))));
+    group.bench_function("memory", |b| b.iter(|| black_box(sweep(&mem, &rel))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_paged);
+criterion_main!(benches);

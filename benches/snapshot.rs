@@ -119,7 +119,7 @@ fn bench_snapshot(c: &mut Criterion) {
         cat = Some(built);
     }
     let cat = cat.expect("built at least once");
-    let bytes = cat.snapshot_bytes();
+    let bytes = cat.snapshot_bytes().expect("serialize snapshot");
 
     let mut open_secs = f64::INFINITY;
     let mut restored = None;
@@ -181,7 +181,9 @@ fn bench_snapshot(c: &mut Criterion) {
             black_box(fresh)
         })
     });
-    group.bench_function("serialize", |b| b.iter(|| black_box(cat.snapshot_bytes())));
+    group.bench_function("serialize", |b| {
+        b.iter(|| black_box(cat.snapshot_bytes().expect("serialize")))
+    });
     group.finish();
 }
 

@@ -10,9 +10,12 @@
 //! post-processes candidates against full records. Lemma 1 guarantees no
 //! false dismissals; tests assert exact agreement with linear scans.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use tsq_dft::energy::{euclidean_complex, euclidean_complex_early_abandon};
 use tsq_dft::FftPlanner;
-use tsq_rtree::{RStarTree, RTreeConfig, Rect, SearchStats};
+use tsq_rtree::{PagedTree, RStarTree, RTreeConfig, Rect, SearchStats};
 use tsq_series::{NormalForm, TimeSeries};
 use tsq_store::{Decoder, Encoder, StoreError};
 
@@ -80,12 +83,22 @@ pub struct QueryStats {
 }
 
 /// The similarity index over a relation of equal-length time series.
+///
+/// Node storage comes in two modes. By default the R\*-tree lives in
+/// memory. [`SimilarityIndex::attach_paged`] moves the nodes into a page
+/// file behind a pin-counted LRU buffer pool; every traversal then
+/// fetches nodes through the pool, and query statistics carry *measured*
+/// `pool_hits`/`pool_misses` next to the simulated node-visit counters.
 #[derive(Debug, Clone)]
 pub struct SimilarityIndex {
     config: IndexConfig,
     series_len: usize,
     tree: RStarTree<usize>,
     store: Vec<StoredSeries>,
+    /// Paged node storage; when set, `tree` is empty and every traversal
+    /// goes through the page file's buffer pool. Shared so clones reuse
+    /// one pool (and its cumulative counters).
+    paged: Option<Arc<PagedTree>>,
 }
 
 impl SimilarityIndex {
@@ -128,14 +141,22 @@ impl SimilarityIndex {
             series_len,
             tree,
             store,
+            paged: None,
         })
     }
 
     /// Appends one series, returning its id.
     ///
     /// # Errors
-    /// [`Error::LengthMismatch`] if the length differs from the relation's.
+    /// [`Error::LengthMismatch`] if the length differs from the relation's,
+    /// [`Error::Unsupported`] when paged storage is attached (the page
+    /// file is immutable).
     pub fn insert(&mut self, series: TimeSeries) -> Result<usize> {
+        if self.paged.is_some() {
+            return Err(Error::Unsupported(
+                "insert into a relation with paged storage attached".to_string(),
+            ));
+        }
         if self.store.is_empty() {
             self.series_len = series.len();
             self.config.schema.validate(self.series_len)?;
@@ -190,15 +211,76 @@ impl SimilarityIndex {
         &self.store
     }
 
-    /// Access to the underlying R\*-tree (read-only).
+    /// Access to the underlying R\*-tree (read-only). Empty when paged
+    /// storage is attached — the nodes then live in the page file (see
+    /// [`SimilarityIndex::paged`]).
     pub fn tree(&self) -> &RStarTree<usize> {
         &self.tree
     }
 
+    /// The paged node storage, when attached.
+    pub fn paged(&self) -> Option<&PagedTree> {
+        self.paged.as_deref()
+    }
+
+    /// True when the relation's nodes live in a page file.
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Switches the relation to paged node storage: writes a page file at
+    /// `path` holding the R\*-tree's nodes one per fixed-size page, opens
+    /// it behind a pin-counted LRU buffer pool caching up to
+    /// `capacity_pages` decoded pages, and drops the in-memory nodes.
+    /// Every subsequent traversal fetches nodes through the pool, so
+    /// query statistics carry measured `pool_hits`/`pool_misses`.
+    ///
+    /// The relation becomes append-proof ([`SimilarityIndex::insert`] is
+    /// rejected); snapshots still work — [`SimilarityIndex::write_to`]
+    /// reconstructs the node structure from the page file byte-identically
+    /// to the in-memory form.
+    ///
+    /// # Errors
+    /// [`Error::Unsupported`] if paged storage is already attached;
+    /// [`Error::Store`] on I/O failure or when the configured fan-out
+    /// exceeds the maximum page size.
+    pub fn attach_paged(&mut self, path: &Path, capacity_pages: usize) -> Result<()> {
+        if self.paged.is_some() {
+            return Err(Error::Unsupported(
+                "paged storage is already attached".to_string(),
+            ));
+        }
+        self.tree.write_paged(path, |&id| id as u64)?;
+        let paged = PagedTree::open(path, capacity_pages)?;
+        self.tree = RStarTree::new(self.config.rtree);
+        self.paged = Some(Arc::new(paged));
+        Ok(())
+    }
+
+    /// [`SimilarityIndex::attach_paged`] with the pool sized by a byte
+    /// budget instead of a page count: the pool caches as many whole
+    /// pages as fit into `budget_bytes` (always at least one — the pool
+    /// must be able to hold the page it is decoding).
+    ///
+    /// # Errors
+    /// Same failure modes as [`SimilarityIndex::attach_paged`].
+    pub fn attach_paged_budget(&mut self, path: &Path, budget_bytes: u64) -> Result<()> {
+        let dims = self.tree.dims().unwrap_or(0);
+        let page_size = tsq_rtree::paged::page_size_for(&self.config.rtree, dims)? as u64;
+        let capacity = usize::try_from(budget_bytes / page_size).unwrap_or(usize::MAX);
+        self.attach_paged(path, capacity.max(1))
+    }
+
     /// Serializes the index — configuration, stored series with their
     /// features, and the R\*-tree's node structure byte-identically — into
-    /// `enc` (see [`crate::store`] for the encodings).
-    pub fn write_to(&self, enc: &mut Encoder) {
+    /// `enc` (see [`crate::store`] for the encodings). In paged mode the
+    /// node structure is read back from the page file, so the snapshot is
+    /// identical to the one the in-memory form would write.
+    ///
+    /// # Errors
+    /// [`Error::Store`] if reading the page file fails (in-memory mode
+    /// cannot fail).
+    pub fn write_to(&self, enc: &mut Encoder) -> Result<()> {
         crate::store::write_index_config(enc, &self.config);
         enc.usize(self.series_len);
         enc.usize(self.store.len());
@@ -206,7 +288,14 @@ impl SimilarityIndex {
             crate::store::write_series(enc, &stored.series);
             crate::store::write_features(enc, &stored.features);
         }
-        self.tree.write_to(enc, &mut |e, &id| e.usize(id));
+        match &self.paged {
+            Some(paged) => {
+                let tree = paged.materialize(|id| id as usize)?;
+                tree.write_to(enc, &mut |e, &id| e.usize(id));
+            }
+            None => self.tree.write_to(enc, &mut |e, &id| e.usize(id)),
+        }
+        Ok(())
     }
 
     /// Restores an index written by [`SimilarityIndex::write_to`]. The
@@ -297,6 +386,7 @@ impl SimilarityIndex {
             series_len,
             tree,
             store,
+            paged: None,
         })
     }
 
@@ -408,10 +498,12 @@ impl SimilarityIndex {
         let qrect = space.search_rect(qf, schema, eps, window);
         // 2. Search: transform every MBR on the fly; collect candidates.
         // The identity fast path skips the per-rectangle transformation.
-        let (ids, index_stats) = if threads <= 1 {
+        let (ids, index_stats) = if threads <= 1 || self.paged.is_some() {
             // Sequential: the one filter implementation, shared with the
-            // per-series probes of an index join.
-            self.filter_rect(&qrect, t, force_transform)
+            // per-series probes of an index join. Paged storage always
+            // takes this path — node fetches serialize through the buffer
+            // pool, and the answer is identical either way.
+            self.filter_rect(&qrect, t, force_transform)?
         } else {
             let identity = !force_transform && t.is_identity(1e-12);
             let intersects = |r: &Rect| r.intersects(&qrect);
@@ -451,7 +543,7 @@ impl SimilarityIndex {
         eps: f64,
         t: &LinearTransform,
         window: &QueryWindow,
-    ) -> (Vec<usize>, SearchStats) {
+    ) -> Result<(Vec<usize>, SearchStats)> {
         let qrect = self
             .config
             .space
@@ -463,26 +555,43 @@ impl SimilarityIndex {
     /// rectangle — the single filter implementation behind
     /// [`SimilarityIndex::range_query`]'s sequential path and the join
     /// probes. `force_transform` exercises the transformed traversal even
-    /// for the identity (the Figure-8/9 overhead experiment).
+    /// for the identity (the Figure-8/9 overhead experiment). In paged
+    /// mode the traversal pins pages in the buffer pool and can fail on
+    /// I/O; in-memory traversal is infallible.
     fn filter_rect(
         &self,
         qrect: &Rect,
         t: &LinearTransform,
         force_transform: bool,
-    ) -> (Vec<usize>, SearchStats) {
+    ) -> Result<(Vec<usize>, SearchStats)> {
         let schema = self.config.schema;
         let space = self.config.space;
+        let identity = !force_transform && t.is_identity(1e-12);
         let mut ids = Vec::new();
-        let stats = if !force_transform && t.is_identity(1e-12) {
-            self.tree
-                .search_with(|r| r.intersects(qrect), |_, &id| ids.push(id))
-        } else {
-            self.tree.search_with(
-                |r| space.transformed_intersects(r, t, schema, qrect),
-                |_, &id| ids.push(id),
-            )
+        let stats = match &self.paged {
+            Some(paged) => {
+                if identity {
+                    paged.search_with(|r| r.intersects(qrect), |_, item| ids.push(item as usize))?
+                } else {
+                    paged.search_with(
+                        |r| space.transformed_intersects(r, t, schema, qrect),
+                        |_, item| ids.push(item as usize),
+                    )?
+                }
+            }
+            None => {
+                if identity {
+                    self.tree
+                        .search_with(|r| r.intersects(qrect), |_, &id| ids.push(id))
+                } else {
+                    self.tree.search_with(
+                        |r| space.transformed_intersects(r, t, schema, qrect),
+                        |_, &id| ids.push(id),
+                    )
+                }
+            }
         };
-        (ids, stats)
+        Ok((ids, stats))
     }
 
     /// Nearest-neighbor query under a transformation: the `k` stored series
@@ -502,30 +611,51 @@ impl SimilarityIndex {
         let schema = self.config.schema;
         let space = self.config.space;
         let mut exact_checks = 0usize;
-        let (neighbors, index_stats) = self.tree.nearest_with(
-            k,
-            |rect| space.transformed_lower_bound(rect, t, schema, &qf),
-            |_, &id| {
-                exact_checks += 1;
-                self.exact_distance(id, t, &qf)
-            },
-        );
+        let (matches, index_stats) = match &self.paged {
+            Some(paged) => {
+                let (neighbors, index_stats) = paged.nearest_with(
+                    k,
+                    |rect| space.transformed_lower_bound(rect, t, schema, &qf),
+                    |_, item| {
+                        exact_checks += 1;
+                        self.exact_distance(item as usize, t, &qf)
+                    },
+                )?;
+                let matches = neighbors
+                    .into_iter()
+                    .map(|n| Match {
+                        id: n.item as usize,
+                        distance: n.distance,
+                    })
+                    .collect::<Vec<Match>>();
+                (matches, index_stats)
+            }
+            None => {
+                let (neighbors, index_stats) = self.tree.nearest_with(
+                    k,
+                    |rect| space.transformed_lower_bound(rect, t, schema, &qf),
+                    |_, &id| {
+                        exact_checks += 1;
+                        self.exact_distance(id, t, &qf)
+                    },
+                );
+                let matches = neighbors
+                    .into_iter()
+                    .map(|n| Match {
+                        id: *n.item,
+                        distance: n.distance,
+                    })
+                    .collect::<Vec<Match>>();
+                (matches, index_stats)
+            }
+        };
         let stats = QueryStats {
             index: index_stats,
-            candidates: neighbors.len(),
+            candidates: matches.len(),
             false_hits: 0,
             exact_checks,
         };
-        Ok((
-            neighbors
-                .into_iter()
-                .map(|n| Match {
-                    id: *n.item,
-                    distance: n.distance,
-                })
-                .collect(),
-            stats,
-        ))
+        Ok((matches, stats))
     }
 
     /// Validates a transformation against the index (safety + arity).
@@ -903,7 +1033,7 @@ mod tests {
         let rel = small_relation(150, 64, 14);
         let idx = build_default(rel.clone());
         let mut enc = Encoder::new();
-        idx.write_to(&mut enc);
+        idx.write_to(&mut enc).unwrap();
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
         let restored = SimilarityIndex::read_from(&mut dec).unwrap();
@@ -911,7 +1041,7 @@ mod tests {
         restored.tree().validate();
         // Re-serialization is byte-identical (canonical encoding).
         let mut enc2 = Encoder::new();
-        restored.write_to(&mut enc2);
+        restored.write_to(&mut enc2).unwrap();
         assert_eq!(bytes, enc2.into_bytes());
         // Identical answers *and* identical traversal statistics.
         for t in [
@@ -937,7 +1067,7 @@ mod tests {
     fn empty_index_round_trips() {
         let idx = build_default(Vec::new());
         let mut enc = Encoder::new();
-        idx.write_to(&mut enc);
+        idx.write_to(&mut enc).unwrap();
         let bytes = enc.into_bytes();
         let restored = SimilarityIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
         assert!(restored.is_empty());
@@ -948,7 +1078,7 @@ mod tests {
         let rel = small_relation(30, 32, 15);
         let idx = build_default(rel);
         let mut enc = Encoder::new();
-        idx.write_to(&mut enc);
+        idx.write_to(&mut enc).unwrap();
         let bytes = enc.into_bytes();
         let mut restored = SimilarityIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
         let extra = RandomWalkGenerator::new(123).series(32);
@@ -966,7 +1096,7 @@ mod tests {
         let rel = small_relation(40, 32, 16);
         let idx = build_default(rel);
         let mut enc = Encoder::new();
-        idx.write_to(&mut enc);
+        idx.write_to(&mut enc).unwrap();
         let bytes = enc.into_bytes();
         // Truncation at every prefix is a typed error, never a panic.
         for cut in (0..bytes.len()).step_by(7) {

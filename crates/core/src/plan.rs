@@ -925,6 +925,9 @@ fn rect_sides(rect: &Rect) -> Vec<f64> {
 /// Counters actually observed while running a plan. `disk_accesses`
 /// follows the bench accounting: scans charge one access per stored
 /// record, index plans one per visited node plus one per candidate fetch.
+/// `pool_hits`/`pool_misses` are *measured* buffer-pool counters — real
+/// page fetches, not arithmetic — and stay zero unless the relation has
+/// paged storage attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Index-level candidates produced (scans: records compared).
@@ -937,6 +940,11 @@ pub struct ExecStats {
     pub nodes_visited: u64,
     /// Simulated disk accesses of the whole plan.
     pub disk_accesses: u64,
+    /// Measured buffer-pool hits (paged storage only; 0 in memory).
+    pub pool_hits: u64,
+    /// Measured buffer-pool misses, i.e. actual page reads (paged
+    /// storage only; 0 in memory).
+    pub pool_misses: u64,
 }
 
 /// Typed answer rows of a plan execution, before the language layer
@@ -1016,6 +1024,8 @@ pub fn execute_plan(
                 false_hits: stats.false_hits,
                 nodes_visited: stats.index.nodes_visited,
                 disk_accesses: stats.index.nodes_visited + stats.candidates as u64,
+                pool_hits: stats.index.pool_hits,
+                pool_misses: stats.index.pool_misses,
             };
             Ok((PlanRows::Whole(matches), exec))
         }
@@ -1073,6 +1083,8 @@ pub fn execute_plan(
                 false_hits: 0,
                 nodes_visited: stats.index.nodes_visited,
                 disk_accesses: stats.index.nodes_visited + stats.exact_checks as u64,
+                pool_hits: stats.index.pool_hits,
+                pool_misses: stats.index.pool_misses,
             };
             Ok((PlanRows::Whole(matches), exec))
         }
@@ -1092,6 +1104,8 @@ pub fn execute_plan(
                 false_hits: n - matches.len(),
                 nodes_visited: 0,
                 disk_accesses: n as u64,
+                pool_hits: 0,
+                pool_misses: 0,
             };
             Ok((PlanRows::Whole(matches), exec))
         }
@@ -1103,6 +1117,8 @@ pub fn execute_plan(
                 false_hits: outcome.stats.exact_checks - outcome.pairs.len(),
                 nodes_visited: 0,
                 disk_accesses: n as u64,
+                pool_hits: 0,
+                pool_misses: 0,
             };
             Ok((PlanRows::Pairs(outcome.pairs), exec))
         }
@@ -1132,6 +1148,8 @@ pub fn execute_plan(
                 false_hits: outcome.stats.abandoned,
                 nodes_visited: outcome.stats.index.nodes_visited,
                 disk_accesses: outcome.stats.index.nodes_visited + outcome.stats.candidates as u64,
+                pool_hits: outcome.stats.index.pool_hits,
+                pool_misses: outcome.stats.index.pool_misses,
             };
             Ok((PlanRows::Pairs(pairs), exec))
         }
@@ -1170,6 +1188,8 @@ fn subseq_exec(stats: &crate::subseq::SubseqStats) -> ExecStats {
         false_hits: stats.false_hits,
         nodes_visited: stats.index.nodes_visited,
         disk_accesses: stats.index.nodes_visited + stats.candidates as u64,
+        pool_hits: stats.index.pool_hits,
+        pool_misses: stats.index.pool_misses,
     }
 }
 
@@ -1290,11 +1310,20 @@ pub fn render_plan(logical: &LogicalPlan, choice: &PlanChoice, stats: &RelationS
 
 /// Appends the `EXPLAIN ANALYZE` actual-counter line to a rendered plan.
 /// The counters are exactly the [`ExecStats`] the execution returned.
+/// When the relation runs on paged storage a second line reports the
+/// *measured* buffer-pool traffic next to the `disk` paper-accounting
+/// estimate; in-memory plans render byte-identically to before.
 pub fn render_analyze(rendered: &mut String, rows: usize, stats: &ExecStats) {
     rendered.push_str(&format!(
         "     actual: rows={rows}, nodes={}, candidates={}, refined={}, false_hits={}, disk={}\n",
         stats.nodes_visited, stats.candidates, stats.refined, stats.false_hits, stats.disk_accesses,
     ));
+    if stats.pool_hits + stats.pool_misses > 0 {
+        rendered.push_str(&format!(
+            "     measured: pool_hits={}, pool_misses={}\n",
+            stats.pool_hits, stats.pool_misses,
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -1624,8 +1653,20 @@ mod tests {
             false_hits: 1,
             nodes_visited: 7,
             disk_accesses: 10,
+            pool_hits: 0,
+            pool_misses: 0,
         };
         render_analyze(&mut analyzed, 2, &exec);
         assert!(analyzed.contains("actual: rows=2, nodes=7, candidates=3"));
+        // In-memory plans never grow the measured line…
+        assert!(!analyzed.contains("measured:"));
+        // …and paged plans report real pool traffic next to the estimate.
+        let paged_exec = ExecStats {
+            pool_hits: 4,
+            pool_misses: 3,
+            ..exec
+        };
+        render_analyze(&mut analyzed, 2, &paged_exec);
+        assert!(analyzed.contains("measured: pool_hits=4, pool_misses=3"));
     }
 }

@@ -178,7 +178,7 @@ impl SimilarityIndex {
         let window = QueryWindow::default();
         for i in 0..self.len() {
             let qf = self.transformed_features(i, t)?;
-            let (mut ids, fstats) = self.filter_candidates(&qf, eps, t, &window);
+            let (mut ids, fstats) = self.filter_candidates(&qf, eps, t, &window)?;
             ids.sort_unstable();
             out.stats.index.absorb(&fstats);
             out.stats.candidates += ids.len();
@@ -201,27 +201,51 @@ impl SimilarityIndex {
         let space = self.config().space;
         let mut out = JoinOutcome::default();
         let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
-        // The synchronized join revisits the same node MBRs many times (once
-        // per pairing); memoize their transformed images by address. Stored
-        // rectangles are pinned for the duration of the traversal, so the
-        // address is a stable key.
-        let mut cache: std::collections::HashMap<usize, tsq_rtree::Rect> =
-            std::collections::HashMap::new();
-        let mut transformed = |r: &tsq_rtree::Rect| -> tsq_rtree::Rect {
-            cache
-                .entry(r as *const tsq_rtree::Rect as usize)
-                .or_insert_with(|| space.transform_mbr(r, t, schema))
-                .clone()
+        let stats = match self.paged() {
+            // Paged traversal: node memory is recycled by the buffer pool,
+            // so rectangle addresses are not stable keys — transform each
+            // MBR on use. The bound values (and therefore the pruning and
+            // the counters) are identical to the memoized in-memory path.
+            Some(paged) => paged.self_join_with(
+                |ra, rb| {
+                    space.pair_lower_bound_pretransformed(
+                        &space.transform_mbr(ra, t, schema),
+                        &space.transform_mbr(rb, t, schema),
+                        schema,
+                    )
+                },
+                eps,
+                |_, ia, _, ib| candidate_pairs.push((ia as usize, ib as usize)),
+            )?,
+            None => {
+                // The synchronized join revisits the same node MBRs many
+                // times (once per pairing); memoize their transformed
+                // images by address. Stored rectangles are pinned for the
+                // duration of the traversal, so the address is a stable
+                // key.
+                let mut cache: std::collections::HashMap<usize, tsq_rtree::Rect> =
+                    std::collections::HashMap::new();
+                let mut transformed = |r: &tsq_rtree::Rect| -> tsq_rtree::Rect {
+                    cache
+                        .entry(r as *const tsq_rtree::Rect as usize)
+                        .or_insert_with(|| space.transform_mbr(r, t, schema))
+                        .clone()
+                };
+                spatial_join_with(
+                    self.tree(),
+                    self.tree(),
+                    |ra, rb| {
+                        space.pair_lower_bound_pretransformed(
+                            &transformed(ra),
+                            &transformed(rb),
+                            schema,
+                        )
+                    },
+                    eps,
+                    |_, &ia, _, &ib| candidate_pairs.push((ia, ib)),
+                )
+            }
         };
-        let stats = spatial_join_with(
-            self.tree(),
-            self.tree(),
-            |ra, rb| {
-                space.pair_lower_bound_pretransformed(&transformed(ra), &transformed(rb), schema)
-            },
-            eps,
-            |_, &ia, _, &ib| candidate_pairs.push((ia, ib)),
-        );
         out.stats.index = stats;
         out.stats.candidates = candidate_pairs.len();
         // Feed runs of same-probe candidates to the shared refine path

@@ -34,6 +34,9 @@ meta-commands:
   .load <name> <path>                       load a CSV relation (one series per line)
   .save <path>                              snapshot the whole catalog (relations + indexes)
   .open <path>                              restore a snapshot into this catalog
+  .open <path> --paged <MiB>                restore with R*-trees behind a paged buffer
+                                            pool (<MiB> split evenly across relations);
+                                            EXPLAIN ANALYZE then reports measured I/O
   .save <name> <path>                       write one relation back to CSV
   .batch <path> [threads]                   run a file of queries (one per line) on a worker pool
                                             (thread counts are clamped to the machine)
@@ -317,6 +320,25 @@ fn meta(
                 );
             }
             Err(e) => println!("  error: {e}"),
+        },
+        ["open", path, "--paged", mib] => match mib.parse::<usize>() {
+            Ok(mib) if mib > 0 => match catalog.open_paged(Path::new(path), mib) {
+                Ok(restored) => {
+                    for n in &restored {
+                        if !names.iter().any(|existing| existing == n) {
+                            names.push(n.clone());
+                        }
+                    }
+                    println!(
+                        "  restored {} paged relation(s) from {path} \
+                         ({mib} MiB pool budget): {}",
+                        restored.len(),
+                        restored.join(", ")
+                    );
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+            _ => println!("  usage: .open <path> --paged <MiB>  (MiB must be a positive integer)"),
         },
         ["serve", addr] => {
             // Move the catalog behind a shared handle for the server's

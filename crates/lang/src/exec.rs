@@ -1051,6 +1051,70 @@ mod tests {
     }
 
     #[test]
+    fn reregister_interleaved_with_cache_fills_keeps_lru_consistent() {
+        // `register` invalidates by `retain` on the map. Recency lives in
+        // atomic stamps *inside* the retained slots (there is no separate
+        // recency list to fall out of step), so interleaving re-registers
+        // with cache-filling queries must leave no dangling keys, stay
+        // within capacity, and keep evicting the true LRU survivor.
+        fn probe(rel: &str, w: usize) -> String {
+            let vals: Vec<String> = (0..w).map(|i| format!("{i}")).collect();
+            format!(
+                "FIND SUBSEQUENCE OF [{}] IN {rel} WITHIN 100 WINDOW {w}",
+                vals.join(", ")
+            )
+        }
+        let mut cat = catalog();
+        cat.register(
+            SeriesRelation::from_series("other", RandomWalkGenerator::new(8).relation(12, 32))
+                .unwrap(),
+        )
+        .unwrap();
+        cat.set_subseq_cache_capacity(3);
+        // Fill to capacity across both relations.
+        cat.run(&probe("walks", 4)).unwrap();
+        cat.run(&probe("other", 5)).unwrap();
+        cat.run(&probe("walks", 6)).unwrap();
+        assert_eq!(cat.subseq_cache_len(), 3);
+        // Re-register `walks` mid-stream: only its entries vanish.
+        let replacement =
+            SeriesRelation::from_series("walks", RandomWalkGenerator::new(91).relation(20, 32))
+                .unwrap();
+        cat.register(replacement).unwrap();
+        {
+            let cache = cat.cache_read();
+            assert_eq!(cache.map.len(), 1, "only the survivor remains");
+            assert!(cache.map.contains_key(&("other".to_string(), 5)));
+            assert!(cache.map.keys().all(|(rel, _)| rel != "walks"));
+        }
+        // Keep filling: the survivor's stamp is still honored, so after
+        // refilling past capacity the eviction victim is the *oldest
+        // surviving* entry, not a phantom of the retained map.
+        cat.run(&probe("walks", 4)).unwrap();
+        cat.run(&probe("walks", 6)).unwrap();
+        assert_eq!(cat.subseq_cache_len(), 3);
+        // Touch the survivor so ("walks", 4) becomes the LRU, then evict.
+        cat.run(&probe("other", 5)).unwrap();
+        cat.run(&probe("walks", 7)).unwrap();
+        {
+            let cache = cat.cache_read();
+            assert_eq!(cache.map.len(), 3);
+            assert!(cache.map.contains_key(&("other".to_string(), 5)));
+            assert!(cache.map.contains_key(&("walks".to_string(), 6)));
+            assert!(cache.map.contains_key(&("walks".to_string(), 7)));
+            assert!(!cache.map.contains_key(&("walks".to_string(), 4)));
+        }
+        // Recency keys reported by the public API match the map exactly —
+        // no dangling keys either way.
+        let keys = cat.subseq_cache_keys();
+        assert_eq!(keys.len(), cat.subseq_cache_len());
+        let cache = cat.cache_read();
+        for key in &keys {
+            assert!(cache.map.contains_key(key), "dangling recency key {key:?}");
+        }
+    }
+
+    #[test]
     fn poisoned_cache_lock_recovers_instead_of_panicking() {
         let mut cat = catalog();
         cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 100 WINDOW 32")

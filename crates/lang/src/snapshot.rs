@@ -54,7 +54,7 @@ impl Catalog {
     /// sections on the worker pool ([`executor::parallel_map`]) — the
     /// restart-latency path scales with the machine, like everything else
     /// in the engine.
-    fn snapshot_payload(&self) -> Vec<u8> {
+    fn snapshot_payload(&self) -> Result<Vec<u8>, LangError> {
         let mut enc = Encoder::new();
         core_store::write_index_config(&mut enc, &self.config);
         let names = self.relation_names();
@@ -68,7 +68,10 @@ impl Catalog {
             for id in 0..rel.len() {
                 section.str(rel.label(id).expect("label within len"));
             }
-            index.write_to(&mut section);
+            // Paged relations reconstruct their node structure from the
+            // page file here, byte-identically to the in-memory form —
+            // the only fallible step of a snapshot.
+            index.write_to(&mut section).map_err(LangError::Engine)?;
             // Planner statistics travel with the relation, so a restored
             // catalog costs — and therefore chooses — plans identically.
             let stats = self
@@ -97,13 +100,18 @@ impl Catalog {
             enc.usize(section.len());
             enc.raw(&section.into_bytes());
         }
-        enc.into_bytes()
+        Ok(enc.into_bytes())
     }
 
     /// Serializes the whole catalog into a sealed snapshot (header,
     /// payload, checksum) — the bytes [`Catalog::save`] writes to disk.
-    pub fn snapshot_bytes(&self) -> Vec<u8> {
-        seal(&self.snapshot_payload())
+    ///
+    /// # Errors
+    /// [`LangError::Engine`] wrapping [`tsq_core::Error::Store`] when a
+    /// paged relation's page file cannot be read back (in-memory catalogs
+    /// cannot fail).
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, LangError> {
+        Ok(seal(&self.snapshot_payload()?))
     }
 
     /// Writes a snapshot of the whole catalog to `path` (via a temporary
@@ -113,7 +121,7 @@ impl Catalog {
     /// [`LangError::Engine`] wrapping [`tsq_core::Error::Store`] on I/O
     /// failure.
     pub fn save(&self, path: &Path) -> Result<u64, LangError> {
-        write_file(path, &self.snapshot_payload()).map_err(store_err)
+        write_file(path, &self.snapshot_payload()?).map_err(store_err)
     }
 
     /// Restores a snapshot (produced by [`Catalog::snapshot_bytes`] /
@@ -192,6 +200,45 @@ impl Catalog {
         self.restore_payload(&payload)
     }
 
+    /// [`Catalog::open`] followed by attaching paged node storage to every
+    /// restored relation: each whole-match R\*-tree is written to a
+    /// sidecar page file next to the snapshot (`<path>.<relation>.pages`)
+    /// and its in-memory nodes are dropped; queries then fetch nodes
+    /// through a pin-counted LRU buffer pool, and their statistics carry
+    /// *measured* `pool_hits`/`pool_misses`. The `budget_mib` pool budget
+    /// (MiB, minimum 1) is split evenly across the restored relations.
+    ///
+    /// Planner statistics were persisted in the snapshot, so plan choices
+    /// are identical to the in-memory catalog's. Paged relations are
+    /// read-only until re-registered; [`Catalog::save`] still works (the
+    /// node structure is read back from the page files).
+    ///
+    /// # Errors
+    /// Same as [`Catalog::open`], plus I/O failures while writing or
+    /// reopening the sidecar page files.
+    pub fn open_paged(&mut self, path: &Path, budget_mib: usize) -> Result<Vec<String>, LangError> {
+        let restored = self.open(path)?;
+        let budget_bytes = (budget_mib.max(1) as u64) << 20;
+        let per_relation = (budget_bytes / restored.len().max(1) as u64).max(1);
+        let mut taken = std::collections::HashSet::new();
+        for name in &restored {
+            // Distinct hostile names can sanitize to the same sidecar;
+            // suffix until unique so one page file is never truncated out
+            // from under another relation's open pool.
+            let mut sidecar = paged_sidecar(path, name, 0);
+            let mut bump = 0usize;
+            while !taken.insert(sidecar.clone()) {
+                bump += 1;
+                sidecar = paged_sidecar(path, name, bump);
+            }
+            let index = self.indexes.get_mut(name).expect("restored relation");
+            index
+                .attach_paged_budget(&sidecar, per_relation)
+                .map_err(LangError::Engine)?;
+        }
+        Ok(restored)
+    }
+
     /// Builds a fresh catalog from a snapshot file, adopting the
     /// snapshot's index configuration for future registrations.
     ///
@@ -209,6 +256,30 @@ impl Catalog {
 
 fn store_err(e: StoreError) -> LangError {
     LangError::Engine(tsq_core::Error::Store(e))
+}
+
+/// Sidecar page-file path for one relation of a paged catalog. Relation
+/// names are file-system-hostile in general, so everything outside
+/// `[A-Za-z0-9_-]` is flattened to `_`; `bump > 0` disambiguates names
+/// that collide after flattening.
+fn paged_sidecar(snapshot: &Path, relation: &str, bump: usize) -> std::path::PathBuf {
+    let safe: String = relation
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut os = snapshot.as_os_str().to_os_string();
+    if bump == 0 {
+        os.push(format!(".{safe}.pages"));
+    } else {
+        os.push(format!(".{safe}.{bump}.pages"));
+    }
+    std::path::PathBuf::from(os)
 }
 
 fn unwrap_core(e: tsq_core::Error) -> StoreError {

@@ -72,10 +72,10 @@ fn save_open_save_is_byte_identical() {
     let cat = catalog();
     cat.run("FIND SUBSEQUENCE OF walks.s0 IN walks WITHIN 10 WINDOW 32")
         .unwrap();
-    let first = cat.snapshot_bytes();
+    let first = cat.snapshot_bytes().unwrap();
     let mut fresh = Catalog::new();
     fresh.restore_bytes(&first).unwrap();
-    let second = fresh.snapshot_bytes();
+    let second = fresh.snapshot_bytes().unwrap();
     assert_eq!(
         first, second,
         "canonical encoding must survive a round trip"
@@ -205,7 +205,7 @@ fn lru_order_survives_the_round_trip() {
         .collect();
     assert_eq!(cat.subseq_cache_keys(), want);
 
-    let bytes = cat.snapshot_bytes();
+    let bytes = cat.snapshot_bytes().unwrap();
     let mut fresh = Catalog::new();
     fresh.set_subseq_cache_capacity(3);
     fresh.restore_bytes(&bytes).unwrap();
@@ -236,7 +236,7 @@ fn restore_respects_a_smaller_capacity() {
         .unwrap();
     }
     assert_eq!(cat.subseq_cache_len(), 4);
-    let bytes = cat.snapshot_bytes();
+    let bytes = cat.snapshot_bytes().unwrap();
     let mut small = Catalog::new();
     small.set_subseq_cache_capacity(2);
     small.restore_bytes(&bytes).unwrap();
@@ -250,7 +250,7 @@ fn restore_respects_a_smaller_capacity() {
 #[test]
 fn corrupt_inputs_are_typed_errors() {
     let cat = catalog();
-    let good = cat.snapshot_bytes();
+    let good = cat.snapshot_bytes().unwrap();
 
     // Truncations at every length (sampled for speed).
     for cut in (0..good.len()).step_by(211) {
@@ -321,7 +321,7 @@ fn bit_flips_never_panic_even_past_the_checksum() {
     .unwrap();
     cat.run("FIND SUBSEQUENCE OF w.s0 IN w WITHIN 100 WINDOW 16")
         .unwrap();
-    let sealed = cat.snapshot_bytes();
+    let sealed = cat.snapshot_bytes().unwrap();
     let payload = tsq_store::unseal(&sealed).unwrap().to_vec();
     let mut attempts = 0usize;
     let mut rejected = 0usize;
@@ -348,7 +348,7 @@ fn bit_flips_never_panic_even_past_the_checksum() {
 #[test]
 fn empty_catalog_round_trips() {
     let cat = Catalog::new();
-    let bytes = cat.snapshot_bytes();
+    let bytes = cat.snapshot_bytes().unwrap();
     let mut fresh = Catalog::new();
     assert!(fresh.restore_bytes(&bytes).unwrap().is_empty());
     assert!(fresh.relation_names().is_empty());

@@ -1,4 +1,28 @@
-//! Tree tuning parameters.
+//! Tree tuning parameters and the page geometry they must fit.
+
+/// Page files round every node up to a multiple of this (a disk sector /
+/// filesystem block), so a node read never straddles an unaligned
+/// boundary.
+pub const PAGE_ALIGN: usize = 4096;
+
+/// Hard ceiling on one page (4 MiB). A node larger than this cannot be
+/// stored, which in turn bounds the fan-out a snapshot or page file may
+/// declare.
+pub const MAX_PAGE_BYTES: usize = 1 << 22;
+
+/// Fixed per-page header: payload length `u32`, CRC-32 `u32`, node level
+/// `u32`, entry count `u32`.
+pub const PAGE_HEADER_BYTES: usize = 16;
+
+/// Smallest possible serialized entry: a 1-dimensional rectangle
+/// (`lo f64` + `hi f64`) plus an 8-byte payload or child pointer.
+pub const MIN_ENTRY_BYTES: usize = 24;
+
+/// Maximum fan-out any stored tree may declare, derived from the page
+/// geometry: the most 1-dimensional entries that fit in the largest
+/// page. Persist and page readers reject anything above this with a
+/// typed error instead of allocating for it.
+pub const MAX_FANOUT: usize = (MAX_PAGE_BYTES - PAGE_HEADER_BYTES) / MIN_ENTRY_BYTES;
 
 /// Tuning parameters of an [`crate::RStarTree`].
 ///
@@ -86,5 +110,17 @@ mod tests {
         let c = RTreeConfig::default().without_reinsert();
         assert_eq!(c.reinsert_count, 0);
         c.validate();
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn derived_fanout_cap_exceeds_old_hard_coded_cap() {
+        // The cap used to be a hard-coded `1 << 16`; deriving it from the
+        // page geometry must not shrink it (that would reject previously
+        // valid snapshots) and should in fact admit larger configured
+        // fan-outs.
+        assert!(MAX_FANOUT > 1 << 16, "MAX_FANOUT = {MAX_FANOUT}");
+        // But it still rejects absurd values like u32::MAX.
+        assert!(MAX_FANOUT < u32::MAX as usize);
     }
 }

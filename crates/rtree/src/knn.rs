@@ -11,7 +11,11 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use tsq_store::StoreResult;
+
 use crate::node::{Entry, Node};
+use crate::page::PageId;
+use crate::paged::{PagedEntry, PagedTree};
 use crate::rect::Rect;
 use crate::stats::SearchStats;
 use crate::tree::RStarTree;
@@ -146,6 +150,149 @@ impl<T> RStarTree<T> {
 }
 
 fn insert_sorted<'a, T>(results: &mut Vec<Neighbor<'a, T>>, n: Neighbor<'a, T>, k: usize) {
+    let pos = results
+        .binary_search_by(|p| p.distance.total_cmp(&n.distance))
+        .unwrap_or_else(|p| p);
+    results.insert(pos, n);
+    if results.len() > k {
+        results.pop();
+    }
+}
+
+/// One nearest-neighbor result from a paged tree. Owns its rectangle —
+/// the page it came from may be evicted before the caller looks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedNeighbor {
+    /// Exact distance reported by the caller's distance function.
+    pub distance: f64,
+    /// Stored bounding rectangle of the item.
+    pub rect: Rect,
+    /// The stored payload word.
+    pub item: u64,
+}
+
+enum PagedHeapPayload {
+    Node(PageId, u32),
+    Item(Rect, u64),
+}
+
+struct PagedHeapEntry {
+    dist: f64,
+    payload: PagedHeapPayload,
+}
+
+impl PartialEq for PagedHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for PagedHeapEntry {}
+impl PartialOrd for PagedHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PagedHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need smallest distance first.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl PagedTree {
+    /// Paged twin of [`RStarTree::nearest_with`]: the identical best-first
+    /// search — same heap discipline, same tie behavior, same counters —
+    /// with node fetches going through the buffer pool.
+    ///
+    /// # Errors
+    /// Typed [`tsq_store::StoreError`]s when a page cannot be read or
+    /// decodes as corrupt.
+    pub fn nearest_with<B, E>(
+        &self,
+        k: usize,
+        mut bound_dist: B,
+        mut exact_dist: E,
+    ) -> StoreResult<(Vec<OwnedNeighbor>, SearchStats)>
+    where
+        B: FnMut(&Rect) -> f64,
+        E: FnMut(&Rect, u64) -> f64,
+    {
+        let mut stats = SearchStats::default();
+        let mut results: Vec<OwnedNeighbor> = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return Ok((results, stats));
+        }
+        let mut heap: BinaryHeap<PagedHeapEntry> = BinaryHeap::new();
+        heap.push(PagedHeapEntry {
+            dist: 0.0,
+            payload: PagedHeapPayload::Node(self.root(), self.root_level()),
+        });
+        while let Some(PagedHeapEntry { dist, payload }) = heap.pop() {
+            if results.len() == k && dist > results[k - 1].distance {
+                break; // nothing on the heap can beat the current k-th
+            }
+            match payload {
+                PagedHeapPayload::Node(id, level) => {
+                    let node = self.fetch(id, level, &mut stats)?;
+                    stats.nodes_visited += 1;
+                    if node.is_leaf() {
+                        stats.leaves_visited += 1;
+                    }
+                    for entry in &node.entries {
+                        stats.entries_tested += 1;
+                        match entry {
+                            PagedEntry::Leaf { rect, item } => {
+                                let d = exact_dist(rect, *item);
+                                heap.push(PagedHeapEntry {
+                                    dist: d,
+                                    payload: PagedHeapPayload::Item(rect.clone(), *item),
+                                });
+                            }
+                            PagedEntry::Child { rect, page } => {
+                                let d = bound_dist(rect);
+                                heap.push(PagedHeapEntry {
+                                    dist: d,
+                                    payload: PagedHeapPayload::Node(*page, level - 1),
+                                });
+                            }
+                        }
+                    }
+                }
+                PagedHeapPayload::Item(rect, item) => {
+                    stats.candidates += 1;
+                    insert_sorted_owned(
+                        &mut results,
+                        OwnedNeighbor {
+                            distance: dist,
+                            rect,
+                            item,
+                        },
+                        k,
+                    );
+                }
+            }
+        }
+        Ok((results, stats))
+    }
+
+    /// Paged twin of [`RStarTree::nearest_to_point`].
+    ///
+    /// # Errors
+    /// Same as [`PagedTree::nearest_with`].
+    pub fn nearest_to_point(
+        &self,
+        k: usize,
+        point: &[f64],
+    ) -> StoreResult<(Vec<OwnedNeighbor>, SearchStats)> {
+        self.nearest_with(
+            k,
+            |rect| rect.min_dist2(point).sqrt(),
+            |rect, _| rect.min_dist2(point).sqrt(),
+        )
+    }
+}
+
+fn insert_sorted_owned(results: &mut Vec<OwnedNeighbor>, n: OwnedNeighbor, k: usize) {
     let pos = results
         .binary_search_by(|p| p.distance.total_cmp(&n.distance))
         .unwrap_or_else(|p| p);

@@ -21,6 +21,12 @@
 //! The tree stores arbitrary payloads under dynamic-dimensional rectangles
 //! ([`rect::Rect`]); leaf entries may be points (degenerate rectangles),
 //! which is how feature vectors are stored by `tsq-core`.
+//!
+//! Storage comes in two modes. The default keeps every node in memory.
+//! [`paged::PagedTree`] stores one node per fixed-size page in a file
+//! behind a pin-counted LRU [`page::BufferPool`], so an index larger than
+//! memory still works — and its [`stats::SearchStats`] carry *measured*
+//! pool hit/miss counts next to the simulated node-visit count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +35,8 @@ pub mod bulk;
 pub mod config;
 pub mod join;
 pub mod knn;
+pub mod page;
+pub mod paged;
 pub mod persist;
 pub mod rect;
 pub mod search;
@@ -43,6 +51,8 @@ mod split;
 pub use config::RTreeConfig;
 pub use join::{spatial_join, spatial_join_with};
 pub use knn::Neighbor;
+pub use page::{BufferPool, PageId};
+pub use paged::PagedTree;
 pub use rect::Rect;
 pub use stats::{LevelStats, SearchStats};
 pub use tree::RStarTree;

@@ -32,18 +32,14 @@
 
 use tsq_store::{Decoder, Encoder, StoreError, StoreResult};
 
-use crate::config::RTreeConfig;
+use crate::config::{RTreeConfig, MAX_FANOUT};
 use crate::node::{Entry, Node};
 use crate::rect::Rect;
 use crate::tree::RStarTree;
 
 /// Levels are bounded to keep recursion depth trivially safe: a tree of
 /// height 64 with fan-out ≥ 2 would hold more items than a `u64` counts.
-const MAX_LEVEL: u32 = 64;
-
-/// Generous sanity cap on fan-out read from a file (a simulated disk page
-/// never holds more entries than this).
-const MAX_FANOUT: usize = 1 << 16;
+pub(crate) const MAX_LEVEL: u32 = 64;
 
 impl<T> RStarTree<T> {
     /// Serializes the tree into `enc`, delegating payload encoding to
@@ -232,12 +228,12 @@ fn read_node<T, F: FnMut(&mut Decoder<'_>) -> StoreResult<T>>(
     Ok(Node::new(level, entries))
 }
 
-fn write_rect(enc: &mut Encoder, rect: &Rect) {
+pub(crate) fn write_rect(enc: &mut Encoder, rect: &Rect) {
     enc.f64_slice(rect.lo());
     enc.f64_slice(rect.hi());
 }
 
-fn read_rect(dec: &mut Decoder<'_>, dims: usize) -> StoreResult<Rect> {
+pub(crate) fn read_rect(dec: &mut Decoder<'_>, dims: usize) -> StoreResult<Rect> {
     // Hot path (one call per tree entry): the wire layout (`lo` array
     // then `hi` array) is exactly `Rect`'s internal bounds buffer, so one
     // block read + one decode pass + one validation loop produce the
@@ -420,6 +416,38 @@ mod tests {
         let mut dec = Decoder::new(&bad);
         assert!(matches!(
             RStarTree::<usize>::read_from(&mut dec, &mut decode_usize),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn large_configured_fanout_accepted_up_to_page_geometry() {
+        // A fan-out above the old hard-coded `1 << 16` cap but within the
+        // derived page-geometry cap decodes fine (empty tree, so there is
+        // nothing else to validate).
+        let mut enc = Encoder::new();
+        enc.u32(100_000);
+        enc.u32(2);
+        enc.u32(0);
+        enc.usize(0); // len
+        enc.u8(0); // dims flag
+        enc.u32(0); // root level
+        enc.u32(0); // root entry count
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let t = RStarTree::<usize>::read_from(&mut dec, &mut decode_usize).unwrap();
+        assert_eq!(t.config().max_entries, 100_000);
+
+        // Just above the derived cap is still a typed error, not a panic
+        // or an allocation.
+        let mut enc = Encoder::new();
+        enc.u32((MAX_FANOUT + 1) as u32);
+        enc.u32(2);
+        enc.u32(0);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            read_config(&mut dec),
             Err(StoreError::Corrupt { .. })
         ));
     }

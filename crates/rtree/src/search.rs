@@ -8,7 +8,11 @@
 //! the transformed index `I' = T(I)` is materialized lazily, node by node,
 //! during traversal, with no extra disk overhead.
 
+use tsq_store::StoreResult;
+
 use crate::node::{Entry, Node};
+use crate::page::PageId;
+use crate::paged::{PagedEntry, PagedTree};
 use crate::rect::Rect;
 use crate::stats::SearchStats;
 use crate::tree::RStarTree;
@@ -150,6 +154,86 @@ impl<T> RStarTree<T> {
     pub fn search<'a, C>(&'a self, query: &Rect, on_candidate: C) -> SearchStats
     where
         C: FnMut(&'a Rect, &'a T),
+    {
+        self.search_with(|r| r.intersects(query), on_candidate)
+    }
+}
+
+impl PagedTree {
+    /// Paged twin of [`RStarTree::search_with`]: the identical guided
+    /// traversal, with every node fetch going through the buffer pool.
+    /// The returned stats match the in-memory tree's counter for counter
+    /// and additionally carry measured `pool_hits`/`pool_misses`.
+    ///
+    /// # Errors
+    /// Typed [`tsq_store::StoreError`]s when a page cannot be read or
+    /// decodes as corrupt.
+    pub fn search_with<A, C>(&self, mut accept: A, mut on_candidate: C) -> StoreResult<SearchStats>
+    where
+        A: FnMut(&Rect) -> bool,
+        C: FnMut(&Rect, u64),
+    {
+        let mut stats = SearchStats::default();
+        if self.is_empty() {
+            return Ok(stats);
+        }
+        self.visit_page(
+            self.root(),
+            self.root_level(),
+            &mut accept,
+            &mut on_candidate,
+            &mut stats,
+        )?;
+        Ok(stats)
+    }
+
+    fn visit_page<A, C>(
+        &self,
+        id: PageId,
+        level: u32,
+        accept: &mut A,
+        on_candidate: &mut C,
+        stats: &mut SearchStats,
+    ) -> StoreResult<()>
+    where
+        A: FnMut(&Rect) -> bool,
+        C: FnMut(&Rect, u64),
+    {
+        // The pin stays alive while children are visited: the parent page
+        // cannot be evicted mid-recursion.
+        let node = self.fetch(id, level, stats)?;
+        stats.nodes_visited += 1;
+        if node.is_leaf() {
+            stats.leaves_visited += 1;
+            for entry in &node.entries {
+                stats.entries_tested += 1;
+                if let PagedEntry::Leaf { rect, item } = entry {
+                    if accept(rect) {
+                        stats.candidates += 1;
+                        on_candidate(rect, *item);
+                    }
+                }
+            }
+        } else {
+            for entry in &node.entries {
+                stats.entries_tested += 1;
+                if let PagedEntry::Child { rect, page } = entry {
+                    if accept(rect) {
+                        self.visit_page(*page, level - 1, accept, on_candidate, stats)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Paged twin of [`RStarTree::search`]: plain window query.
+    ///
+    /// # Errors
+    /// Same as [`PagedTree::search_with`].
+    pub fn search<C>(&self, query: &Rect, on_candidate: C) -> StoreResult<SearchStats>
+    where
+        C: FnMut(&Rect, u64),
     {
         self.search_with(|r| r.intersects(query), on_candidate)
     }

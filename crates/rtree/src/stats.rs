@@ -21,6 +21,13 @@ pub struct SearchStats {
     /// Leaf entries that passed the index-level test (candidates handed to
     /// post-processing).
     pub candidates: u64,
+    /// Buffer-pool hits: node fetches served from a resident page.
+    /// Always zero in in-memory mode.
+    pub pool_hits: u64,
+    /// Buffer-pool misses: node fetches that read a page from disk.
+    /// Always zero in in-memory mode; this is the *measured* disk-access
+    /// count, as opposed to the simulated `nodes_visited`.
+    pub pool_misses: u64,
 }
 
 impl SearchStats {
@@ -31,6 +38,8 @@ impl SearchStats {
         self.leaves_visited += other.leaves_visited;
         self.entries_tested += other.entries_tested;
         self.candidates += other.candidates;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
     }
 }
 
@@ -142,17 +151,23 @@ mod tests {
             leaves_visited: 2,
             entries_tested: 3,
             candidates: 4,
+            pool_hits: 5,
+            pool_misses: 6,
         };
         let b = SearchStats {
             nodes_visited: 10,
             leaves_visited: 20,
             entries_tested: 30,
             candidates: 40,
+            pool_hits: 50,
+            pool_misses: 60,
         };
         a.absorb(&b);
         assert_eq!(a.nodes_visited, 11);
         assert_eq!(a.leaves_visited, 22);
         assert_eq!(a.entries_tested, 33);
         assert_eq!(a.candidates, 44);
+        assert_eq!(a.pool_hits, 55);
+        assert_eq!(a.pool_misses, 66);
     }
 }

@@ -34,6 +34,8 @@ pub struct Metrics {
     false_hits: AtomicU64,
     nodes_visited: AtomicU64,
     disk_accesses: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
     /// Successful queries per physical operator the planner chose.
     plans: Mutex<BTreeMap<String, u64>>,
 }
@@ -57,6 +59,8 @@ impl Default for Metrics {
             false_hits: AtomicU64::new(0),
             nodes_visited: AtomicU64::new(0),
             disk_accesses: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
             plans: Mutex::new(BTreeMap::new()),
         }
     }
@@ -106,6 +110,10 @@ impl Metrics {
             .fetch_add(reply.stats.nodes_visited, Ordering::Relaxed);
         self.disk_accesses
             .fetch_add(reply.stats.disk_accesses, Ordering::Relaxed);
+        self.pool_hits
+            .fetch_add(reply.stats.pool_hits, Ordering::Relaxed);
+        self.pool_misses
+            .fetch_add(reply.stats.pool_misses, Ordering::Relaxed);
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
         *plans.entry(reply.plan.clone()).or_insert(0) += 1;
     }
@@ -149,6 +157,8 @@ impl Metrics {
             false_hits: self.false_hits.load(Ordering::Relaxed),
             nodes_visited: self.nodes_visited.load(Ordering::Relaxed),
             disk_accesses: self.disk_accesses.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
             plans,
         }
     }
@@ -193,8 +203,13 @@ pub struct MetricsSnapshot {
     pub false_hits: u64,
     /// Summed R\*-tree node visits.
     pub nodes_visited: u64,
-    /// Summed simulated disk accesses.
+    /// Summed paper-accounting disk accesses (nodes visited +
+    /// candidates).
     pub disk_accesses: u64,
+    /// Summed measured buffer-pool hits (paged relations only).
+    pub pool_hits: u64,
+    /// Summed measured buffer-pool misses — actual page reads.
+    pub pool_misses: u64,
     /// Successful queries per chosen physical operator.
     pub plans: BTreeMap<String, u64>,
 }
@@ -219,6 +234,7 @@ impl MetricsSnapshot {
                 "\"tcp_requests\":{},\"http_requests\":{},\"in_flight\":{},",
                 "\"rows\":{},\"candidates\":{},\"refined\":{},\"false_hits\":{},",
                 "\"nodes_visited\":{},\"disk_accesses\":{},",
+                "\"pool_hits\":{},\"pool_misses\":{},",
                 "\"plans\":{}}}"
             ),
             self.uptime_secs,
@@ -237,6 +253,8 @@ impl MetricsSnapshot {
             self.false_hits,
             self.nodes_visited,
             self.disk_accesses,
+            self.pool_hits,
+            self.pool_misses,
             plans
         )
     }
@@ -263,6 +281,8 @@ mod tests {
                 false_hits: 1,
                 nodes_visited: 0,
                 disk_accesses: 10,
+                pool_hits: 7,
+                pool_misses: 4,
             },
         });
         m.query_done();
@@ -278,9 +298,12 @@ mod tests {
         assert_eq!(snap.malformed, 1);
         assert_eq!(snap.in_flight, 0);
         assert_eq!(snap.disk_accesses, 10);
+        assert_eq!(snap.pool_hits, 7);
+        assert_eq!(snap.pool_misses, 4);
         assert_eq!(snap.plans.get("SeqScan"), Some(&1));
         let json = snap.to_json();
         assert!(json.contains("\"queries_ok\":1"));
+        assert!(json.contains("\"pool_hits\":7,\"pool_misses\":4"));
         assert!(json.contains("\"plans\":{\"SeqScan\":1}"));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

@@ -256,6 +256,17 @@ fn initiate_shutdown(shared: &Shared) {
 }
 
 fn exec_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    /// Releases the admission slot when dropped — including during a
+    /// panic unwind. The slot was claimed in `submit`, and the waiter
+    /// there may already have timed out and left, so nobody else will
+    /// ever decrement it: without this guard a panicking engine leaks
+    /// the slot and permanently shrinks the server's capacity.
+    struct SlotGuard<'a>(&'a Metrics);
+    impl Drop for SlotGuard<'_> {
+        fn drop(&mut self) {
+            self.0.query_done();
+        }
+    }
     loop {
         // Hold the lock only to dequeue — workers run jobs concurrently.
         let job = {
@@ -263,13 +274,13 @@ fn exec_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             guard.recv()
         };
         let Ok(job) = job else { break };
+        let _slot = SlotGuard(&shared.metrics);
         let reply = match job.kind {
             JobKind::One(q) => JobReply::One(shared.engine.execute(&q)),
             JobKind::Batch { queries, threads } => {
                 JobReply::Batch(shared.engine.execute_batch(queries, threads))
             }
         };
-        shared.metrics.query_done();
         // The waiter may have timed out and gone; that is its problem.
         let _ = job.reply_tx.try_send(reply);
     }
@@ -759,7 +770,8 @@ pub fn reply_json(reply: &QueryReply) -> String {
     format!(
         "{{\"plan\":\"{}\",\"row_count\":{},\"rows\":{},\
          \"stats\":{{\"candidates\":{},\"refined\":{},\"false_hits\":{},\
-         \"nodes_visited\":{},\"disk_accesses\":{}}}}}",
+         \"nodes_visited\":{},\"disk_accesses\":{},\
+         \"pool_hits\":{},\"pool_misses\":{}}}}}",
         http::json_escape(&reply.plan),
         reply.rows.len(),
         rows,
@@ -767,6 +779,8 @@ pub fn reply_json(reply: &QueryReply) -> String {
         reply.stats.refined,
         reply.stats.false_hits,
         reply.stats.nodes_visited,
-        reply.stats.disk_accesses
+        reply.stats.disk_accesses,
+        reply.stats.pool_hits,
+        reply.stats.pool_misses
     )
 }

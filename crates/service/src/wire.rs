@@ -25,6 +25,7 @@
 //!          | 0x05 BYE      (shutdown acknowledged)
 //! reply-body := str(plan) u64(candidates) u64(refined) u64(false_hits)
 //!               u64(nodes_visited) u64(disk_accesses)
+//!               u64(pool_hits) u64(pool_misses)
 //!               seq(str(a) opt(str(b)) opt(u64(offset)) f64(distance))
 //! ```
 //!
@@ -352,6 +353,8 @@ fn encode_reply_body(enc: &mut Encoder, reply: &QueryReply) {
     enc.u64(reply.stats.false_hits as u64);
     enc.u64(reply.stats.nodes_visited);
     enc.u64(reply.stats.disk_accesses);
+    enc.u64(reply.stats.pool_hits);
+    enc.u64(reply.stats.pool_misses);
     enc.usize(reply.rows.len());
     for row in &reply.rows {
         enc.str(&row.a);
@@ -384,6 +387,8 @@ fn decode_reply_body(dec: &mut Decoder<'_>) -> Result<QueryReply, StoreError> {
         false_hits: narrow(dec.u64("false hits")?, "false hits")?,
         nodes_visited: dec.u64("nodes visited")?,
         disk_accesses: dec.u64("disk accesses")?,
+        pool_hits: dec.u64("pool hits")?,
+        pool_misses: dec.u64("pool misses")?,
     };
     // Minimum row wire size: 8 (label length) + 1 + 1 + 8 (distance).
     let count = dec.seq(18, "rows")?;
@@ -529,6 +534,8 @@ mod tests {
                 false_hits: 2,
                 nodes_visited: 4,
                 disk_accesses: 13,
+                pool_hits: 3,
+                pool_misses: 1,
             },
         }
     }

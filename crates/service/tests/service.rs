@@ -61,6 +61,20 @@ impl Engine for GatedEngine {
     }
 }
 
+/// Panics on `panic ...` queries, otherwise echoes. Exercises the
+/// exec-loop slot guard: a panicking engine must not leak its admission
+/// slot.
+struct FragileEngine;
+
+impl Engine for FragileEngine {
+    fn execute(&self, query: &str) -> Result<QueryReply, EngineError> {
+        if query.starts_with("panic") {
+            panic!("engine blew up on {query:?}");
+        }
+        EchoEngine.execute(query)
+    }
+}
+
 fn quick_config() -> ServiceConfig {
     ServiceConfig {
         workers: 3,
@@ -197,6 +211,79 @@ fn admission_control_rejects_with_overloaded() {
     assert_eq!(snap.overloads, 1);
     assert_eq!(snap.queries_ok, 1);
     assert_eq!(finished.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn panicking_engine_releases_its_admission_slot() {
+    let config = ServiceConfig {
+        max_inflight: 1,
+        exec_threads: 2,
+        ..quick_config()
+    };
+    let handle = Server::start("127.0.0.1:0", FragileEngine, config).unwrap();
+    let mut client = connect(&handle);
+    match client.query("panic now") {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Engine),
+        other => panic!("expected engine error, got {other:?}"),
+    }
+    // Before the exec-loop slot guard, the panic skipped the gauge
+    // decrement: with max_inflight = 1 every later query came back
+    // Overloaded forever. Now the slot is released during unwind.
+    let reply = client.query("still alive").unwrap();
+    assert_eq!(reply.rows[0].a, "still alive");
+    let snap = handle.shutdown();
+    assert_eq!(snap.in_flight, 0, "admission slot leaked by the panic");
+    assert_eq!(snap.queries_ok, 1);
+    assert_eq!(snap.overloads, 0);
+}
+
+#[test]
+fn timeout_storm_never_exhausts_admission_slots() {
+    // Timed-out queries keep running server-side; their slots must come
+    // back when the engine finishes (stale answers are discarded). After
+    // a storm that saturates max_inflight with timeouts, fresh queries
+    // are admitted again and the gauge reads exactly zero.
+    let entered = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let engine = GatedEngine {
+        entered: Arc::clone(&entered),
+        finished: Arc::clone(&finished),
+        release: Arc::clone(&release),
+    };
+    let config = ServiceConfig {
+        max_inflight: 2,
+        exec_threads: 2,
+        query_timeout: Duration::from_millis(40),
+        ..quick_config()
+    };
+    let handle = Server::start("127.0.0.1:0", engine, config).unwrap();
+    let mut client = connect(&handle);
+    for q in ["stuck one", "stuck two"] {
+        match client.query(q) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Timeout),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+    // Both slots are held by the still-running queries; a third is
+    // correctly refused while they occupy the cap.
+    match client.query("third") {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Overloaded),
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    release.store(true, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while finished.load(Ordering::SeqCst) < 2 {
+        assert!(Instant::now() < deadline, "stuck queries never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Slots handed back: a fresh query is admitted, not Overloaded.
+    let reply = client.query("after the storm").unwrap();
+    assert_eq!(reply.plan, "Gated(after the storm)");
+    let snap = handle.shutdown();
+    assert_eq!(snap.timeouts, 2);
+    assert_eq!(snap.overloads, 1);
+    assert_eq!(snap.in_flight, 0, "timed-out queries leaked their slots");
 }
 
 #[test]

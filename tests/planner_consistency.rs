@@ -215,7 +215,7 @@ fn snapshot_round_trip_preserves_plan_choices() {
         .map(|q| cat.run(q).unwrap().explain.expect("explain text"))
         .collect();
 
-    let bytes = cat.snapshot_bytes();
+    let bytes = cat.snapshot_bytes().unwrap();
     let mut restored = Catalog::new();
     restored.restore_bytes(&bytes).unwrap();
     // The primed cache entry travels with the snapshot, so the subseq

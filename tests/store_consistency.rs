@@ -42,12 +42,12 @@ fn varied_relation(max_count: usize) -> impl Strategy<Value = Vec<TimeSeries>> {
 }
 
 fn round_trip_catalog(cat: &Catalog) -> Catalog {
-    let bytes = cat.snapshot_bytes();
+    let bytes = cat.snapshot_bytes().expect("serialize snapshot");
     let mut fresh = Catalog::new();
     fresh.restore_bytes(&bytes).expect("snapshot must restore");
     assert_eq!(
         bytes,
-        fresh.snapshot_bytes(),
+        fresh.snapshot_bytes().expect("re-serialize snapshot"),
         "re-serialization must be byte-identical"
     );
     fresh
@@ -62,14 +62,14 @@ proptest! {
     fn similarity_index_round_trips(rel in whole_relation(10, 40)) {
         let idx = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
         let mut enc = Encoder::new();
-        idx.write_to(&mut enc);
+        idx.write_to(&mut enc).unwrap();
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
         let restored = SimilarityIndex::read_from(&mut dec).unwrap();
         dec.finish().unwrap();
         restored.tree().validate();
         let mut enc2 = Encoder::new();
-        restored.write_to(&mut enc2);
+        restored.write_to(&mut enc2).unwrap();
         prop_assert_eq!(&bytes, &enc2.into_bytes(), "byte-identical tree state");
 
         let n = rel[0].len();
