@@ -1,0 +1,203 @@
+//! Streaming-ingest throughput: incremental index maintenance vs.
+//! rebuild-from-scratch.
+//!
+//! A 500-series catalog with a primed subsequence ST-index absorbs a
+//! stream of `APPEND` statements — each round one new point for a
+//! 20-series batch, rotating so every series grows and the relation
+//! ends uniform — through the same [`Catalog::append`] path the shell,
+//! wire protocol and HTTP facade use. Incremental maintenance touches
+//! only the appended series (feature re-extraction, trail extension)
+//! plus one canonical repack; the baseline does what a non-incremental
+//! engine would have to do for the same round — re-register the whole
+//! relation (rebuilding the whole-series R\*-tree from scratch) and
+//! rebuild the cached ST-index over all 500 series.
+//!
+//! The bench asserts the incremental path is at least **5x** faster than
+//! the rebuild baseline over the full run, prints sustained points/s,
+//! and emits `BENCH_ingest.json` for the CI perf trajectory; CI uploads
+//! the artifact.
+//!
+//! Run with: `cargo bench --bench ingest`
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsq::core::SeriesRelation;
+use tsq::lang::{AppendRow, Catalog};
+use tsq::series::generate::RandomWalkGenerator;
+use tsq::TimeSeries;
+
+const SERIES: usize = 500;
+const LEN: usize = 64;
+const WINDOW: usize = 32;
+/// Series per append statement: a streaming batch touches a slice of
+/// the catalog, not all of it.
+const GROUP: usize = 20;
+const ROUNDS: usize = SERIES / GROUP;
+
+/// One appended value, deterministic per (round, series).
+fn point(round: usize, series: usize) -> f64 {
+    ((round * 31 + series * 7) % 17) as f64 * 0.25 - 2.0
+}
+
+/// The append statement for one round: one new point for each series
+/// in the round's 20-series group (groups rotate disjointly, so after
+/// `ROUNDS` rounds every series has grown by one and the relation is
+/// uniform again).
+fn round_rows(round: usize) -> Vec<AppendRow> {
+    let first = (round * GROUP) % SERIES;
+    (first..first + GROUP)
+        .map(|i| AppendRow {
+            label: format!("s{i}"),
+            values: vec![point(round, i)],
+        })
+        .collect()
+}
+
+/// A subsequence probe (stored prefix of s0, so it always matches) that
+/// forces the window-`WINDOW` ST-index to exist.
+fn prime_query(initial: &[TimeSeries]) -> String {
+    let vals: Vec<String> = initial[0].values()[..WINDOW]
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect();
+    format!(
+        "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 5 WINDOW {WINDOW}",
+        vals.join(", ")
+    )
+}
+
+fn fresh_catalog(initial: &[TimeSeries]) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register(SeriesRelation::from_series("walks", initial.to_vec()).unwrap())
+        .unwrap();
+    cat
+}
+
+/// The non-incremental baseline for one round: rebuild every structure
+/// the appended state needs — relation + whole-series R\*-tree via
+/// `register`, cached ST-index via the priming query.
+fn rebuild_round(data: &[(String, TimeSeries)], probe: &str) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register(SeriesRelation::from_labeled("walks", data.to_vec()).unwrap())
+        .unwrap();
+    cat.run(probe).unwrap();
+    cat
+}
+
+fn write_json(path: &str, incr_secs: f64, rebuild_secs: f64, points: usize, speedup: f64) {
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"series\": {SERIES},\n  \"series_len\": {LEN},\n  \
+         \"window\": {WINDOW},\n  \"rounds\": {ROUNDS},\n  \"points\": {points},\n  \
+         \"incremental_ms\": {:.3},\n  \"rebuild_ms\": {:.3},\n  \
+         \"points_per_sec\": {:.0},\n  \"speedup\": {speedup:.2}\n}}\n",
+        incr_secs * 1e3,
+        rebuild_secs * 1e3,
+        points as f64 / incr_secs,
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+    } else {
+        println!("  wrote {path}");
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let initial = RandomWalkGenerator::new(19_970_502).relation(SERIES, LEN);
+    let probe = prime_query(&initial);
+
+    // Incremental: one live catalog with a primed ST-index absorbs every
+    // round through the maintained append path.
+    let mut live = fresh_catalog(&initial);
+    live.run(&probe).unwrap();
+    let start = Instant::now();
+    for r in 0..ROUNDS {
+        let out = live.append("walks", &round_rows(r)).unwrap();
+        assert_eq!(out.rows.len(), GROUP);
+    }
+    let incr_secs = start.elapsed().as_secs_f64();
+    let points = GROUP * ROUNDS;
+
+    // Baseline: the same rounds, each paid for by a full rebuild.
+    let start = Instant::now();
+    let mut last = None;
+    for r in 0..ROUNDS {
+        let data: Vec<(String, TimeSeries)> = (0..SERIES)
+            .map(|i| {
+                let mut vals = initial[i].values().to_vec();
+                // Every group this series belonged to in rounds 0..=r.
+                for past in 0..=r {
+                    if (past * GROUP) % SERIES <= i && i < (past * GROUP) % SERIES + GROUP {
+                        vals.push(point(past, i));
+                    }
+                }
+                (format!("s{i}"), TimeSeries::new(vals))
+            })
+            .collect();
+        last = Some(rebuild_round(&data, &probe));
+    }
+    let rebuild_secs = start.elapsed().as_secs_f64();
+
+    // Same destination, either road: the final rebuilt catalog answers
+    // the probe exactly like the incrementally maintained one (row set
+    // and candidate counters; node layout is the incremental path's own).
+    let a = live.run(&probe).unwrap();
+    let b = last.expect("rounds ran").run(&probe).unwrap();
+    assert_eq!(a.rows.len(), b.rows.len(), "probe answers diverged");
+    assert_eq!(a.stats.candidates, b.stats.candidates);
+    assert_eq!(a.stats.refined, b.stats.refined);
+
+    let speedup = rebuild_secs / incr_secs;
+    println!(
+        "ingest: {points} point(s) across {SERIES} series in {ROUNDS} round(s)\n  \
+         incremental: {:8.1} ms ({:.0} points/s)\n  \
+         rebuild:     {:8.1} ms\n  speedup: {speedup:.1}x",
+        incr_secs * 1e3,
+        points as f64 / incr_secs,
+        rebuild_secs * 1e3,
+    );
+    assert!(
+        speedup >= 5.0,
+        "incremental ingest must beat rebuild-per-round by >= 5x, got {speedup:.2}x \
+         ({:.1} ms vs {:.1} ms)",
+        incr_secs * 1e3,
+        rebuild_secs * 1e3,
+    );
+    write_json(
+        "BENCH_ingest.json",
+        incr_secs,
+        rebuild_secs,
+        points,
+        speedup,
+    );
+
+    let mut group = c.benchmark_group("ingest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    group.bench_function("append_round", |b| {
+        let mut r = ROUNDS;
+        b.iter(|| {
+            let out = live.append("walks", &round_rows(r)).unwrap();
+            r += 1;
+            black_box(out.rows.len())
+        })
+    });
+    group.bench_function("rebuild_round", |b| {
+        let data: Vec<(String, TimeSeries)> = (0..SERIES)
+            .map(|i| {
+                (
+                    format!("s{i}"),
+                    TimeSeries::new(initial[i].values().to_vec()),
+                )
+            })
+            .collect();
+        b.iter(|| black_box(rebuild_round(&data, &probe).relation("walks").is_some()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

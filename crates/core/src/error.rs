@@ -57,6 +57,18 @@ pub enum Error {
         /// `"series value NaN at position 3"`, `"threshold eps = inf"`).
         context: String,
     },
+    /// A whole-series query reached a relation whose series lengths are
+    /// (transiently) unequal — single-series appends make a relation
+    /// *ragged* until the other series catch up. Whole-series Euclidean
+    /// distance is undefined across lengths, so these query forms are
+    /// rejected instead of answered wrongly; subsequence queries, which
+    /// compare fixed-length windows, remain available throughout.
+    Ragged {
+        /// Shortest series length in the relation.
+        min: usize,
+        /// Longest series length in the relation.
+        max: usize,
+    },
     /// Operation unsupported for this transformation (e.g. composing two
     /// time warps).
     Unsupported(String),
@@ -128,6 +140,14 @@ impl fmt::Display for Error {
                     "invalid subsequence window: {window} (must be at least 2)"
                 )
             }
+            Error::Ragged { min, max } => {
+                write!(
+                    f,
+                    "relation is ragged: series lengths range from {min} to {max}; \
+                     whole-series queries need equal lengths (append the shorter \
+                     series up to length {max}, or use subsequence queries)"
+                )
+            }
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             Error::Store(e) => write!(f, "snapshot error: {e}"),
         }
@@ -164,6 +184,10 @@ mod tests {
             context: "threshold eps = NaN".into(),
         };
         assert!(e.to_string().contains("non-finite"));
+        let e = Error::Ragged { min: 60, max: 64 };
+        assert!(e.to_string().contains("60"));
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("ragged"));
     }
 
     #[test]

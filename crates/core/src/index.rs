@@ -82,7 +82,15 @@ pub struct QueryStats {
     pub exact_checks: usize,
 }
 
-/// The similarity index over a relation of equal-length time series.
+/// The similarity index over a relation of time series.
+///
+/// Series lengths are *usually* equal, but streaming ingest makes them
+/// transiently unequal: a single-series append leaves the relation ragged
+/// until the other series catch up. The feature dimensionality is fixed by
+/// the schema (`2 + 2k` under the default NormalForm layout), independent
+/// of series length, so a ragged relation still yields one consistent
+/// feature space — but whole-series Euclidean distance is undefined across
+/// lengths, so queries are gated on uniformity ([`Error::Ragged`]).
 ///
 /// Node storage comes in two modes. By default the R\*-tree lives in
 /// memory. [`SimilarityIndex::attach_paged`] moves the nodes into a page
@@ -102,40 +110,26 @@ pub struct SimilarityIndex {
 }
 
 impl SimilarityIndex {
-    /// Builds an index over a relation.
+    /// Builds an index over a relation. Lengths may differ (a relation
+    /// mid-ingest is ragged); whole-series queries are then gated until
+    /// appends even the lengths out.
     ///
     /// # Errors
-    /// - [`Error::InvalidCutoff`] if the schema's `k` does not fit;
-    /// - [`Error::LengthMismatch`] if the series differ in length.
+    /// [`Error::InvalidCutoff`] if the schema's `k` does not fit some
+    /// series.
     pub fn build(config: IndexConfig, relation: Vec<TimeSeries>) -> Result<Self> {
-        let series_len = relation.first().map_or(0, TimeSeries::len);
-        if !relation.is_empty() {
-            config.schema.validate(series_len)?;
-        }
         let mut planner = FftPlanner::new();
+        let mut series_len = 0usize;
         let mut store = Vec::with_capacity(relation.len());
         let mut points = Vec::with_capacity(relation.len());
         for (id, series) in relation.into_iter().enumerate() {
-            if series.len() != series_len {
-                return Err(Error::LengthMismatch {
-                    expected: series_len,
-                    got: series.len(),
-                });
-            }
             let features = Features::extract(&series, config.schema, &mut planner)?;
             let coords = config.space.point(&features, config.schema);
             points.push((Rect::from_point(&coords), id));
+            series_len = series_len.max(series.len());
             store.push(StoredSeries { series, features });
         }
-        let tree = if config.bulk_load {
-            RStarTree::bulk_load(config.rtree, points)
-        } else {
-            let mut t = RStarTree::new(config.rtree);
-            for (rect, id) in points {
-                t.insert(rect, id);
-            }
-            t
-        };
+        let tree = Self::pack_tree(&config, points);
         Ok(SimilarityIndex {
             config,
             series_len,
@@ -145,10 +139,164 @@ impl SimilarityIndex {
         })
     }
 
-    /// Appends one series, returning its id.
+    /// The canonical tree construction shared by [`SimilarityIndex::build`]
+    /// and the incremental-maintenance repack: identical inputs produce a
+    /// byte-identical tree either way, which is what lets an appended index
+    /// snapshot- and stats-match one rebuilt from scratch.
+    fn pack_tree(config: &IndexConfig, points: Vec<(Rect, usize)>) -> RStarTree<usize> {
+        if config.bulk_load {
+            RStarTree::bulk_load(config.rtree, points)
+        } else {
+            let mut t = RStarTree::new(config.rtree);
+            for (rect, id) in points {
+                t.insert(rect, id);
+            }
+            t
+        }
+    }
+
+    /// Rebuilds the (small, `len()`-point) feature tree exactly as
+    /// [`SimilarityIndex::build`] would, from the already-extracted
+    /// features. The expensive per-series work — the FFT behind
+    /// [`Features::extract`] — is *not* redone; only the affected series'
+    /// features change before a repack, so maintenance cost is `O(k)` per
+    /// appended point plus a repack linear in the number of series.
+    fn repack_tree(&mut self) {
+        let points = self
+            .store
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                let coords = self.config.space.point(&s.features, self.config.schema);
+                (Rect::from_point(&coords), id)
+            })
+            .collect();
+        self.tree = Self::pack_tree(&self.config, points);
+    }
+
+    /// Appends values to the end of one stored series, re-extracting that
+    /// series' features (the others are untouched) and repacking the
+    /// feature tree canonically, so the result is indistinguishable —
+    /// snapshot bytes, query answers, traversal statistics — from an index
+    /// freshly built over the final data.
+    ///
+    /// Validation is atomic: on any error the index is exactly as it was.
     ///
     /// # Errors
-    /// [`Error::LengthMismatch`] if the length differs from the relation's,
+    /// [`Error::Unsupported`] when paged storage is attached,
+    /// [`Error::UnknownSeries`] for a bad id, [`Error::InvalidCutoff`] if
+    /// the extended length no longer fits the schema, [`Error::NonFinite`]
+    /// when the appended values contain NaN/±∞.
+    pub fn extend_series(&mut self, id: usize, appended: &[f64]) -> Result<()> {
+        self.extend_series_batch(&[(id, appended)])
+    }
+
+    /// Applies a whole statement's worth of extensions with **one**
+    /// canonical repack at the end — the per-row work is the feature
+    /// re-extraction of the touched series only, so a 500-row `APPEND`
+    /// pays 500 feature updates and a single `O(len())` repack instead
+    /// of 500 repacks. Several edits may target the same id; they
+    /// accumulate in order, exactly as separate [`extend_series`] calls
+    /// would.
+    ///
+    /// Validation is atomic across the batch: every edit is staged
+    /// against a copy before anything is committed, so on any error the
+    /// index is exactly as it was.
+    ///
+    /// # Errors
+    /// Same failure modes as [`extend_series`], checked for every edit.
+    ///
+    /// [`extend_series`]: SimilarityIndex::extend_series
+    pub fn extend_series_batch(&mut self, edits: &[(usize, &[f64])]) -> Result<()> {
+        if self.paged.is_some() {
+            return Err(Error::Unsupported(
+                "append to a relation with paged storage attached".to_string(),
+            ));
+        }
+        // Stage phase: build every touched series' final state off to
+        // the side (first-touch order), so a failing edit anywhere in
+        // the batch leaves the store untouched.
+        let mut staged: Vec<(usize, TimeSeries)> = Vec::new();
+        for (id, appended) in edits {
+            match staged.iter_mut().find(|(sid, _)| sid == id) {
+                Some((_, series)) => series.try_extend(appended)?,
+                None => {
+                    let Some(stored) = self.store.get(*id) else {
+                        return Err(Error::UnknownSeries(*id));
+                    };
+                    let mut extended = stored.series.clone();
+                    extended.try_extend(appended)?;
+                    staged.push((*id, extended));
+                }
+            }
+        }
+        let mut planner = FftPlanner::new();
+        let mut ready = Vec::with_capacity(staged.len());
+        for (id, series) in staged {
+            let features = Features::extract(&series, self.config.schema, &mut planner)?;
+            ready.push((id, StoredSeries { series, features }));
+        }
+        // Commit phase: infallible.
+        for (id, stored) in ready {
+            self.series_len = self.series_len.max(stored.series.len());
+            self.store[id] = stored;
+        }
+        self.repack_tree();
+        Ok(())
+    }
+
+    /// Appends one new series through the canonical repack path (the
+    /// `APPEND`-verb analogue of [`SimilarityIndex::insert`]): the result
+    /// is byte-identical to a fresh build over the final data, where
+    /// `insert` grows the existing tree in place.
+    ///
+    /// # Errors
+    /// [`Error::Unsupported`] when paged storage is attached,
+    /// [`Error::InvalidCutoff`] if the schema does not fit the new series.
+    pub fn push_series(&mut self, series: TimeSeries) -> Result<usize> {
+        self.push_series_batch(vec![series]).map(|ids| ids[0])
+    }
+
+    /// Appends several new series with one canonical repack at the end
+    /// (the batched form of [`SimilarityIndex::push_series`]), returning
+    /// their ids in order. Feature extraction for every series happens
+    /// before anything is committed, so a failure leaves the index
+    /// exactly as it was.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SimilarityIndex::push_series`], checked
+    /// for every series.
+    pub fn push_series_batch(&mut self, series: Vec<TimeSeries>) -> Result<Vec<usize>> {
+        if self.paged.is_some() {
+            return Err(Error::Unsupported(
+                "append to a relation with paged storage attached".to_string(),
+            ));
+        }
+        let mut planner = FftPlanner::new();
+        let mut staged = Vec::with_capacity(series.len());
+        for s in series {
+            let features = Features::extract(&s, self.config.schema, &mut planner)?;
+            staged.push(StoredSeries {
+                series: s,
+                features,
+            });
+        }
+        let first = self.store.len();
+        let ids = (first..first + staged.len()).collect();
+        for stored in staged {
+            self.series_len = self.series_len.max(stored.series.len());
+            self.store.push(stored);
+        }
+        self.repack_tree();
+        Ok(ids)
+    }
+
+    /// Appends one series, returning its id. The new series may differ in
+    /// length from the others (the relation is then ragged and whole-series
+    /// queries are gated until appends even the lengths out).
+    ///
+    /// # Errors
+    /// [`Error::InvalidCutoff`] if the schema does not fit the new series,
     /// [`Error::Unsupported`] when paged storage is attached (the page
     /// file is immutable).
     pub fn insert(&mut self, series: TimeSeries) -> Result<usize> {
@@ -157,20 +305,11 @@ impl SimilarityIndex {
                 "insert into a relation with paged storage attached".to_string(),
             ));
         }
-        if self.store.is_empty() {
-            self.series_len = series.len();
-            self.config.schema.validate(self.series_len)?;
-        }
-        if series.len() != self.series_len {
-            return Err(Error::LengthMismatch {
-                expected: self.series_len,
-                got: series.len(),
-            });
-        }
         let mut planner = FftPlanner::new();
         let features = Features::extract(&series, self.config.schema, &mut planner)?;
         let coords = self.config.space.point(&features, self.config.schema);
         let id = self.store.len();
+        self.series_len = self.series_len.max(series.len());
         self.tree.insert(Rect::from_point(&coords), id);
         self.store.push(StoredSeries { series, features });
         Ok(id)
@@ -186,9 +325,28 @@ impl SimilarityIndex {
         self.store.is_empty()
     }
 
-    /// Length of every stored series.
+    /// Length of the longest stored series — the length of *every* series
+    /// whenever the relation is uniform (the steady state; see
+    /// [`SimilarityIndex::check_uniform`]).
     pub fn series_len(&self) -> usize {
         self.series_len
+    }
+
+    /// `Ok(())` when every stored series has the same length (vacuously for
+    /// the empty index), [`Error::Ragged`] otherwise. Whole-series query
+    /// forms call this first: Euclidean distance across unequal lengths is
+    /// undefined, so a mid-ingest ragged relation is rejected with a typed
+    /// error instead of answered wrongly.
+    pub fn check_uniform(&self) -> Result<()> {
+        let mut lens = self.store.iter().map(|s| s.series.len());
+        let Some(first) = lens.next() else {
+            return Ok(());
+        };
+        let (min, max) = lens.fold((first, first), |(lo, hi), l| (lo.min(l), hi.max(l)));
+        if min != max {
+            return Err(Error::Ragged { min, max });
+        }
+        Ok(())
     }
 
     /// The configuration.
@@ -312,29 +470,32 @@ impl SimilarityIndex {
         let series_len = dec.usize("index series_len")?;
         let count = dec.seq(48, "stored series count")?;
         let mut store = Vec::with_capacity(count);
+        let mut max_len = 0usize;
         for _ in 0..count {
             let series = crate::store::read_series(dec)?;
-            if series.len() != series_len {
+            // Lengths may differ per series (a relation snapshotted
+            // mid-ingest is ragged), but each series' spectrum and the
+            // schema must fit *that* series.
+            let features = crate::store::read_features(dec)?;
+            if features.spectrum.len() != series.len() {
                 return Err(StoreError::corrupt(format!(
-                    "stored series of length {} in a relation of length {series_len}",
+                    "feature spectrum of length {} for series of length {}",
+                    features.spectrum.len(),
                     series.len()
                 ))
                 .into());
             }
-            let features = crate::store::read_features(dec)?;
-            if features.spectrum.len() != series_len {
-                return Err(StoreError::corrupt(format!(
-                    "feature spectrum of length {} for series of length {series_len}",
-                    features.spectrum.len()
-                ))
-                .into());
-            }
+            config.schema.validate(series.len()).map_err(|e| {
+                StoreError::corrupt(format!("index schema does not fit a stored series: {e}"))
+            })?;
+            max_len = max_len.max(series.len());
             store.push(StoredSeries { series, features });
         }
-        if count > 0 {
-            config.schema.validate(series_len).map_err(|e| {
-                StoreError::corrupt(format!("index schema does not fit its relation: {e}"))
-            })?;
+        if series_len != max_len {
+            return Err(StoreError::corrupt(format!(
+                "index series_len {series_len} but longest stored series has length {max_len}"
+            ))
+            .into());
         }
         let tree = RStarTree::read_from(dec, &mut |d| {
             let id = d.usize("feature point series id")?;
@@ -395,6 +556,7 @@ impl SimilarityIndex {
     /// be `m` times as long as the indexed series (Example 1.2: daily
     /// query series vs. every-other-day data).
     pub fn query_features(&self, q: &TimeSeries, t: &LinearTransform) -> Result<Features> {
+        self.check_uniform()?;
         let expected = self.series_len * t.warp();
         if q.len() != expected {
             return Err(Error::LengthMismatch {
@@ -658,8 +820,10 @@ impl SimilarityIndex {
         Ok((matches, stats))
     }
 
-    /// Validates a transformation against the index (safety + arity).
+    /// Validates a transformation against the index (uniformity + safety +
+    /// arity).
     pub fn check_transform(&self, t: &LinearTransform) -> Result<()> {
+        self.check_uniform()?;
         if !self.store.is_empty() && t.n() != self.series_len {
             return Err(Error::TransformArity {
                 expected: self.series_len,
@@ -771,17 +935,29 @@ mod tests {
     }
 
     #[test]
-    fn mixed_lengths_rejected() {
+    fn mixed_lengths_build_but_gate_whole_series_queries() {
+        // A ragged relation (streaming ingest mid-catch-up) builds fine;
+        // whole-series query forms are rejected with the typed error.
         let mut rel = small_relation(3, 32, 2);
-        rel.push(TimeSeries::new(vec![1.0; 16]));
-        let err = SimilarityIndex::build(IndexConfig::default(), rel).unwrap_err();
-        assert!(matches!(
-            err,
-            Error::LengthMismatch {
-                expected: 32,
-                got: 16
-            }
-        ));
+        rel.push(RandomWalkGenerator::new(77).series(16));
+        let idx = SimilarityIndex::build(IndexConfig::default(), rel.clone()).unwrap();
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.series_len(), 32);
+        let t = LinearTransform::identity(32);
+        let err = idx
+            .range_query(&rel[0], 1.0, &t, &QueryWindow::default())
+            .unwrap_err();
+        assert!(matches!(err, Error::Ragged { min: 16, max: 32 }));
+        let err = idx.knn_query(&rel[0], 2, &t).unwrap_err();
+        assert!(matches!(err, Error::Ragged { min: 16, max: 32 }));
+        // Appending the short series up to length 32 heals the relation.
+        let mut idx = idx;
+        let tail: Vec<f64> = RandomWalkGenerator::new(78).series(16).into_values();
+        idx.extend_series(3, &tail).unwrap();
+        idx.check_uniform().unwrap();
+        assert!(idx
+            .range_query(&rel[0], 1.0, &t, &QueryWindow::default())
+            .is_ok());
     }
 
     #[test]
@@ -934,8 +1110,16 @@ mod tests {
             .range_query(&extra, 1e-9, &t, &QueryWindow::default())
             .unwrap();
         assert!(matches.iter().any(|m| m.id == id));
-        // Wrong length rejected.
-        assert!(idx.insert(TimeSeries::new(vec![0.0; 5])).is_err());
+        // A series too short for the schema (k = 2 needs length >= 3) is
+        // still rejected; a merely different length is now allowed (the
+        // relation becomes ragged until appends even it out).
+        assert!(matches!(
+            idx.insert(TimeSeries::new(vec![0.0, 1.0])),
+            Err(Error::InvalidCutoff { .. })
+        ));
+        let short = RandomWalkGenerator::new(100).series(16);
+        idx.insert(short).unwrap();
+        assert!(matches!(idx.check_uniform(), Err(Error::Ragged { .. })));
     }
 
     #[test]
@@ -1110,6 +1294,126 @@ mod tests {
         let mut dec = Decoder::new(&bytes);
         let err = SimilarityIndex::read_from(&mut dec);
         assert!(err.is_ok(), "pristine bytes must decode");
+    }
+
+    #[test]
+    fn extend_series_is_byte_identical_to_fresh_build() {
+        // The oracle invariant at the index level: appending through
+        // extend_series / push_series is indistinguishable — snapshot
+        // bytes, answers, traversal statistics — from rebuilding over the
+        // final data.
+        for bulk_load in [true, false] {
+            let cfg = IndexConfig {
+                bulk_load,
+                ..IndexConfig::default()
+            };
+            let rel = small_relation(40, 32, 21);
+            let mut idx = SimilarityIndex::build(cfg, rel.clone()).unwrap();
+            let tails: Vec<Vec<f64>> = (0..40)
+                .map(|i| RandomWalkGenerator::new(500 + i).series(8).into_values())
+                .collect();
+            // Append in two uneven waves so the relation goes ragged and
+            // heals, plus one brand-new series via the canonical push.
+            for (id, tail) in tails.iter().enumerate() {
+                idx.extend_series(id, &tail[..3]).unwrap();
+            }
+            for (id, tail) in tails.iter().enumerate() {
+                idx.extend_series(id, &tail[3..]).unwrap();
+            }
+            let newcomer = RandomWalkGenerator::new(999).series(40);
+            idx.push_series(newcomer.clone()).unwrap();
+            // Fresh build over the final data.
+            let mut final_rel: Vec<TimeSeries> = rel
+                .iter()
+                .zip(&tails)
+                .map(|(s, tail)| {
+                    let mut v = s.values().to_vec();
+                    v.extend_from_slice(tail);
+                    TimeSeries::new(v)
+                })
+                .collect();
+            final_rel.push(newcomer);
+            let fresh = SimilarityIndex::build(cfg, final_rel.clone()).unwrap();
+            let mut enc_a = Encoder::new();
+            idx.write_to(&mut enc_a).unwrap();
+            let mut enc_b = Encoder::new();
+            fresh.write_to(&mut enc_b).unwrap();
+            assert_eq!(
+                enc_a.into_bytes(),
+                enc_b.into_bytes(),
+                "bulk_load={bulk_load}"
+            );
+            let t = LinearTransform::moving_average(40, 4);
+            let (ma, sa) = idx
+                .range_query(&final_rel[7], 2.0, &t, &QueryWindow::default())
+                .unwrap();
+            let (mb, sb) = fresh
+                .range_query(&final_rel[7], 2.0, &t, &QueryWindow::default())
+                .unwrap();
+            assert_eq!(ma, mb);
+            assert_eq!(sa.index, sb.index);
+            assert_eq!(sa.candidates, sb.candidates);
+            assert_eq!(sa.false_hits, sb.false_hits);
+        }
+    }
+
+    #[test]
+    fn extend_series_is_atomic_on_errors() {
+        let rel = small_relation(10, 32, 22);
+        let mut idx = build_default(rel);
+        let mut before = Encoder::new();
+        idx.write_to(&mut before).unwrap();
+        let before = before.into_bytes();
+        // Non-finite values reject without touching series or tree.
+        let err = idx.extend_series(3, &[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, Error::NonFinite { .. }));
+        // Unknown id.
+        assert!(matches!(
+            idx.extend_series(10, &[1.0]),
+            Err(Error::UnknownSeries(10))
+        ));
+        let mut after = Encoder::new();
+        idx.write_to(&mut after).unwrap();
+        assert_eq!(before, after.into_bytes(), "failed appends must be no-ops");
+    }
+
+    #[test]
+    fn extend_series_rejected_when_paged() {
+        let rel = small_relation(10, 32, 23);
+        let mut idx = build_default(rel);
+        let dir = std::env::temp_dir().join(format!("tsq-extend-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.pages");
+        idx.attach_paged(&path, 8).unwrap();
+        assert!(matches!(
+            idx.extend_series(0, &[1.0]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            idx.push_series(TimeSeries::new(vec![0.0; 32])),
+            Err(Error::Unsupported(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ragged_snapshot_round_trips() {
+        let mut rel = small_relation(6, 32, 24);
+        rel.push(RandomWalkGenerator::new(55).series(20));
+        let idx = build_default(rel);
+        let mut enc = Encoder::new();
+        idx.write_to(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let restored = SimilarityIndex::read_from(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(restored.len(), 7);
+        assert_eq!(restored.series_len(), 32);
+        assert!(matches!(
+            restored.check_uniform(),
+            Err(Error::Ragged { min: 20, max: 32 })
+        ));
+        let mut enc2 = Encoder::new();
+        restored.write_to(&mut enc2).unwrap();
+        assert_eq!(bytes, enc2.into_bytes());
     }
 
     #[test]

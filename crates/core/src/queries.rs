@@ -83,6 +83,7 @@ impl SimilarityIndex {
         if t.warp() > 1 {
             return Err(Error::Unsupported("self-join under time warp".to_string()));
         }
+        self.check_uniform()?;
         if !self.is_empty() && t.n() != self.series_len() {
             return Err(Error::TransformArity {
                 expected: self.series_len(),
@@ -371,6 +372,20 @@ mod tests {
             Err(Error::Unsupported(_))
         ));
         assert!(matches!(idx.join_tree(1.0, &t), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn ragged_join_rejected() {
+        let mut idx = index(10, 32, 37);
+        idx.insert(RandomWalkGenerator::new(38).series(16)).unwrap();
+        let t = LinearTransform::identity(32);
+        for result in [
+            idx.join_scan(1.0, &t, ScanMode::Naive).map(|_| ()),
+            idx.join_index(1.0, &t).map(|_| ()),
+            idx.join_tree(1.0, &t).map(|_| ()),
+        ] {
+            assert!(matches!(result, Err(Error::Ragged { min: 16, max: 32 })));
+        }
     }
 
     #[test]

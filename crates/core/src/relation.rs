@@ -14,7 +14,13 @@ use tsq_series::TimeSeries;
 use crate::error::{Error, Result};
 use crate::index::{IndexConfig, SimilarityIndex};
 
-/// A named collection of equal-length time series.
+/// A named collection of time series.
+///
+/// Lengths are *usually* equal, but streaming ingest makes them
+/// transiently unequal: a single-series `APPEND` leaves the relation
+/// **ragged** until the other series catch up. Whole-series queries are
+/// gated on uniformity (see [`crate::Error::Ragged`]); subsequence
+/// queries work either way.
 #[derive(Debug, Clone, Default)]
 pub struct SeriesRelation {
     name: String,
@@ -35,8 +41,7 @@ impl SeriesRelation {
     /// Builds a relation from `(label, series)` pairs.
     ///
     /// # Errors
-    /// [`Error::LengthMismatch`] if lengths disagree; duplicate labels are
-    /// rejected as [`Error::Unsupported`].
+    /// Duplicate labels are rejected as [`Error::Unsupported`].
     pub fn from_labeled(name: impl Into<String>, items: Vec<(String, TimeSeries)>) -> Result<Self> {
         let mut rel = SeriesRelation::new(name);
         for (label, series) in items {
@@ -55,17 +60,12 @@ impl SeriesRelation {
         Self::from_labeled(name, items)
     }
 
-    /// Appends one labeled series, returning its id.
+    /// Appends one labeled series, returning its id. The new series may
+    /// differ in length from the others (streaming ingest starts new
+    /// series mid-stream); the relation is then ragged until appends even
+    /// the lengths out.
     pub fn push(&mut self, label: impl Into<String>, series: TimeSeries) -> Result<usize> {
         let label = label.into();
-        if let Some(first) = self.series.first() {
-            if first.len() != series.len() {
-                return Err(Error::LengthMismatch {
-                    expected: first.len(),
-                    got: series.len(),
-                });
-            }
-        }
         if self.by_label.contains_key(&label) {
             return Err(Error::Unsupported(format!("duplicate label {label:?}")));
         }
@@ -74,6 +74,38 @@ impl SeriesRelation {
         self.labels.push(label);
         self.series.push(series);
         Ok(id)
+    }
+
+    /// Appends values to the end of one stored series (the `APPEND` verb's
+    /// storage-level operation), returning its id. Validation is atomic:
+    /// on any error the series — and therefore the relation — is exactly
+    /// as it was.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSeries`] for an unknown label (mapped by callers
+    /// that know the label), [`Error::NonFinite`] when the appended values
+    /// contain NaN/±∞.
+    pub fn extend_series(&mut self, label: &str, appended: &[f64]) -> Result<usize> {
+        let Some(&id) = self.by_label.get(label) else {
+            return Err(Error::UnknownSeries(usize::MAX));
+        };
+        self.series[id].try_extend(appended)?;
+        Ok(id)
+    }
+
+    /// `(min, max)` series lengths, or `None` for an empty relation.
+    pub fn length_range(&self) -> Option<(usize, usize)> {
+        let mut lens = self.series.iter().map(TimeSeries::len);
+        let first = lens.next()?;
+        Some(lens.fold((first, first), |(lo, hi), l| (lo.min(l), hi.max(l))))
+    }
+
+    /// True when every stored series has the same length (vacuously true
+    /// when empty). Whole-series queries require this; see
+    /// [`Error::Ragged`].
+    pub fn is_uniform(&self) -> bool {
+        // `map_or(true, ..)` rather than `is_none_or`: MSRV is 1.80.
+        self.length_range().map_or(true, |(lo, hi)| lo == hi)
     }
 
     /// Relation name.
@@ -147,13 +179,33 @@ mod tests {
     }
 
     #[test]
-    fn length_mismatch_rejected() {
+    fn mixed_lengths_make_a_ragged_relation() {
+        let mut rel = SeriesRelation::new("r");
+        rel.push("X", TimeSeries::from([1.0, 2.0])).unwrap();
+        rel.push("Y", TimeSeries::from([1.0])).unwrap();
+        assert_eq!(rel.length_range(), Some((1, 2)));
+        assert!(!rel.is_uniform());
+        // Appending the short series up to length 2 heals it.
+        let id = rel.extend_series("Y", &[5.0]).unwrap();
+        assert_eq!(id, 1);
+        assert!(rel.is_uniform());
+        assert_eq!(rel.get_by_label("Y").unwrap().values(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn extend_series_validates() {
         let mut rel = SeriesRelation::new("r");
         rel.push("X", TimeSeries::from([1.0, 2.0])).unwrap();
         assert!(matches!(
-            rel.push("Y", TimeSeries::from([1.0])),
-            Err(Error::LengthMismatch { .. })
+            rel.extend_series("missing", &[1.0]),
+            Err(Error::UnknownSeries(_))
         ));
+        assert!(matches!(
+            rel.extend_series("X", &[f64::INFINITY]),
+            Err(Error::NonFinite { .. })
+        ));
+        // Failed extends are no-ops.
+        assert_eq!(rel.get_by_label("X").unwrap().values(), &[1.0, 2.0]);
     }
 
     #[test]

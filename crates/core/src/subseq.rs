@@ -34,7 +34,7 @@
 
 use tsq_dft::dft::dft_prefix;
 use tsq_dft::energy::euclidean_real;
-use tsq_dft::sliding::sliding_prefix;
+use tsq_dft::sliding::{sliding_prefix, SlidingCursor};
 use tsq_dft::Complex64;
 use tsq_rtree::{RStarTree, RTreeConfig, Rect, SearchStats};
 use tsq_series::TimeSeries;
@@ -237,6 +237,89 @@ impl SubseqIndex {
         self.count_windows(&series);
         self.store.push(series);
         id
+    }
+
+    /// Appends values to the end of one stored series, extending its
+    /// feature trail *incrementally*: the sliding-DFT recurrence is resumed
+    /// from the last indexed window (no prefix recomputation — `O(k)` per
+    /// appended point), the final trail MBR — if it was partial — is
+    /// closed out (removed and re-emitted with its new windows), and the
+    /// MBRs of the new chunks enter the tree through the STR-sorted batch
+    /// path ([`RStarTree::bulk_extend`]).
+    ///
+    /// Trail chunk boundaries are fixed absolute offsets
+    /// (`start = chunk * trail`) and the sliding DFT re-anchors on absolute
+    /// offsets too, so every emitted rectangle is bit-identical to the one
+    /// a from-scratch rebuild over the final data would produce: the tree
+    /// holds the *same entry set* either way (its node structure may
+    /// differ, so `nodes_visited` can differ while answers, candidates and
+    /// trail hits cannot).
+    ///
+    /// Validation is atomic: on any error the index is exactly as it was.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSeries`] for a bad id, [`Error::NonFinite`] when the
+    /// appended values contain NaN/±∞.
+    pub fn extend_series(&mut self, id: usize, appended: &[f64]) -> Result<()> {
+        if id >= self.store.len() {
+            return Err(Error::UnknownSeries(id));
+        }
+        let w = self.config.window;
+        let trail = self.config.trail;
+        let old_len = self.store[id].len();
+        let old_windows = old_len.saturating_sub(w - 1);
+        self.store[id].try_extend(appended)?;
+        // Nothing can fail past this point — the mutation is committed.
+        let new_len = self.store[id].len();
+        let new_windows = new_len.saturating_sub(w - 1);
+        if new_windows == old_windows {
+            return Ok(());
+        }
+        // The first chunk whose window set changes. When the last old
+        // chunk was partial it is that chunk (its MBR must absorb the new
+        // windows); when it was full — or there were no windows at all —
+        // it is the next, brand-new chunk.
+        let first_chunk = old_windows / trail;
+        let mut items = chunks_of(
+            &self.config,
+            id,
+            self.store[id].values(),
+            first_chunk,
+            new_windows,
+        );
+        if old_windows % trail != 0 {
+            // Recompute the partial chunk's rectangle exactly as it was
+            // emitted (the old windows read only pre-append samples, and
+            // the resumed cursor is bit-identical to the original walk).
+            // Its re-emitted rectangle only absorbs new window points, so
+            // it *contains* the old one — the tree widens the stored
+            // entry in place (`O(height)`, no structural churn) instead
+            // of paying a remove + reinsert pair.
+            let old_rect = chunks_of(
+                &self.config,
+                id,
+                self.store[id].values(),
+                first_chunk,
+                old_windows,
+            )
+            .pop()
+            .expect("partial chunk implies at least one window")
+            .0;
+            let start = first_chunk * trail;
+            let (grown, entry) = items.remove(0);
+            debug_assert_eq!(entry.start, start);
+            let updated = self.tree.grow_entry(
+                &old_rect,
+                |t| t.series == id && t.start == start,
+                grown,
+                entry,
+            );
+            assert!(updated, "indexed partial trail must be present");
+        }
+        self.tree.bulk_extend(items);
+        self.windows_total += new_windows - old_windows;
+        self.trails_total += new_windows.div_ceil(trail) - old_windows.div_ceil(trail);
+        Ok(())
     }
 
     fn count_windows(&mut self, series: &TimeSeries) {
@@ -673,15 +756,8 @@ fn trails_of(config: &SubseqConfig, id: usize, series: &TimeSeries) -> Vec<(Rect
         for p in &chunk[1..] {
             mbr.union_assign(&Rect::from_point(&coeff_coords(p)));
         }
-        let mut lo = mbr.lo().to_vec();
-        let mut hi = mbr.hi().to_vec();
-        for i in 0..lo.len() {
-            let pad = 1e-9 * (1.0 + lo[i].abs().max(hi[i].abs()));
-            lo[i] -= pad;
-            hi[i] += pad;
-        }
         out.push((
-            Rect::new(lo, hi),
+            pad_trail_mbr(&mbr),
             TrailEntry {
                 series: id,
                 start,
@@ -690,6 +766,64 @@ fn trails_of(config: &SubseqConfig, id: usize, series: &TimeSeries) -> Vec<(Rect
         ));
     }
     out
+}
+
+/// Trail MBRs of one series from `first_chunk` onward, computed by
+/// *resuming* the sliding-DFT recurrence at that chunk's first window
+/// instead of recomputing the prefix — the `O(k)`-per-point incremental
+/// path behind [`SubseqIndex::extend_series`]. Because the cursor
+/// re-anchors on absolute offsets ([`SlidingCursor::resume`] is
+/// bit-identical to a from-zero walk) and chunk boundaries are absolute
+/// too, the rectangles equal the ones [`trails_of`] emits for the same
+/// windows.
+fn chunks_of(
+    config: &SubseqConfig,
+    id: usize,
+    values: &[f64],
+    first_chunk: usize,
+    windows: usize,
+) -> Vec<(Rect, TrailEntry)> {
+    let trail = config.trail;
+    let mut offset = first_chunk * trail;
+    if offset >= windows {
+        return Vec::new();
+    }
+    let mut cursor = SlidingCursor::resume(values, config.window, config.k, offset);
+    let mut out = Vec::with_capacity((windows - offset).div_ceil(trail));
+    while offset < windows {
+        let len = trail.min(windows - offset);
+        let mut mbr = Rect::from_point(&coeff_coords(cursor.coeffs()));
+        for _ in 1..len {
+            cursor.advance(values);
+            mbr.union_assign(&Rect::from_point(&coeff_coords(cursor.coeffs())));
+        }
+        out.push((
+            pad_trail_mbr(&mbr),
+            TrailEntry {
+                series: id,
+                start: offset,
+                len,
+            },
+        ));
+        offset += len;
+        if offset < windows {
+            cursor.advance(values);
+        }
+    }
+    out
+}
+
+/// The anti-drift padding applied to every trail MBR — one shared
+/// implementation so the bulk and incremental paths stay bit-identical.
+fn pad_trail_mbr(mbr: &Rect) -> Rect {
+    let mut lo = mbr.lo().to_vec();
+    let mut hi = mbr.hi().to_vec();
+    for i in 0..lo.len() {
+        let pad = 1e-9 * (1.0 + lo[i].abs().max(hi[i].abs()));
+        lo[i] -= pad;
+        hi[i] += pad;
+    }
+    Rect::new(lo, hi)
 }
 
 /// Real index coordinates of a coefficient prefix: `[re_0, im_0, re_1, ...]`
@@ -933,6 +1067,100 @@ mod tests {
         let (indexed, _) = idx.subseq_range(&q, 4.0).unwrap();
         let (scan, _) = idx.scan_subseq_range(&q, 4.0, ScanMode::Naive).unwrap();
         assert_eq!(indexed, scan);
+    }
+
+    #[test]
+    fn extend_series_matches_fresh_rebuild() {
+        // The oracle invariant at the trail level: after any append
+        // schedule, the tree holds the same (rect, entry) set as a fresh
+        // build over the final data — so answers, candidate counts and
+        // trail hits agree exactly (node layout, hence nodes_visited, may
+        // differ).
+        let mut g = RandomWalkGenerator::new(40);
+        let mut data: Vec<Vec<f64>> = (0..6).map(|i| g.series(20 + 9 * i).into_values()).collect();
+        let mut idx = SubseqIndex::build(
+            SubseqConfig::new(16),
+            data.iter()
+                .map(|v| TimeSeries::new(v.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // Append in uneven slices, crossing chunk boundaries and growing a
+        // series from below the window length past it.
+        for (round, step) in [3usize, 8, 1, 13, 24].into_iter().enumerate() {
+            for (id, series) in data.iter_mut().enumerate() {
+                if (id + round) % 2 == 0 {
+                    let tail = g.series(step).into_values();
+                    idx.extend_series(id, &tail).unwrap();
+                    series.extend_from_slice(&tail);
+                }
+            }
+        }
+        idx.tree().validate();
+        let fresh = SubseqIndex::build(
+            SubseqConfig::new(16),
+            data.iter()
+                .map(|v| TimeSeries::new(v.clone()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(idx.windows_total(), fresh.windows_total());
+        assert_eq!(idx.trails_total(), fresh.trails_total());
+        // Identical (rect, entry) sets.
+        let key = |t: &SubseqIndex| {
+            let mut v: Vec<(Vec<u64>, TrailEntry)> = t
+                .tree()
+                .iter()
+                .map(|(r, &e)| {
+                    let bits: Vec<u64> = r
+                        .lo()
+                        .iter()
+                        .chain(r.hi().iter())
+                        .map(|x| x.to_bits())
+                        .collect();
+                    (bits, e)
+                })
+                .collect();
+            v.sort_by(|a, b| (&a.0, a.1.series, a.1.start).cmp(&(&b.0, b.1.series, b.1.start)));
+            v
+        };
+        assert_eq!(key(&idx), key(&fresh));
+        // Query-level agreement, candidate counters included.
+        let q = TimeSeries::new(data[3][data[3].len() - 16..].to_vec());
+        for eps in [0.0, 1.0, 6.0] {
+            let (a, sa) = idx.subseq_range(&q, eps).unwrap();
+            let (b, sb) = fresh.subseq_range(&q, eps).unwrap();
+            assert_eq!(a, b, "eps {eps}");
+            assert_eq!(sa.trails, sb.trails);
+            assert_eq!(sa.candidates, sb.candidates);
+            assert_eq!(sa.false_hits, sb.false_hits);
+            let (scan, _) = idx.scan_subseq_range(&q, eps, ScanMode::Naive).unwrap();
+            assert_eq!(a, scan, "oracle-exact after appends");
+        }
+        let (ka, _) = idx.subseq_knn(&q, 7).unwrap();
+        let (kb, _) = fresh.subseq_knn(&q, 7).unwrap();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn extend_series_is_atomic() {
+        let mut idx = build(16, 41);
+        let before_windows = idx.windows_total();
+        let before_series = idx.series(2).unwrap().clone();
+        assert!(matches!(
+            idx.extend_series(2, &[1.0, f64::NAN]),
+            Err(Error::NonFinite { .. })
+        ));
+        assert!(matches!(
+            idx.extend_series(99, &[1.0]),
+            Err(Error::UnknownSeries(99))
+        ));
+        assert_eq!(idx.windows_total(), before_windows);
+        assert_eq!(idx.series(2).unwrap(), &before_series);
+        idx.tree().validate();
+        // Empty appends are no-ops.
+        idx.extend_series(2, &[]).unwrap();
+        assert_eq!(idx.windows_total(), before_windows);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub mod sliding;
 
 pub use complex::Complex64;
 pub use planner::{FftPlan, FftPlanner};
-pub use sliding::SlidingDft;
+pub use sliding::{SlidingCursor, SlidingDft};

@@ -111,13 +111,95 @@ impl SlidingDft {
     }
 }
 
+/// A resumable walk over the window offsets of one sequence: the
+/// [`SlidingDft`] recurrence plus the *absolute* offset it is anchored at,
+/// with re-anchoring on the fixed [`REFRESH_INTERVAL`] schedule.
+///
+/// Because the refresh schedule is keyed on absolute offsets (`t %
+/// REFRESH_INTERVAL == 0`) and both the initial window and every refresh
+/// go through the same exact prefix transform, a cursor resumed at offset
+/// `t` via [`SlidingCursor::resume`] holds coefficients **bit-identical**
+/// to a cursor that walked there from offset 0. This is what lets a
+/// streaming append continue a series' trail extraction exactly where the
+/// original build left off instead of recomputing the prefix.
+#[derive(Debug, Clone)]
+pub struct SlidingCursor {
+    sdft: SlidingDft,
+    offset: usize,
+}
+
+impl SlidingCursor {
+    /// Positions a cursor at window offset 0 of `x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() < window`, `window == 0`, or `k == 0`.
+    pub fn new(x: &[f64], window: usize, k: usize) -> Self {
+        SlidingCursor {
+            sdft: SlidingDft::new(window, k, &x[..window]),
+            offset: 0,
+        }
+    }
+
+    /// Positions a cursor at window offset `offset` of `x`, replaying from
+    /// the nearest anchor at or before `offset` (at most
+    /// `REFRESH_INTERVAL - 1` slides), so the state is bit-identical to a
+    /// cursor advanced there from offset 0.
+    ///
+    /// # Panics
+    /// Panics when `offset + window > x.len()`, `window == 0`, or `k == 0`.
+    pub fn resume(x: &[f64], window: usize, k: usize, offset: usize) -> Self {
+        assert!(
+            offset + window <= x.len(),
+            "resume offset {offset} puts the window past the sequence"
+        );
+        let anchor = (offset / REFRESH_INTERVAL) * REFRESH_INTERVAL;
+        let mut cursor = SlidingCursor {
+            sdft: SlidingDft::new(window, k, &x[anchor..anchor + window]),
+            offset: anchor,
+        };
+        while cursor.offset < offset {
+            cursor.advance(x);
+        }
+        cursor
+    }
+
+    /// The window offset the coefficients currently describe.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Coefficients `X_0..X_{k-1}` of the window at [`SlidingCursor::offset`].
+    pub fn coeffs(&self) -> &[Complex64] {
+        self.sdft.coeffs()
+    }
+
+    /// Steps to the next window offset, refreshing exactly when the new
+    /// offset lands on the [`REFRESH_INTERVAL`] schedule.
+    ///
+    /// # Panics
+    /// Panics when the next window would run past the end of `x`.
+    pub fn advance(&mut self, x: &[f64]) {
+        let w = self.sdft.window();
+        let t = self.offset + 1;
+        assert!(t + w <= x.len(), "advance past the last window of x");
+        if t % REFRESH_INTERVAL == 0 {
+            self.sdft.refresh(&x[t..t + w]);
+        } else {
+            self.sdft.slide(x[t - 1], x[t + w - 1]);
+        }
+        self.offset = t;
+    }
+}
+
 /// First `k` unitary DFT coefficients of **every** length-`window` window of
 /// `x`, computed incrementally with periodic exact re-anchoring.
 ///
 /// Returns one coefficient vector per window offset (`x.len() - window + 1`
 /// of them), or an empty vector when `x` is shorter than the window.
 /// This is the workhorse the ST-index build calls; the property suite pins
-/// it against an independent full transform per window.
+/// it against an independent full transform per window. It is implemented
+/// over [`SlidingCursor`], so an index that later *extends* a series with
+/// a resumed cursor continues this exact walk, bit for bit.
 pub fn sliding_prefix(x: &[f64], window: usize, k: usize) -> Vec<Vec<Complex64>> {
     assert!(window > 0, "sliding DFT window must be non-empty");
     if x.len() < window {
@@ -125,15 +207,11 @@ pub fn sliding_prefix(x: &[f64], window: usize, k: usize) -> Vec<Vec<Complex64>>
     }
     let count = x.len() - window + 1;
     let mut out = Vec::with_capacity(count);
-    let mut sdft = SlidingDft::new(window, k, &x[..window]);
-    out.push(sdft.coeffs().to_vec());
-    for t in 1..count {
-        if t % REFRESH_INTERVAL == 0 {
-            sdft.refresh(&x[t..t + window]);
-        } else {
-            sdft.slide(x[t - 1], x[t + window - 1]);
-        }
-        out.push(sdft.coeffs().to_vec());
+    let mut cursor = SlidingCursor::new(x, window, k);
+    out.push(cursor.coeffs().to_vec());
+    for _ in 1..count {
+        cursor.advance(x);
+        out.push(cursor.coeffs().to_vec());
     }
     out
 }
@@ -212,6 +290,47 @@ mod tests {
             worst = worst.max(max_err(got, &want));
         }
         assert!(worst < 1e-9, "worst drift {worst}");
+    }
+
+    #[test]
+    fn resumed_cursor_is_bit_identical_to_walked_cursor() {
+        // Long enough to cross several refresh anchors.
+        let x: Vec<f64> = (0..900)
+            .map(|i| (i as f64 * 0.21).sin() * 7.0 - 0.002 * i as f64)
+            .collect();
+        let w = 32;
+        let k = 3;
+        let all = sliding_prefix(&x, w, k);
+        for offset in [0, 1, 7, 255, 256, 257, 511, 512, 700, all.len() - 1] {
+            let cursor = SlidingCursor::resume(&x, w, k, offset);
+            assert_eq!(cursor.offset(), offset);
+            // Bit-identical, not merely close: streaming extension relies
+            // on reproducing the original walk exactly.
+            assert_eq!(cursor.coeffs(), &all[offset][..], "offset {offset}");
+        }
+        // A resumed cursor continues the walk bit-identically too.
+        let mut cursor = SlidingCursor::resume(&x, w, k, 300);
+        for (t, expected) in all.iter().enumerate().skip(301) {
+            cursor.advance(&x);
+            assert_eq!(cursor.coeffs(), &expected[..], "offset {t}");
+        }
+    }
+
+    #[test]
+    fn cursor_sees_appends_as_a_continuation() {
+        // Walking the prefix then appending must equal walking the final
+        // sequence from scratch, bit for bit.
+        let full: Vec<f64> = (0..640).map(|i| ((i * 31 % 97) as f64) * 0.5).collect();
+        let (w, k) = (16, 4);
+        for split in [16, 100, 256, 500] {
+            let prefix = &full[..split];
+            let mut cursor = SlidingCursor::resume(prefix, w, k, split - w);
+            let all = sliding_prefix(&full, w, k);
+            for (t, expected) in all.iter().enumerate().skip(split - w + 1) {
+                cursor.advance(&full);
+                assert_eq!(cursor.coeffs(), &expected[..], "split {split} offset {t}");
+            }
+        }
     }
 
     #[test]

@@ -79,6 +79,27 @@ pub enum Query {
         /// The query being explained (never itself an `Explain`).
         query: Box<Query>,
     },
+    /// `APPEND <relation> <label> VALUES (v1, v2, ...)` or the batched
+    /// `APPEND <relation> CSV (label, v1, ...) (label, v1, ...)` —
+    /// streaming ingest. The statement is atomic: either every row is
+    /// applied (and every index maintained incrementally) or none is.
+    Append {
+        /// Relation receiving the points.
+        relation: String,
+        /// Appended rows, in statement order. The same label may appear
+        /// more than once; its rows apply sequentially.
+        rows: Vec<AppendRow>,
+    },
+}
+
+/// One row of an `APPEND` statement: values for the tail of one series.
+/// An unknown label starts a new series in the relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendRow {
+    /// Series label.
+    pub label: String,
+    /// Values appended to that series, in order.
+    pub values: Vec<f64>,
 }
 
 /// The query object of a FIND.

@@ -40,6 +40,8 @@ meta-commands:
   .save <name> <path>                       write one relation back to CSV
   .batch <path> [threads]                   run a file of queries (one per line) on a worker pool
                                             (thread counts are clamped to the machine)
+  .ingest <name> <path>                     append a CSV of rows `label, v1, v2, ...` to a
+                                            relation as one atomic APPEND statement
   .serve <addr>                             serve this catalog over TCP; Enter stops it
   .rel                                      list registered relations
   .help                                     this text
@@ -50,6 +52,11 @@ queries:
   FIND SUBSEQUENCE OF [v1, ..., vw] IN <rel> WITHIN <eps> WINDOW <w>
   FIND <k> NEAREST SUBSEQUENCE OF [v1, ..., vw] IN <rel> WINDOW <w>
   JOIN <rel> WITHIN <eps> [APPLY ...] [USING SCAN|SCANFULL|INDEX|TREE]
+ingest:
+  APPEND <rel> <label> VALUES (v1, v2, ...)           append points to one series
+  APPEND <rel> CSV (label, v1, ...) (label, v1, ...)  batched, atomic multi-series append
+  appends maintain every index incrementally (no rebuild); an unknown label starts
+  a new series; paged relations reject APPEND with a typed error
 planning:
   every query runs through the cost-based planner; USING forces a join method
   EXPLAIN <query>            show the chosen plan and cost estimates (no execution)
@@ -159,7 +166,7 @@ fn main() {
             }
             continue;
         }
-        match catalog.run(line) {
+        match catalog.run_mut(line) {
             Ok(out) => {
                 if let Some(explain) = &out.explain {
                     for l in explain.lines() {
@@ -215,8 +222,14 @@ fn meta(
             }
             for n in names.iter() {
                 if let Some(rel) = catalog.relation(n) {
-                    let len = rel.series().first().map_or(0, |s| s.len());
-                    println!("  {n}: {} series of length {len}", rel.len());
+                    match rel.length_range() {
+                        Some((lo, hi)) if lo != hi => println!(
+                            "  {n}: {} series of lengths {lo}..{hi} (ragged mid-ingest)",
+                            rel.len()
+                        ),
+                        Some((len, _)) => println!("  {n}: {} series of length {len}", rel.len()),
+                        None => println!("  {n}: 0 series"),
+                    }
                 }
             }
         }
@@ -299,6 +312,26 @@ fn meta(
                 Err(e) => println!("  error: {e}"),
             }
         }
+        ["ingest", name, path] => match std::fs::read_to_string(path) {
+            Ok(text) => match parse_ingest_rows(&text) {
+                Ok(rows) if rows.is_empty() => println!("  no rows in {path}"),
+                // One atomic APPEND statement: on any error (unknown
+                // relation, paged storage, non-finite values) nothing is
+                // applied and the shell keeps running.
+                Ok(rows) => match catalog.append(name, &rows) {
+                    Ok(out) => {
+                        let points: f64 = out.rows.iter().map(|r| r.distance).sum();
+                        println!(
+                            "  appended {points} point(s) across {} series to {name}",
+                            out.rows.len()
+                        );
+                    }
+                    Err(e) => println!("  error: {e}"),
+                },
+                Err(e) => println!("  error: {e}"),
+            },
+            Err(e) => println!("  error: {e}"),
+        },
         ["save", path] => match catalog.save(Path::new(path)) {
             Ok(bytes) => println!(
                 "  snapshot: {} relation(s), {bytes} byte(s) -> {path}",
@@ -385,6 +418,35 @@ fn meta(
         _ => println!("  unknown meta-command; try .help"),
     }
     true
+}
+
+/// Parses `.ingest` CSV text (`label, v1, v2, ...` per line; blank lines
+/// and `#` comments skipped) into APPEND rows, with line-numbered errors.
+fn parse_ingest_rows(text: &str) -> Result<Vec<tsq_lang::AppendRow>, String> {
+    let mut rows = Vec::new();
+    for (at, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',').map(str::trim);
+        let label = fields.next().unwrap_or("").to_string();
+        if label.is_empty() {
+            return Err(format!("line {}: missing series label", at + 1));
+        }
+        let mut values = Vec::new();
+        for field in fields {
+            match field.parse::<f64>() {
+                Ok(v) => values.push(v),
+                Err(_) => return Err(format!("line {}: bad number {field:?}", at + 1)),
+            }
+        }
+        if values.is_empty() {
+            return Err(format!("line {}: no values for {label:?}", at + 1));
+        }
+        rows.push(tsq_lang::AppendRow { label, values });
+    }
+    Ok(rows)
 }
 
 fn register(

@@ -41,7 +41,7 @@ use tsq_core::{
 };
 use tsq_series::TimeSeries;
 
-use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
+use crate::ast::{AppendRow, JoinMethod, Query, Source, TransformSpec, WindowSpec};
 use crate::error::LangError;
 
 /// Default bound on the number of cached per-`(relation, window)`
@@ -300,6 +300,192 @@ impl Catalog {
         self.execute(&query)
     }
 
+    /// Parses and executes a statement that may mutate the catalog:
+    /// `APPEND` routes to [`Catalog::append`], everything else to
+    /// [`Catalog::execute`]. Shells and single-owner embedders use this;
+    /// shared topologies route through [`SharedCatalog::run`], which
+    /// takes the write lock only for mutations.
+    pub fn run_mut(&mut self, src: &str) -> Result<QueryOutput, LangError> {
+        let query = crate::parser::parse(src)?;
+        match &query {
+            Query::Append { relation, rows } => self.append(relation, rows),
+            _ => self.execute(&query),
+        }
+    }
+
+    /// Applies an `APPEND` statement, maintaining every index
+    /// *incrementally* — no index is dropped or rebuilt from scratch:
+    ///
+    /// - the relation's series grow in place ([`SeriesRelation`]); an
+    ///   unknown label starts a new series (the relation is then ragged
+    ///   until appends even the lengths out);
+    /// - the whole-series index re-extracts features for the touched
+    ///   series only and repacks canonically
+    ///   ([`SimilarityIndex::extend_series`]), so the result is
+    ///   byte-identical to a fresh build over the final data;
+    /// - every cached subsequence ST-index over the relation is extended
+    ///   in place ([`SubseqIndex::extend_series`] resumes the sliding-DFT
+    ///   recurrence at `O(k)` per appended point) under the cache lock,
+    ///   clone-on-write (`Arc::make_mut`) so in-flight readers keep their
+    ///   consistent pre-append snapshot;
+    /// - planner statistics are refreshed so later plans see the new
+    ///   shape.
+    ///
+    /// The statement is **atomic**: everything is validated up front
+    /// (unknown relation, paged storage, non-finite values, a schema that
+    /// no longer fits), and only then applied — on any error the relation
+    /// and every index are exactly as they were.
+    ///
+    /// Returns one row per distinct label in first-touch order: `a` is
+    /// the label, `offset` the series' new length, `distance` the number
+    /// of points appended to it.
+    ///
+    /// # Errors
+    /// [`LangError::Resolve`] for an unknown relation or an empty
+    /// statement; [`LangError::Engine`] with
+    /// [`tsq_core::Error::Unsupported`] when paged storage is attached
+    /// (page files are immutable), [`tsq_core::Error::NonFinite`] for
+    /// NaN/±∞ values, [`tsq_core::Error::InvalidCutoff`] when a series
+    /// (typically a new one) would be too short for the feature schema.
+    pub fn append(&mut self, relation: &str, rows: &[AppendRow]) -> Result<QueryOutput, LangError> {
+        // Validation phase: nothing is mutated until every row has been
+        // checked against the final state it would produce.
+        let (rel, index) = self.resolve_relation(relation)?;
+        if index.is_paged() {
+            return Err(LangError::Engine(tsq_core::Error::Unsupported(
+                "APPEND to a relation with paged storage attached (the page file is immutable)"
+                    .to_string(),
+            )));
+        }
+        if rows.is_empty() {
+            return Err(LangError::Resolve("APPEND carries no rows".to_string()));
+        }
+        let schema = index.config().schema;
+        let mut final_len: HashMap<&str, usize> = HashMap::new();
+        // Rows for labels the relation does not know yet assemble into
+        // whole new series (first-occurrence order), pushed once complete:
+        // the whole-series index extracts features per stored series, so a
+        // new series enters it only at its final statement-end length.
+        let mut new_series: Vec<(&str, Vec<f64>)> = Vec::new();
+        for row in rows {
+            if row.values.is_empty() {
+                return Err(LangError::Resolve(format!(
+                    "APPEND row for {:?} carries no values",
+                    row.label
+                )));
+            }
+            if let Some((at, v)) = row.values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+                return Err(LangError::Engine(tsq_core::Error::NonFinite {
+                    context: format!(
+                        "APPEND value {v} at position {at} of the row for {:?}",
+                        row.label
+                    ),
+                }));
+            }
+            let len = final_len
+                .entry(row.label.as_str())
+                .or_insert_with(|| rel.get_by_label(&row.label).map_or(0, |s| s.len()));
+            *len += row.values.len();
+            if rel.get_by_label(&row.label).is_none() {
+                match new_series.iter_mut().find(|(l, _)| *l == row.label) {
+                    Some((_, values)) => values.extend_from_slice(&row.values),
+                    None => new_series.push((row.label.as_str(), row.values.clone())),
+                }
+            }
+        }
+        for len in final_len.values() {
+            schema.validate(*len).map_err(LangError::Engine)?;
+        }
+        let new_labels: Vec<String> = new_series.iter().map(|(l, _)| l.to_string()).collect();
+        let new_values: Vec<Vec<f64>> = new_series.into_iter().map(|(_, v)| v).collect();
+        // Apply phase: validated above, so no step below can fail.
+        // Pre-existing labels are extended in row order (their lengths
+        // only grow, and a schema that fits a length fits every longer
+        // one); new series are pushed complete, in first-occurrence order.
+        let rel = self.relations.get_mut(relation).expect("resolved above");
+        let index = self.indexes.get_mut(relation).expect("resolved above");
+        // The index absorbs the statement as one batch (one canonical
+        // repack), not row by row.
+        let mut edits: Vec<(usize, &[f64])> = Vec::with_capacity(rows.len());
+        for row in rows {
+            if new_labels.contains(&row.label) {
+                continue;
+            }
+            let id = rel
+                .extend_series(&row.label, &row.values)
+                .expect("validated upfront");
+            edits.push((id, row.values.as_slice()));
+        }
+        if !edits.is_empty() {
+            index
+                .extend_series_batch(&edits)
+                .expect("validated upfront");
+        }
+        if !new_labels.is_empty() {
+            let pushed: Vec<TimeSeries> = new_values
+                .iter()
+                .map(|values| TimeSeries::try_new(values.clone()).expect("validated upfront"))
+                .collect();
+            for (label, series) in new_labels.iter().zip(&pushed) {
+                rel.push(label.clone(), series.clone())
+                    .expect("label is new");
+            }
+            index.push_series_batch(pushed).expect("validated upfront");
+        }
+        self.stats
+            .insert(relation.to_string(), RelationStats::from_index(index));
+        // Maintain every cached ST-index over this relation in place —
+        // never `retain`-drop it: the next subsequence query must hit the
+        // incrementally-extended cache, not pay a full rebuild.
+        // `Arc::make_mut` is clone-on-write, so a reader still traversing
+        // the pre-append index keeps its consistent snapshot.
+        {
+            let mut cache = self.subseq.write().unwrap_or_else(PoisonError::into_inner);
+            for ((rel_name, _), slot) in cache.map.iter_mut() {
+                if rel_name != relation {
+                    continue;
+                }
+                let idx = Arc::make_mut(&mut slot.index);
+                for row in rows {
+                    if new_labels.contains(&row.label) {
+                        continue;
+                    }
+                    let id = rel.id_of(&row.label).expect("applied above");
+                    idx.extend_series(id, &row.values)
+                        .expect("validated upfront");
+                }
+                for values in &new_values {
+                    idx.insert(TimeSeries::try_new(values.clone()).expect("validated upfront"));
+                }
+            }
+        }
+        // One answer row per distinct label, in first-touch order.
+        let mut order: Vec<&str> = Vec::new();
+        let mut appended: HashMap<&str, usize> = HashMap::new();
+        for row in rows {
+            if !appended.contains_key(row.label.as_str()) {
+                order.push(&row.label);
+            }
+            *appended.entry(row.label.as_str()).or_insert(0) += row.values.len();
+        }
+        let out_rows = order
+            .into_iter()
+            .map(|label| Row {
+                a: label.to_string(),
+                b: None,
+                offset: Some(rel.get_by_label(label).expect("applied above").len()),
+                distance: appended[label] as f64,
+            })
+            .collect();
+        Ok(QueryOutput {
+            rows: out_rows,
+            nodes_visited: 0,
+            stats: ExecStats::default(),
+            plan: "Append".to_string(),
+            explain: None,
+        })
+    }
+
     /// Parses and executes a batch of queries, fanning them over up to
     /// `threads` worker threads (clamped by
     /// [`tsq_core::executor::clamp_threads`], so a hostile or fat-fingered
@@ -468,6 +654,14 @@ impl Catalog {
             Query::Explain { .. } => Err(LangError::Resolve(
                 "EXPLAIN is not itself a plannable query".to_string(),
             )),
+            // Unreachable through `run_mut`/`SharedCatalog`, which route
+            // mutations before lowering; reachable programmatically via
+            // `execute` on a shared reference, where mutating is
+            // impossible.
+            Query::Append { .. } => Err(LangError::Resolve(
+                "APPEND mutates the catalog; run it through Catalog::run_mut or a SharedCatalog"
+                    .to_string(),
+            )),
         }
     }
 
@@ -555,7 +749,7 @@ impl SharedCatalog {
         self.inner.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -578,20 +772,28 @@ impl SharedCatalog {
         self.write().set_subseq_build_threads(threads);
     }
 
-    /// Parses and executes one query under the read lock.
+    /// Parses and executes one statement: queries run under the read
+    /// lock (any number of clients concurrently); an `APPEND` takes the
+    /// write lock, so it waits for in-flight queries to drain and every
+    /// query that starts after it sees the fully-appended state.
     ///
     /// # Errors
-    /// Same failure modes as [`Catalog::run`].
+    /// Same failure modes as [`Catalog::run_mut`].
     pub fn run(&self, src: &str) -> Result<QueryOutput, LangError> {
-        self.read().run(src)
+        let query = crate::parser::parse(src)?;
+        self.execute(&query)
     }
 
-    /// Executes a parsed query under the read lock.
+    /// Executes a parsed statement — read lock for queries, write lock
+    /// for `APPEND` (see [`SharedCatalog::run`]).
     ///
     /// # Errors
-    /// Same failure modes as [`Catalog::execute`].
+    /// Same failure modes as [`Catalog::execute`] / [`Catalog::append`].
     pub fn execute(&self, query: &Query) -> Result<QueryOutput, LangError> {
-        self.read().execute(query)
+        match query {
+            Query::Append { relation, rows } => self.write().append(relation, rows),
+            _ => self.read().execute(query),
+        }
     }
 
     /// Runs a batch over the worker pool, taking the catalog read lock
@@ -1328,6 +1530,334 @@ mod tests {
             err,
             LangError::Engine(tsq_core::Error::Unsupported(_))
         ));
+    }
+
+    /// A fresh catalog rebuilt from `cat`'s current (post-append) data —
+    /// the oracle every incremental path is compared against.
+    fn rebuilt(cat: &Catalog, name: &str) -> Catalog {
+        let rel = cat.relation(name).unwrap();
+        let items: Vec<(String, TimeSeries)> = (0..rel.len())
+            .map(|id| {
+                (
+                    rel.label(id).unwrap().to_string(),
+                    rel.get(id).unwrap().clone(),
+                )
+            })
+            .collect();
+        let mut fresh = Catalog::new();
+        fresh
+            .register(SeriesRelation::from_labeled(name, items).unwrap())
+            .unwrap();
+        fresh
+    }
+
+    /// Sorts subsequence rows into a canonical order (tree traversal
+    /// order may differ between an incrementally-extended index and a
+    /// fresh build; the row *set* may not).
+    fn canonical(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|x, y| {
+            (x.distance.to_bits(), &x.a, x.offset).cmp(&(y.distance.to_bits(), &y.a, y.offset))
+        });
+        rows
+    }
+
+    #[test]
+    fn append_matches_a_freshly_built_catalog() {
+        let mut cat = catalog();
+        // Prime the ST-index cache *before* appending, so the cached
+        // index answers through the incremental extension path. The probe
+        // is a stored window, so it keeps matching data before and after
+        // the appends.
+        let probe: Vec<String> = cat
+            .relation("walks")
+            .unwrap()
+            .get_by_label("s2")
+            .unwrap()
+            .values()[5..13]
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        let sub_q = format!(
+            "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 5 WINDOW 8",
+            probe.join(", ")
+        );
+        let sub_q = sub_q.as_str();
+        cat.run(sub_q).unwrap();
+        // Single-series append first, then a batched catch-up so the
+        // relation ends uniform at length 35.
+        let out = cat
+            .run_mut("APPEND walks s0 VALUES (1.5, -0.25, 2.0)")
+            .unwrap();
+        assert_eq!(out.plan, "Append");
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].a, "s0");
+        assert_eq!(out.rows[0].offset, Some(35));
+        assert_eq!(out.rows[0].distance, 3.0);
+        let batch: Vec<String> = (1..60)
+            .map(|i| format!("(s{i}, 0.5, {i}.25, -3)"))
+            .collect();
+        let out = cat
+            .run_mut(&format!("APPEND walks CSV {}", batch.join(" ")))
+            .unwrap();
+        assert_eq!(out.rows.len(), 59);
+        let fresh = rebuilt(&cat, "walks");
+        // Whole-series forms are *byte-identical* to the fresh build —
+        // rows, every counter, and the rendered EXPLAIN ANALYZE plan —
+        // because the incremental path repacks canonically.
+        for q in [
+            "FIND SIMILAR TO walks.s0 IN walks WITHIN 2",
+            "FIND SIMILAR TO walks.s0 IN walks WITHIN 0.5",
+            "FIND 5 NEAREST TO walks.s7 IN walks",
+            "JOIN walks WITHIN 1.5 APPLY mavg(4)",
+            "JOIN walks WITHIN 1.5 APPLY mavg(4) USING INDEX",
+            "EXPLAIN ANALYZE FIND SIMILAR TO walks.s0 IN walks WITHIN 0.5",
+            "EXPLAIN ANALYZE JOIN walks WITHIN 1.5 APPLY mavg(4)",
+        ] {
+            assert_eq!(cat.run(q).unwrap(), fresh.run(q).unwrap(), "{q}");
+        }
+        // Subsequence forms: identical answer rows and identical
+        // candidate-level counters (same entry set ⇒ same candidates,
+        // refines and false hits); only the node layout — and therefore
+        // nodes_visited / disk_accesses — may differ.
+        let a = cat.run(sub_q).unwrap();
+        let b = fresh.run(sub_q).unwrap();
+        assert!(!a.rows.is_empty());
+        assert_eq!(canonical(a.rows), canonical(b.rows));
+        assert_eq!(a.stats.candidates, b.stats.candidates);
+        assert_eq!(a.stats.refined, b.stats.refined);
+        assert_eq!(a.stats.false_hits, b.stats.false_hits);
+        let knn_q =
+            "FIND 4 NEAREST SUBSEQUENCE OF [0.5, 1, 1.5, 1, 0.5, 0, -0.5, -1] IN walks WINDOW 8";
+        let a = cat.run(knn_q).unwrap();
+        let b = fresh.run(knn_q).unwrap();
+        assert_eq!(canonical(a.rows), canonical(b.rows));
+        // The appended windows are really in the cached index: a probe
+        // matching the appended tail of s0 hits at its exact offset.
+        let tail: Vec<String> = cat
+            .relation("walks")
+            .unwrap()
+            .get_by_label("s0")
+            .unwrap()
+            .values()[27..35]
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        let probe = format!(
+            "FIND SUBSEQUENCE OF [{}] IN walks WITHIN 0.001 WINDOW 8",
+            tail.join(", ")
+        );
+        let hit = cat.run(&probe).unwrap();
+        assert!(hit
+            .rows
+            .iter()
+            .any(|r| r.a == "s0" && r.offset == Some(27) && r.distance < 1e-9));
+    }
+
+    #[test]
+    fn ragged_relation_gates_whole_series_queries_until_healed() {
+        let mut cat = catalog();
+        cat.run_mut("APPEND walks s0 VALUES (7, 8)").unwrap();
+        // Whole-series forms are rejected with the typed raggedness error…
+        for q in [
+            "FIND SIMILAR TO walks.s1 IN walks WITHIN 2",
+            "FIND 3 NEAREST TO walks.s1 IN walks",
+            "JOIN walks WITHIN 1 USING SCAN",
+        ] {
+            assert!(
+                matches!(
+                    cat.run(q),
+                    Err(LangError::Engine(tsq_core::Error::Ragged {
+                        min: 32,
+                        max: 34
+                    }))
+                ),
+                "{q}"
+            );
+        }
+        // …while subsequence queries keep working throughout…
+        assert!(cat
+            .run("FIND SUBSEQUENCE OF [7, 8, 7, 8, 7, 8, 7, 8] IN walks WITHIN 10 WINDOW 8")
+            .is_ok());
+        // …and catching the other series up heals the relation.
+        let batch: Vec<String> = (1..60).map(|i| format!("(s{i}, 7, 8)")).collect();
+        cat.run_mut(&format!("APPEND walks CSV {}", batch.join(" ")))
+            .unwrap();
+        assert!(cat
+            .run("FIND SIMILAR TO walks.s1 IN walks WITHIN 2")
+            .is_ok());
+    }
+
+    #[test]
+    fn append_is_atomic_on_every_rejection() {
+        let mut cat = catalog();
+        let sub_q =
+            "FIND SUBSEQUENCE OF [1, 2, 1.5, -0.5, 0, 2, 1, 0.25] IN walks WITHIN 10 WINDOW 8";
+        cat.run(sub_q).unwrap();
+        let range_q = "FIND SIMILAR TO walks.s0 IN walks WITHIN 2";
+        let before_range = cat.run(range_q).unwrap();
+        let before_sub = cat.run(sub_q).unwrap();
+        let before_bytes = cat.snapshot_bytes().unwrap();
+        // Unknown relation.
+        assert!(matches!(
+            cat.run_mut("APPEND nope s0 VALUES (1)"),
+            Err(LangError::Resolve(_))
+        ));
+        // Non-finite value mid-batch (unreachable through the lexer, so
+        // hostile programmatic input): the *whole* statement is rejected —
+        // the valid first row must not have been applied.
+        let err = cat
+            .append(
+                "walks",
+                &[
+                    AppendRow {
+                        label: "s0".into(),
+                        values: vec![1.0, 2.0],
+                    },
+                    AppendRow {
+                        label: "s1".into(),
+                        values: vec![3.0, f64::NAN],
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LangError::Engine(tsq_core::Error::NonFinite { .. })
+        ));
+        // A new series too short for the feature schema (k = 2 needs at
+        // least 3 points), batched behind a valid row: also atomic.
+        assert!(matches!(
+            cat.run_mut("APPEND walks CSV (s0, 1, 2) (newcomer, 5)"),
+            Err(LangError::Engine(tsq_core::Error::InvalidCutoff { .. }))
+        ));
+        // Empty-values rows are parser-unreachable; programmatic form:
+        assert!(matches!(
+            cat.append(
+                "walks",
+                &[AppendRow {
+                    label: "s0".into(),
+                    values: Vec::new(),
+                }]
+            ),
+            Err(LangError::Resolve(_))
+        ));
+        // Relation, indexes and cache are exactly as they were.
+        assert!(cat
+            .relation("walks")
+            .unwrap()
+            .get_by_label("newcomer")
+            .is_none());
+        assert_eq!(cat.run(range_q).unwrap(), before_range);
+        assert_eq!(cat.run(sub_q).unwrap(), before_sub);
+        assert_eq!(cat.snapshot_bytes().unwrap(), before_bytes);
+    }
+
+    #[test]
+    fn append_updates_cached_st_index_in_place() {
+        let key = ("walks".to_string(), 8usize);
+        let mut cat = catalog();
+        cat.run("FIND SUBSEQUENCE OF [1, 2, 1.5, -0.5, 0, 2, 1, 0.25] IN walks WITHIN 10 WINDOW 8")
+            .unwrap();
+        let ptr_before = Arc::as_ptr(&cat.cache_read().map[&key].index);
+        cat.run_mut("APPEND walks s0 VALUES (1, 2, 3)").unwrap();
+        // Still cached (never retain-dropped), updated in place (sole
+        // owner ⇒ Arc::make_mut did not clone).
+        assert_eq!(cat.subseq_cache_len(), 1);
+        {
+            let cache = cat.cache_read();
+            let slot = &cache.map[&key];
+            assert_eq!(Arc::as_ptr(&slot.index), ptr_before);
+            assert_eq!(slot.index.series(0).unwrap().len(), 35);
+        }
+        // An in-flight reader holding the Arc keeps its consistent
+        // pre-append snapshot while the cache moves on (clone-on-write).
+        let held = Arc::clone(&cat.cache_read().map[&key].index);
+        cat.run_mut("APPEND walks s0 VALUES (4)").unwrap();
+        assert_eq!(held.series(0).unwrap().len(), 35);
+        assert_eq!(
+            cat.cache_read().map[&key].index.series(0).unwrap().len(),
+            36
+        );
+    }
+
+    #[test]
+    fn append_creates_new_series_and_batches_sequentially() {
+        let mut cat = catalog();
+        // One new label split across three rows of one CSV statement:
+        // rows apply sequentially, so the series assembles in order.
+        let out = cat
+            .run_mut("APPEND walks CSV (fresh, 1, 2) (s0, 9) (fresh, 3, 4)")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].a, "fresh");
+        assert_eq!(out.rows[0].offset, Some(4));
+        assert_eq!(out.rows[0].distance, 4.0);
+        assert_eq!(out.rows[1].a, "s0");
+        assert_eq!(out.rows[1].offset, Some(33));
+        let rel = cat.relation("walks").unwrap();
+        assert_eq!(rel.len(), 61);
+        assert_eq!(
+            rel.get_by_label("fresh").unwrap().values(),
+            &[1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn immutable_execute_rejects_append_with_guidance() {
+        let cat = catalog();
+        let q = crate::parser::parse("APPEND walks s0 VALUES (1)").unwrap();
+        match cat.execute(&q) {
+            Err(LangError::Resolve(msg)) => assert!(msg.contains("run_mut")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // `run` (read-only by design) reports the same guidance.
+        assert!(matches!(
+            cat.run("APPEND walks s0 VALUES (1)"),
+            Err(LangError::Resolve(_))
+        ));
+    }
+
+    #[test]
+    fn shared_catalog_append_interleaves_with_readers() {
+        let shared = SharedCatalog::new(catalog());
+        // APPEND routes through the write lock transparently via `run`.
+        let out = shared.run("APPEND walks s0 VALUES (1, 2)").unwrap();
+        assert_eq!(out.plan, "Append");
+        shared.with_relation("walks", |rel| {
+            assert_eq!(rel.unwrap().get_by_label("s0").unwrap().len(), 34);
+        });
+        // Concurrent appenders and readers: every append is atomic under
+        // the write lock, so the final length is exact and every
+        // interleaved read sees a consistent catalog.
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        shared
+                            .run(&format!("APPEND walks s0 VALUES ({}.5)", t * 8 + i))
+                            .unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        // Raggedness is a legal transient answer; anything
+                        // else must succeed.
+                        match shared.run("FIND SUBSEQUENCE OF [1, 2, 3, 4, 3, 2, 1, 0] IN walks WITHIN 5 WINDOW 8")
+                        {
+                            Ok(_) => {}
+                            Err(e) => panic!("reader failed: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        shared.with_relation("walks", |rel| {
+            assert_eq!(rel.unwrap().get_by_label("s0").unwrap().len(), 34 + 32);
+        });
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! FIND 5 NEAREST TO [36, 38, 40, ...] IN stocks APPLY reverse
 //! JOIN stocks WITHIN 1.5 APPLY mavg(20) USING INDEX
 //! EXPLAIN ANALYZE FIND SIMILAR TO stocks.BBA IN stocks WITHIN 2.75
+//! APPEND stocks BBA VALUES (41.5, 42.25)
 //! ```
 //!
 //! Every query runs through the cost-based planner
@@ -28,6 +29,12 @@
 //! makes one catalog safely shareable across any number of client threads,
 //! and [`Catalog::run_batch`] fans a batch of queries over a worker pool
 //! with per-batch [`BatchSummary`] statistics.
+//!
+//! Relations are live: the `APPEND` verb ([`Catalog::append`], routed
+//! automatically by [`Catalog::run_mut`] and [`SharedCatalog::run`])
+//! grows stored series point by point, maintaining the whole-series
+//! index and every cached subsequence ST-index *incrementally* — answers
+//! afterwards are identical to a catalog rebuilt from the final data.
 //!
 //! Catalogs are durable: [`Catalog::save`] snapshots every relation,
 //! whole-match index (R\*-tree structure preserved byte-identically) and
@@ -49,7 +56,7 @@ pub mod serve;
 mod snapshot;
 pub mod token;
 
-pub use ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
+pub use ast::{AppendRow, JoinMethod, Query, Source, TransformSpec, WindowSpec};
 pub use error::LangError;
 pub use exec::{BatchSummary, Catalog, QueryOutput, Row, SharedCatalog};
 pub use parser::parse;

@@ -1,20 +1,23 @@
 //! Recursive-descent parser.
 //!
 //! ```text
-//! query      := [EXPLAIN [ANALYZE]] (find_query | join_query)
-//! find_query := FIND SIMILAR TO source IN ident WITHIN number
-//!               [APPLY tlist] [WHERE window (AND window)*]
-//!             | FIND SUBSEQUENCE OF source IN ident WITHIN number
-//!               WINDOW number
-//!             | FIND number NEAREST TO source IN ident [APPLY tlist]
-//!             | FIND number NEAREST SUBSEQUENCE OF source IN ident
-//!               WINDOW number
-//! join_query := JOIN ident WITHIN number [APPLY tlist]
-//!               [USING (SCAN | SCANFULL | INDEX | TREE)]
-//! source     := ident . ident | '[' number (, number)* ']'
-//! tlist      := t (',' t)* ; t := ident [ '(' number (, number)* ')' ]
-//! window     := MEAN BETWEEN number AND number
-//!             | STD BETWEEN number AND number
+//! query        := [EXPLAIN [ANALYZE]] (find_query | join_query)
+//!               | append_query
+//! find_query   := FIND SIMILAR TO source IN ident WITHIN number
+//!                 [APPLY tlist] [WHERE window (AND window)*]
+//!               | FIND SUBSEQUENCE OF source IN ident WITHIN number
+//!                 WINDOW number
+//!               | FIND number NEAREST TO source IN ident [APPLY tlist]
+//!               | FIND number NEAREST SUBSEQUENCE OF source IN ident
+//!                 WINDOW number
+//! join_query   := JOIN ident WITHIN number [APPLY tlist]
+//!                 [USING (SCAN | SCANFULL | INDEX | TREE)]
+//! append_query := APPEND ident ident VALUES '(' number (, number)* ')'
+//!               | APPEND ident CSV row+ ; row := '(' ident (, number)* ')'
+//! source       := ident . ident | '[' number (, number)* ']'
+//! tlist        := t (',' t)* ; t := ident [ '(' number (, number)* ')' ]
+//! window       := MEAN BETWEEN number AND number
+//!               | STD BETWEEN number AND number
 //! ```
 //!
 //! Keywords are case-insensitive; identifiers are case-sensitive.
@@ -22,10 +25,12 @@
 //! executing; `EXPLAIN ANALYZE` also runs the query and appends the
 //! actual counters.
 //! Validation the parser performs (so nonsense fails before execution):
-//! every `WITHIN` threshold must be non-negative, and every `WINDOW`
-//! length must be an integer of at least 2.
+//! every `WITHIN` threshold must be non-negative, every `WINDOW` length
+//! must be an integer of at least 2, every `APPEND` row must carry at
+//! least one value, and `EXPLAIN APPEND` is rejected (a mutation has no
+//! physical plan to show).
 
-use crate::ast::{JoinMethod, Query, Source, TransformSpec, WindowSpec};
+use crate::ast::{AppendRow, JoinMethod, Query, Source, TransformSpec, WindowSpec};
 use crate::error::LangError;
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
@@ -165,6 +170,9 @@ impl Parser {
             if self.at_kw("EXPLAIN") {
                 return self.error("cannot EXPLAIN an EXPLAIN");
             }
+            if self.at_kw("APPEND") {
+                return self.error("cannot EXPLAIN APPEND: a mutation has no query plan");
+            }
             let inner = self.query()?;
             return Ok(Query::Explain {
                 analyze,
@@ -175,9 +183,59 @@ impl Parser {
             self.find_query()
         } else if self.take_kw("JOIN") {
             self.join_query()
+        } else if self.take_kw("APPEND") {
+            self.append_query()
         } else {
-            self.error("expected EXPLAIN, FIND or JOIN")
+            self.error("expected EXPLAIN, FIND, JOIN or APPEND")
         }
+    }
+
+    /// `APPEND <relation> <label> VALUES (v1, ...)` appends to one series;
+    /// `APPEND <relation> CSV (label, v1, ...) (label, v1, ...)` batches
+    /// several rows into one atomic statement.
+    fn append_query(&mut self) -> Result<Query, LangError> {
+        let relation = self.ident()?;
+        if self.take_kw("CSV") {
+            let mut rows = vec![self.append_row()?];
+            while matches!(self.peek().kind, TokenKind::LParen) {
+                rows.push(self.append_row()?);
+            }
+            return Ok(Query::Append { relation, rows });
+        }
+        let label = self.ident()?;
+        self.expect_kw("VALUES")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut values = vec![self.number()?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.bump();
+            values.push(self.number()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Query::Append {
+            relation,
+            rows: vec![AppendRow { label, values }],
+        })
+    }
+
+    /// One batched row: `'(' label ',' number (',' number)* ')'`. A row
+    /// with no values is rejected — an empty append is always a mistake.
+    fn append_row(&mut self) -> Result<AppendRow, LangError> {
+        self.expect(&TokenKind::LParen)?;
+        let label = self.ident()?;
+        let at = self.peek().pos;
+        if !matches!(self.peek().kind, TokenKind::Comma) {
+            return Err(LangError::Parse {
+                pos: at,
+                message: format!("APPEND row for {label:?} must carry at least one value"),
+            });
+        }
+        let mut values = Vec::new();
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.bump();
+            values.push(self.number()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(AppendRow { label, values })
     }
 
     fn find_query(&mut self) -> Result<Query, LangError> {
@@ -627,6 +685,88 @@ mod tests {
             Query::Join { method, .. } => assert_eq!(method, JoinMethod::Auto),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_append_values() {
+        let q = parse("APPEND stocks BBA VALUES (1.5, -2, 3e1)").unwrap();
+        assert_eq!(
+            q,
+            Query::Append {
+                relation: "stocks".into(),
+                rows: vec![AppendRow {
+                    label: "BBA".into(),
+                    values: vec![1.5, -2.0, 30.0],
+                }],
+            }
+        );
+        // Keywords stay case-insensitive, labels case-sensitive.
+        let q = parse("append stocks bba values (7)").unwrap();
+        match q {
+            Query::Append { rows, .. } => assert_eq!(rows[0].label, "bba"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_append_csv_batch() {
+        let q = parse("APPEND stocks CSV (BBA, 1, 2) (ZTR, 3) (BBA, 4)").unwrap();
+        match q {
+            Query::Append { relation, rows } => {
+                assert_eq!(relation, "stocks");
+                let got: Vec<(&str, &[f64])> = rows
+                    .iter()
+                    .map(|r| (r.label.as_str(), r.values.as_slice()))
+                    .collect();
+                assert_eq!(
+                    got,
+                    vec![
+                        ("BBA", &[1.0, 2.0][..]),
+                        ("ZTR", &[3.0][..]),
+                        ("BBA", &[4.0][..]),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_rejects_malformed_forms() {
+        for src in [
+            "APPEND",                          // no relation
+            "APPEND stocks",                   // no label
+            "APPEND stocks BBA",               // no VALUES
+            "APPEND stocks BBA VALUES ()",     // empty values
+            "APPEND stocks BBA VALUES (1,)",   // trailing comma
+            "APPEND stocks CSV",               // no rows
+            "APPEND stocks CSV ()",            // empty row
+            "APPEND stocks CSV (BBA)",         // row without values
+            "APPEND stocks CSV (BBA, 1) junk", // trailing input
+            "APPEND stocks BBA VALUES (1) (2)",
+        ] {
+            assert!(
+                matches!(parse(src), Err(LangError::Parse { .. })),
+                "{src}: should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_append_rejected_at_parse_time() {
+        for src in [
+            "EXPLAIN APPEND stocks BBA VALUES (1)",
+            "EXPLAIN ANALYZE APPEND stocks CSV (BBA, 1)",
+        ] {
+            match parse(src) {
+                Err(LangError::Parse { message, .. }) => {
+                    assert!(message.contains("EXPLAIN APPEND"), "{src}: {message}")
+                }
+                other => panic!("{src}: expected parse error, got {other:?}"),
+            }
+        }
+        // A relation may still be named "append" in query position.
+        assert!(parse("JOIN append WITHIN 1").is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! waits for the handful of queries in flight, never for the whole
 //! batch.
 
-use tsq_service::engine::{Engine, EngineError, QueryReply, WireRow};
+use tsq_service::engine::{Engine, EngineError, IngestRow, QueryReply, WireRow};
 use tsq_service::{Server, ServerHandle, ServiceConfig};
 
 use crate::error::LangError;
@@ -36,6 +36,12 @@ fn to_engine_error(err: LangError) -> EngineError {
         LangError::Lex { .. } | LangError::Parse { .. } | LangError::Resolve(_) => {
             EngineError::BadQuery(err.to_string())
         }
+        // A refused capability (APPEND to a paged relation) is neither
+        // the client's syntax nor an execution failure — it gets its own
+        // wire code so clients can branch on it.
+        LangError::Engine(tsq_core::Error::Unsupported(_)) => {
+            EngineError::Unsupported(err.to_string())
+        }
         LangError::Engine(_) => EngineError::Failed(err.to_string()),
     }
 }
@@ -57,6 +63,20 @@ impl Engine for SharedCatalog {
             .into_iter()
             .map(|r| r.map(|out| to_reply(&out)).map_err(to_engine_error))
             .collect()
+    }
+
+    fn append(&self, relation: &str, rows: Vec<IngestRow>) -> Result<QueryReply, EngineError> {
+        let rows: Vec<crate::ast::AppendRow> = rows
+            .into_iter()
+            .map(|r| crate::ast::AppendRow {
+                label: r.label,
+                values: r.values,
+            })
+            .collect();
+        self.write()
+            .append(relation, &rows)
+            .map(|out| to_reply(&out))
+            .map_err(to_engine_error)
     }
 }
 
@@ -101,6 +121,42 @@ mod tests {
             other => panic!("expected BadQuery, got {other:?}"),
         }
         match Engine::execute(&engine, "FIND 1 NEAREST TO nope.s0 IN nope") {
+            Err(EngineError::BadQuery(m)) => assert!(m.contains("nope")),
+            other => panic!("expected BadQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_append_is_live_and_typed() {
+        let engine = small_catalog();
+        // Two points for every series in one atomic statement, so the
+        // relation stays uniform and whole-series queries keep working.
+        let rows: Vec<IngestRow> = (0..16)
+            .map(|i| IngestRow {
+                label: format!("s{i}"),
+                values: vec![1.5, -0.25],
+            })
+            .collect();
+        let reply = Engine::append(&engine, "walks", rows).unwrap();
+        assert_eq!(reply.plan, "Append");
+        assert_eq!(reply.rows.len(), 16);
+        assert_eq!(reply.rows[0].a, "s0");
+        assert_eq!(reply.rows[0].offset, Some(18));
+        assert_eq!(reply.rows[0].distance, 2.0);
+
+        // The appended points are immediately visible to queries served
+        // from the same engine.
+        let q = Engine::execute(&engine, "FIND 1 NEAREST TO walks.s0 IN walks");
+        assert_eq!(q.unwrap().rows[0].a, "s0");
+
+        match Engine::append(
+            &engine,
+            "nope",
+            vec![IngestRow {
+                label: "s0".into(),
+                values: vec![1.0],
+            }],
+        ) {
             Err(EngineError::BadQuery(m)) => assert!(m.contains("nope")),
             other => panic!("expected BadQuery, got {other:?}"),
         }

@@ -272,6 +272,122 @@ fn serve_flag_runs_headless_until_remote_shutdown() {
 }
 
 #[test]
+fn append_and_ingest_keep_the_session_alive() {
+    let dir = std::env::temp_dir().join(format!("tsq-append-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("tail.csv");
+    // Catch-up rows for the three series the first APPEND left behind.
+    std::fs::write(
+        &csv,
+        "s1, 1.0, 2.0\ns2, 0.5, -0.5\n# comment\ns3, 3.25, 4\n",
+    )
+    .unwrap();
+
+    let mut child = Command::new(BIN)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsq");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            format!(
+                ".gen w rw 4 16 1\n\
+                 APPEND w s0 VALUES (1.5, 2.5)\n\
+                 .rel\n\
+                 .ingest w {}\n\
+                 .rel\n\
+                 FIND 2 NEAREST TO w.s0 IN w\n\
+                 APPEND w s0 VALUES ()\n\
+                 APPEND nowhere s0 VALUES (1)\n\
+                 FIND 2 NEAREST TO w.s1 IN w\n\
+                 .quit\n",
+                csv.to_str().unwrap()
+            )
+            .as_bytes(),
+        )
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait tsq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The single-series APPEND answers with the new length.
+    assert!(stdout.contains("s0 @ 18   D = 2.0000"), "{stdout}");
+    assert!(stdout.contains("plan Append"), "{stdout}");
+    // Mid-ingest the relation is honestly reported as ragged ...
+    assert!(
+        stdout.contains("w: 4 series of lengths 16..18 (ragged mid-ingest)"),
+        "{stdout}"
+    );
+    // ... and uniform again once `.ingest` catches the others up.
+    assert!(
+        stdout.contains("appended 6 point(s) across 3 series to w"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("w: 4 series of length 18"), "{stdout}");
+    // Malformed and unresolvable APPENDs are errors, not session deaths:
+    // the final query still answers.
+    assert!(stdout.contains("error:"), "{stdout}");
+    assert!(stdout.matches("D = ").count() >= 4, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn paged_catalog_rejects_append_in_the_shell() {
+    let dir = std::env::temp_dir().join(format!("tsq-paged-append-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("paged.tsq");
+    let snap_str = snap.to_str().unwrap();
+
+    let mut child = Command::new(BIN)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsq");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(format!(".gen w rw 4 16 1\n.save {snap_str}\n.quit\n").as_bytes())
+        .expect("write stdin");
+    assert!(child.wait_with_output().expect("wait tsq").status.success());
+
+    let mut child = Command::new(BIN)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsq");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            format!(
+                ".open {snap_str} --paged 8\n\
+                 APPEND w s0 VALUES (1.0)\n\
+                 FIND 2 NEAREST TO w.s0 IN w\n\
+                 .quit\n"
+            )
+            .as_bytes(),
+        )
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait tsq");
+    assert!(out.status.success(), "shell must survive the rejection");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // A typed error naming the cause — and the session keeps answering.
+    assert!(
+        stdout.contains("error:") && stdout.contains("paged"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("D = "), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn tiny_session_generates_and_queries() {
     let mut child = Command::new(BIN)
         .stdin(Stdio::piped())

@@ -113,6 +113,46 @@ fn paged_explain_analyze_reports_measured_pool_traffic() {
 }
 
 #[test]
+fn paged_relations_reject_append_with_a_typed_error() {
+    let cat = catalog();
+    let path = temp_path("append-reject.tsq");
+    cat.save(&path).unwrap();
+    let mut paged = Catalog::new();
+    paged.open_paged(&path, 8).unwrap();
+
+    // The page file is immutable: APPEND must come back as the typed
+    // `Unsupported` engine error — never a panic — at both entry points.
+    let err = paged
+        .run_mut("APPEND walks s0 VALUES (1.5, 2.0)")
+        .unwrap_err();
+    match &err {
+        tsq_lang::LangError::Engine(tsq_core::Error::Unsupported(m)) => {
+            assert!(m.contains("paged"), "message should name the cause: {m}")
+        }
+        other => panic!("expected Engine(Unsupported), got {other:?}"),
+    }
+
+    // The rejection is mapped to the service's own typed error (wire
+    // code `unsupported`, HTTP 409) by the Engine impl.
+    let shared = tsq_lang::SharedCatalog::new(paged);
+    match tsq_service::Engine::append(
+        &shared,
+        "walks",
+        vec![tsq_service::IngestRow {
+            label: "s0".into(),
+            values: vec![1.0],
+        }],
+    ) {
+        Err(tsq_service::EngineError::Unsupported(m)) => assert!(m.contains("paged")),
+        other => panic!("expected EngineError::Unsupported, got {other:?}"),
+    }
+
+    // The catalog survives and still answers queries afterwards.
+    let out = tsq_service::Engine::execute(&shared, "FIND 3 NEAREST TO walks.s1 IN walks").unwrap();
+    assert_eq!(out.rows.len(), 3);
+}
+
+#[test]
 fn open_paged_rejects_double_attach_and_missing_snapshot() {
     let cat = catalog();
     let path = temp_path("double.tsq");

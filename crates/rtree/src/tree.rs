@@ -224,6 +224,44 @@ impl<T> RStarTree<T> {
         Some(removed.expect("checked above"))
     }
 
+    /// Replaces one entry in place with a **grown** version of itself:
+    /// finds the leaf entry whose stored rectangle equals `old` and whose
+    /// payload satisfies `pred`, swaps in `grown` and `item`, and unions
+    /// `grown` into the stored MBR of every node on the path down.
+    ///
+    /// Because `grown` must contain `old`, bounds only loosen: no split,
+    /// reinsertion or condensation can be needed, so the whole update is
+    /// `O(height)`. This is the fast path streaming appends use to widen
+    /// a partial trail chunk, where a `remove` + insert pair would pay
+    /// the R\*-tree's forced-reinsertion constants for nothing.
+    ///
+    /// Returns `true` when an entry was updated, `false` when no entry
+    /// matched (the tree is unchanged).
+    ///
+    /// # Panics
+    /// Panics when `grown` does not contain `old` or on a dimensionality
+    /// mismatch.
+    pub fn grow_entry<F: Fn(&T) -> bool>(
+        &mut self,
+        old: &Rect,
+        pred: F,
+        grown: Rect,
+        item: T,
+    ) -> bool {
+        assert!(
+            grown.contains_rect(old),
+            "grow_entry requires the new rectangle to contain the old one"
+        );
+        if let Some(dims) = self.dims {
+            assert_eq!(grown.dims(), dims, "dimensionality mismatch in grow entry");
+        }
+        if self.len == 0 {
+            return false;
+        }
+        let mut replacement = Some((grown, item));
+        grow_rec(&mut self.root, old, &pred, &mut replacement)
+    }
+
     /// Iterates over all `(rect, item)` pairs in unspecified order.
     pub fn iter(&self) -> Iter<'_, T> {
         let mut stack = Vec::new();
@@ -455,6 +493,45 @@ fn overflow<T>(node: &mut Node<T>, ctx: &mut InsertCtx, cfg: &RTreeConfig) -> Ac
     })
 }
 
+/// Recursive worker for [`RStarTree::grow_entry`]: descend like a
+/// deletion, but on success only widen the path MBRs — never restructure.
+fn grow_rec<T, F: Fn(&T) -> bool>(
+    node: &mut Node<T>,
+    old: &Rect,
+    pred: &F,
+    replacement: &mut Option<(Rect, T)>,
+) -> bool {
+    if node.is_leaf() {
+        for entry in node.entries.iter_mut() {
+            if let Entry::Leaf { rect, item } = entry {
+                if rect == old && pred(item) {
+                    let (grown, new_item) = replacement.take().expect("replacement used once");
+                    *rect = grown;
+                    *item = new_item;
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    for entry in node.entries.iter_mut() {
+        let Entry::Node { rect, child } = entry else {
+            unreachable!("leaf entry in internal node")
+        };
+        if !rect.intersects(old) {
+            continue;
+        }
+        if grow_rec(child, old, pred, replacement) {
+            // The grown rectangle is known (it was moved into the leaf);
+            // recompute the child's MBR contribution cheaply by union —
+            // growth can only widen, so union with the child MBR is exact.
+            rect.union_assign(&child.mbr());
+            return true;
+        }
+    }
+    false
+}
+
 fn delete_rec<T, F: Fn(&T) -> bool>(
     node: &mut Node<T>,
     rect: &Rect,
@@ -583,6 +660,38 @@ mod tests {
         let mut t = RStarTree::default();
         t.insert_point(&[0.0, 0.0], 0usize);
         t.insert_point(&[0.0, 0.0, 0.0], 1usize);
+    }
+
+    #[test]
+    fn grow_entry_widens_in_place() {
+        let pts = grid(10);
+        let mut t = point_tree(&pts, RTreeConfig::with_max_entries(5));
+        t.validate();
+        let old = Rect::from_point(&[3.0, 4.0]);
+        // Widen item 34's degenerate rectangle to a box reaching outside
+        // the original grid: same entry count, wider bounds, invariants
+        // intact, and the widened region finds the (replaced) payload.
+        let grown = Rect::new(vec![3.0, 4.0], vec![25.0, 25.0]);
+        assert!(t.grow_entry(&old, |&i| i == 34, grown.clone(), 734));
+        assert_eq!(t.len(), 100);
+        t.validate();
+        let probe = Rect::from_point(&[25.0, 25.0]);
+        let (hits, _) = t.search_collect(&probe);
+        assert_eq!(hits, vec![&734]);
+        // The old rectangle no longer identifies the entry, and a grow
+        // with no match leaves the tree untouched.
+        assert!(!t.grow_entry(&old, |&i| i == 34, grown.clone(), 0));
+        assert!(!t.grow_entry(&grown, |&i| i == 999, grown.clone(), 0));
+        assert_eq!(t.len(), 100);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "contain")]
+    fn grow_entry_rejects_a_shrinking_rectangle() {
+        let mut t = point_tree(&grid(4), RTreeConfig::with_max_entries(4));
+        let old = Rect::new(vec![0.0, 0.0], vec![3.0, 3.0]);
+        t.grow_entry(&old, |_| true, Rect::from_point(&[1.0, 1.0]), 0);
     }
 
     #[test]

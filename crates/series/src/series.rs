@@ -70,6 +70,26 @@ impl TimeSeries {
         Ok(TimeSeries { values })
     }
 
+    /// Appends values to the end of the series, rejecting NaN and ±∞
+    /// *before* mutating: on error the series is exactly as it was, so
+    /// streaming ingest can treat a failed extend as a no-op.
+    ///
+    /// # Errors
+    /// [`NonFiniteValue`] naming the first offending position — reported
+    /// as an absolute position in the would-be extended series.
+    pub fn try_extend(&mut self, appended: &[f64]) -> Result<(), NonFiniteValue> {
+        for (i, &value) in appended.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(NonFiniteValue {
+                    index: self.values.len() + i,
+                    value,
+                });
+            }
+        }
+        self.values.extend_from_slice(appended);
+        Ok(())
+    }
+
     /// Number of time points.
     #[inline]
     pub fn len(&self) -> usize {
@@ -209,6 +229,21 @@ mod tests {
             TimeSeries::try_new(vec![1.0, -2.0]).unwrap().values(),
             &[1.0, -2.0]
         );
+    }
+
+    #[test]
+    fn try_extend_is_atomic() {
+        let mut s = TimeSeries::from([1.0, 2.0]);
+        s.try_extend(&[3.0, 4.0]).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0]);
+        // A non-finite value anywhere in the batch leaves the series
+        // untouched and reports its absolute position.
+        let err = s.try_extend(&[5.0, f64::NAN, 6.0]).unwrap_err();
+        assert_eq!(err.index, 5);
+        assert!(err.value.is_nan());
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0]);
+        s.try_extend(&[]).unwrap();
+        assert_eq!(s.len(), 4);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! tsq-client <addr> ping
 //! tsq-client <addr> query <text...>
 //! tsq-client <addr> batch <file> [threads]
+//! tsq-client <addr> append <relation> <label> <v1> [v2 ...]
+//! tsq-client <addr> append-file <relation> <file>
 //! tsq-client <addr> stats
 //! tsq-client <addr> shutdown
 //! ```
@@ -11,14 +13,16 @@
 //! Exit status 0 on success, 1 on any client or server error (the error
 //! is printed to stderr). Query answers print one row per line plus a
 //! summary; `stats` prints the server's metrics JSON verbatim.
+//! `append-file` reads `label, v1, v2, ...` lines (blank lines and `#`
+//! comments skipped) and ships them as ONE atomic APPEND.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use tsq_service::{Client, QueryReply};
+use tsq_service::{Client, IngestRow, QueryReply};
 
-const USAGE: &str =
-    "usage: tsq-client <addr> <ping|query <text...>|batch <file> [threads]|stats|shutdown>";
+const USAGE: &str = "usage: tsq-client <addr> <ping|query <text...>|batch <file> [threads]|\
+     append <relation> <label> <v1> [v2 ...]|append-file <relation> <file>|stats|shutdown>";
 
 fn print_reply(reply: &QueryReply) {
     for row in &reply.rows {
@@ -38,6 +42,48 @@ fn print_reply(reply: &QueryReply) {
         reply.stats.nodes_visited,
         reply.stats.disk_accesses
     );
+}
+
+fn print_append(reply: &QueryReply) {
+    let mut points = 0.0;
+    for row in &reply.rows {
+        let len = row.offset.unwrap_or(0);
+        println!("{}\tlen={}\t+{}", row.a, len, row.distance);
+        points += row.distance;
+    }
+    println!(
+        "# appended {points} point(s) across {} series",
+        reply.rows.len()
+    );
+}
+
+/// Parses `label, v1, v2, ...` lines; blank lines and `#` comments skip.
+fn parse_append_rows(text: &str) -> Result<Vec<IngestRow>, String> {
+    let mut rows = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',').map(str::trim);
+        let label = fields.next().unwrap_or("").to_string();
+        if label.is_empty() {
+            return Err(format!("line {}: missing label", no + 1));
+        }
+        let mut values = Vec::new();
+        for field in fields {
+            values.push(
+                field
+                    .parse()
+                    .map_err(|_| format!("line {}: bad value {field:?}", no + 1))?,
+            );
+        }
+        if values.is_empty() {
+            return Err(format!("line {}: no values for {label:?}", no + 1));
+        }
+        rows.push(IngestRow { label, values });
+    }
+    Ok(rows)
 }
 
 fn run() -> Result<(), String> {
@@ -98,6 +144,36 @@ fn run() -> Result<(), String> {
             if failures > 0 {
                 return Err(format!("{failures} quer(ies) failed"));
             }
+        }
+        "append" => {
+            let (Some(relation), Some(label)) = (cmd.get(1), cmd.get(2)) else {
+                return Err(USAGE.to_string());
+            };
+            let values: Vec<f64> = cmd[3..]
+                .iter()
+                .map(|v| v.parse().map_err(|_| format!("bad value {v:?}")))
+                .collect::<Result<_, _>>()?;
+            if values.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            let rows = vec![IngestRow {
+                label: label.clone(),
+                values,
+            }];
+            let reply = client.append(relation, rows).map_err(|e| e.to_string())?;
+            print_append(&reply);
+        }
+        "append-file" => {
+            let (Some(relation), Some(file)) = (cmd.get(1), cmd.get(2)) else {
+                return Err(USAGE.to_string());
+            };
+            let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+            let rows = parse_append_rows(&text)?;
+            if rows.is_empty() {
+                return Err(format!("{file}: no rows"));
+            }
+            let reply = client.append(relation, rows).map_err(|e| e.to_string())?;
+            print_append(&reply);
         }
         "stats" => {
             let json = client.stats_json().map_err(|e| e.to_string())?;

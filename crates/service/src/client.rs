@@ -6,7 +6,7 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::engine::QueryReply;
+use crate::engine::{IngestRow, QueryReply};
 use crate::wire::{self, FrameError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN};
 
 /// Why a client call failed.
@@ -139,6 +139,33 @@ impl Client {
         }
     }
 
+    /// Atomically appends rows of points to series of one relation. The
+    /// reply carries one row per distinct label (`a` = label, `offset` =
+    /// the series' new length, `distance` = points appended). An APPEND
+    /// the relation cannot take (e.g. paged storage attached) is a typed
+    /// [`ClientError::Remote`] with code `unsupported`.
+    ///
+    /// # Errors
+    /// [`ClientError`] in all its variants.
+    pub fn append(
+        &mut self,
+        relation: &str,
+        rows: Vec<IngestRow>,
+    ) -> Result<QueryReply, ClientError> {
+        let req = Request::Append {
+            relation: relation.to_string(),
+            rows,
+        };
+        match self.round_trip(&req)? {
+            Response::Append(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected append or error, got {}",
+                response_kind(&other)
+            ))),
+        }
+    }
+
     /// Fetches the server's metrics snapshot as JSON.
     ///
     /// # Errors
@@ -232,5 +259,6 @@ fn response_kind(resp: &Response) -> &'static str {
         Response::Stats(_) => "stats",
         Response::Pong => "pong",
         Response::Bye => "bye",
+        Response::Append(_) => "append",
     }
 }

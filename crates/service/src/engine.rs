@@ -24,6 +24,17 @@ pub struct WireRow {
     pub distance: f64,
 }
 
+/// One `APPEND` row as it crosses the wire: a series label and the
+/// values appended to its tail. The mirror of `tsq_lang::AppendRow`
+/// without the crate dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRow {
+    /// Series label; an unknown label starts a new series.
+    pub label: String,
+    /// Values appended to that series, in order.
+    pub values: Vec<f64>,
+}
+
 /// A successful query answer: rows, the physical operator the planner
 /// chose, and the full execution counters.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -45,6 +56,10 @@ pub enum EngineError {
     /// The engine accepted the query but execution failed — maps to wire
     /// code `Engine` and HTTP 500.
     Failed(String),
+    /// The request named an operation this engine (or this relation)
+    /// cannot perform — e.g. APPEND to a relation backed by an immutable
+    /// page file. Maps to wire code `Unsupported` and HTTP 409.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -52,6 +67,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::BadQuery(m) => write!(f, "bad query: {m}"),
             EngineError::Failed(m) => write!(f, "engine failure: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
 }
@@ -79,5 +95,19 @@ pub trait Engine: Send + Sync + 'static {
     ) -> Vec<Result<QueryReply, EngineError>> {
         let _ = threads;
         queries.iter().map(|q| self.execute(q)).collect()
+    }
+
+    /// Applies one atomic `APPEND`: every row lands (and every index is
+    /// maintained incrementally) or none does. The reply carries one row
+    /// per distinct label — `a` is the label, `offset` the series' new
+    /// length, `distance` the number of points appended — and `plan` is
+    /// `"Append"`. The default refuses with
+    /// [`EngineError::Unsupported`], so read-only engines need not
+    /// override anything.
+    fn append(&self, relation: &str, rows: Vec<IngestRow>) -> Result<QueryReply, EngineError> {
+        let _ = rows;
+        Err(EngineError::Unsupported(format!(
+            "this engine cannot APPEND to {relation:?}: it serves a read-only catalog"
+        )))
     }
 }

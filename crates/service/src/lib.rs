@@ -10,8 +10,8 @@
 //!   so the wire inherits the snapshot format's versioning and
 //!   corruption detection ([`wire`]);
 //! * **HTTP/1.1 JSON** — a minimal facade for `curl` and scrapers:
-//!   `POST /query`, `GET /metrics`, `GET /health`, `POST /shutdown`
-//!   ([`http`]).
+//!   `POST /query`, `POST /append`, `GET /metrics`, `GET /health`,
+//!   `POST /shutdown` ([`http`]).
 //!
 //! The server ([`server`]) is generic over the object-safe
 //! [`engine::Engine`] trait — `tsq-lang` implements it for its shared
@@ -32,7 +32,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use engine::{Engine, EngineError, QueryReply, WireRow};
+pub use engine::{Engine, EngineError, IngestRow, QueryReply, WireRow};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{reply_json, Server, ServerHandle, ServiceConfig};
 pub use wire::{ErrorCode, FrameError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN};

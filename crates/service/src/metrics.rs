@@ -25,6 +25,7 @@ pub struct Metrics {
     overloads: AtomicU64,
     shutdown_rejections: AtomicU64,
     malformed: AtomicU64,
+    unsupported: AtomicU64,
     tcp_requests: AtomicU64,
     http_requests: AtomicU64,
     in_flight: AtomicU64,
@@ -50,6 +51,7 @@ impl Default for Metrics {
             overloads: AtomicU64::new(0),
             shutdown_rejections: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            unsupported: AtomicU64::new(0),
             tcp_requests: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -127,6 +129,7 @@ impl Metrics {
             ErrorCode::Malformed | ErrorCode::TooLarge => {
                 self.malformed.fetch_add(1, Ordering::Relaxed)
             }
+            ErrorCode::Unsupported => self.unsupported.fetch_add(1, Ordering::Relaxed),
             ErrorCode::BadQuery | ErrorCode::Engine => {
                 self.queries_err.fetch_add(1, Ordering::Relaxed)
             }
@@ -148,6 +151,7 @@ impl Metrics {
             overloads: self.overloads.load(Ordering::Relaxed),
             shutdown_rejections: self.shutdown_rejections.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            unsupported: self.unsupported.load(Ordering::Relaxed),
             tcp_requests: self.tcp_requests.load(Ordering::Relaxed),
             http_requests: self.http_requests.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
@@ -187,6 +191,9 @@ pub struct MetricsSnapshot {
     pub shutdown_rejections: u64,
     /// Malformed or oversized frames/requests.
     pub malformed: u64,
+    /// Requests refused as unsupported (e.g. APPEND to a paged
+    /// relation).
+    pub unsupported: u64,
     /// Requests over the binary protocol.
     pub tcp_requests: u64,
     /// Requests over the HTTP facade.
@@ -230,7 +237,7 @@ impl MetricsSnapshot {
                 "{{\"uptime_secs\":{:.3},",
                 "\"queries_ok\":{},\"queries_err\":{},",
                 "\"timeouts\":{},\"overloads\":{},\"shutdown_rejections\":{},",
-                "\"malformed\":{},",
+                "\"malformed\":{},\"unsupported\":{},",
                 "\"tcp_requests\":{},\"http_requests\":{},\"in_flight\":{},",
                 "\"rows\":{},\"candidates\":{},\"refined\":{},\"false_hits\":{},",
                 "\"nodes_visited\":{},\"disk_accesses\":{},",
@@ -244,6 +251,7 @@ impl MetricsSnapshot {
             self.overloads,
             self.shutdown_rejections,
             self.malformed,
+            self.unsupported,
             self.tcp_requests,
             self.http_requests,
             self.in_flight,
@@ -290,12 +298,14 @@ mod tests {
         m.record_err(ErrorCode::Overloaded);
         m.record_err(ErrorCode::BadQuery);
         m.record_err(ErrorCode::Malformed);
+        m.record_err(ErrorCode::Unsupported);
         let snap = m.snapshot();
         assert_eq!(snap.queries_ok, 1);
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.overloads, 1);
         assert_eq!(snap.queries_err, 1);
         assert_eq!(snap.malformed, 1);
+        assert_eq!(snap.unsupported, 1);
         assert_eq!(snap.in_flight, 0);
         assert_eq!(snap.disk_accesses, 10);
         assert_eq!(snap.pool_hits, 7);

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 
 use tsq_core::executor::{clamp_threads, CancelToken};
 
-use crate::engine::{Engine, EngineError, QueryReply};
+use crate::engine::{Engine, EngineError, IngestRow, QueryReply};
 use crate::http::{self, HttpError, HttpRequest};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::wire::{
@@ -87,6 +87,10 @@ enum JobKind {
     Batch {
         queries: Vec<String>,
         threads: usize,
+    },
+    Append {
+        relation: String,
+        rows: Vec<IngestRow>,
     },
 }
 
@@ -279,6 +283,9 @@ fn exec_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             JobKind::One(q) => JobReply::One(shared.engine.execute(&q)),
             JobKind::Batch { queries, threads } => {
                 JobReply::Batch(shared.engine.execute_batch(queries, threads))
+            }
+            JobKind::Append { relation, rows } => {
+                JobReply::One(shared.engine.append(&relation, rows))
             }
         };
         // The waiter may have timed out and gone; that is its problem.
@@ -507,6 +514,28 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
                 Response::Error(err)
             }
         },
+        Request::Append { relation, rows } => {
+            let kind = JobKind::Append { relation, rows };
+            match submit(shared, kind, shared.config.query_timeout) {
+                Ok(JobReply::One(Ok(reply))) => {
+                    shared.metrics.record_ok(&reply);
+                    Response::Append(reply)
+                }
+                Ok(JobReply::One(Err(e))) => {
+                    let err = WireError::from(e);
+                    shared.metrics.record_err(err.code);
+                    Response::Error(err)
+                }
+                Ok(JobReply::Batch(_)) => Response::Error(WireError::new(
+                    ErrorCode::Engine,
+                    "engine answered an append with a batch reply",
+                )),
+                Err(err) => {
+                    shared.metrics.record_err(err.code);
+                    Response::Error(err)
+                }
+            }
+        }
         Request::Batch { queries, threads } => {
             let n = queries.len().max(1) as u32;
             let timeout = shared
@@ -723,6 +752,49 @@ fn http_dispatch(shared: &Shared, req: &HttpRequest) -> Vec<u8> {
                 }
             }
         }
+        ("POST", "/append") => {
+            let Ok(body) = std::str::from_utf8(&req.body) else {
+                shared.metrics.record_err(ErrorCode::Malformed);
+                return http::response(
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &http::error_body(ErrorCode::Malformed.name(), "body is not utf-8"),
+                );
+            };
+            let (relation, rows) = match parse_append_body(body) {
+                Ok(parsed) => parsed,
+                Err(m) => {
+                    shared.metrics.record_err(ErrorCode::BadQuery);
+                    return http::response(
+                        400,
+                        "Bad Request",
+                        "application/json",
+                        &http::error_body(ErrorCode::BadQuery.name(), &m),
+                    );
+                }
+            };
+            let kind = JobKind::Append { relation, rows };
+            match submit(shared, kind, shared.config.query_timeout) {
+                Ok(JobReply::One(Ok(reply))) => {
+                    shared.metrics.record_ok(&reply);
+                    http::response(200, "OK", "application/json", &reply_json(&reply))
+                }
+                Ok(JobReply::One(Err(e))) => {
+                    let err = WireError::from(e);
+                    shared.metrics.record_err(err.code);
+                    http_error_response(&err)
+                }
+                Ok(JobReply::Batch(_)) => http_error_response(&WireError::new(
+                    ErrorCode::Engine,
+                    "engine answered an append with a batch reply",
+                )),
+                Err(err) => {
+                    shared.metrics.record_err(err.code);
+                    http_error_response(&err)
+                }
+            }
+        }
         _ => http::response(
             404,
             "Not Found",
@@ -732,6 +804,49 @@ fn http_dispatch(shared: &Shared, req: &HttpRequest) -> Vec<u8> {
     }
 }
 
+/// Parses a `POST /append` body: the first non-blank line names the
+/// relation, every following line is `label, v1, v2, ...` (blank lines
+/// and `#` comments skipped). Values must be finite — the engine's
+/// atomicity guarantee starts at "no row is half-parsed".
+fn parse_append_body(body: &str) -> Result<(String, Vec<IngestRow>), String> {
+    let mut lines = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let relation = lines
+        .next()
+        .ok_or_else(|| "empty append body (want: relation, then label,v1,... lines)".to_string())?
+        .to_string();
+    let mut rows = Vec::new();
+    for line in lines {
+        let mut fields = line.split(',').map(str::trim);
+        let label = fields.next().unwrap_or("").to_string();
+        if label.is_empty() {
+            return Err(format!("append line {:?} has no label", line));
+        }
+        let mut values = Vec::new();
+        for field in fields {
+            let v: f64 = field
+                .parse()
+                .map_err(|_| format!("append value {field:?} for {label:?} is not a number"))?;
+            if !v.is_finite() {
+                return Err(format!(
+                    "append value {field:?} for {label:?} is not finite"
+                ));
+            }
+            values.push(v);
+        }
+        if values.is_empty() {
+            return Err(format!("append row for {label:?} carries no values"));
+        }
+        rows.push(IngestRow { label, values });
+    }
+    if rows.is_empty() {
+        return Err(format!("append body for {relation:?} carries no rows"));
+    }
+    Ok((relation, rows))
+}
+
 fn http_error_response(err: &WireError) -> Vec<u8> {
     let (status, reason) = match err.code {
         ErrorCode::BadQuery | ErrorCode::Malformed => (400, "Bad Request"),
@@ -739,6 +854,10 @@ fn http_error_response(err: &WireError) -> Vec<u8> {
         ErrorCode::Overloaded | ErrorCode::ShuttingDown => (503, "Service Unavailable"),
         ErrorCode::Timeout => (504, "Gateway Timeout"),
         ErrorCode::Engine => (500, "Internal Server Error"),
+        // The request was well-formed but names a capability the target
+        // cannot offer (e.g. APPEND to a paged relation): a conflict
+        // with the resource's state, not a client syntax error.
+        ErrorCode::Unsupported => (409, "Conflict"),
     };
     http::response(
         status,

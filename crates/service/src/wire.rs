@@ -17,12 +17,14 @@
 //!          | 0x03 STATS
 //!          | 0x04 PING
 //!          | 0x05 SHUTDOWN
+//!          | 0x06 APPEND   str(relation) seq(str(label) seq(f64(value)))
 //! reply   := 0x00 ERROR    u8(code) str(message)
 //!          | 0x01 ROWS     reply-body
 //!          | 0x02 BATCH    seq(u8(tag) (reply-body | u8(code) str(msg)))
 //!          | 0x03 STATS    str(metrics json)
 //!          | 0x04 PONG
 //!          | 0x05 BYE      (shutdown acknowledged)
+//!          | 0x06 APPEND   reply-body (one row per appended label)
 //! reply-body := str(plan) u64(candidates) u64(refined) u64(false_hits)
 //!               u64(nodes_visited) u64(disk_accesses)
 //!               u64(pool_hits) u64(pool_misses)
@@ -41,7 +43,7 @@ use tsq_store::{
     parse_header, seal, unseal, Decoder, Encoder, StoreError, HEADER_LEN, TRAILER_LEN,
 };
 
-use crate::engine::{EngineError, QueryReply, WireRow};
+use crate::engine::{EngineError, IngestRow, QueryReply, WireRow};
 
 /// Default cap on a single frame's payload (requests and responses).
 pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
@@ -180,6 +182,9 @@ pub enum ErrorCode {
     Malformed = 6,
     /// The request frame declared a payload above the server's cap.
     TooLarge = 7,
+    /// The request named an operation the engine (or the target
+    /// relation) cannot perform — e.g. APPEND to a paged relation.
+    Unsupported = 8,
 }
 
 impl ErrorCode {
@@ -192,6 +197,7 @@ impl ErrorCode {
             5 => ErrorCode::ShuttingDown,
             6 => ErrorCode::Malformed,
             7 => ErrorCode::TooLarge,
+            8 => ErrorCode::Unsupported,
             _ => return None,
         })
     }
@@ -206,6 +212,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Malformed => "malformed",
             ErrorCode::TooLarge => "too-large",
+            ErrorCode::Unsupported => "unsupported",
         }
     }
 }
@@ -242,6 +249,7 @@ impl From<EngineError> for WireError {
         match e {
             EngineError::BadQuery(m) => WireError::new(ErrorCode::BadQuery, m),
             EngineError::Failed(m) => WireError::new(ErrorCode::Engine, m),
+            EngineError::Unsupported(m) => WireError::new(ErrorCode::Unsupported, m),
         }
     }
 }
@@ -264,6 +272,13 @@ pub enum Request {
     Ping,
     /// Ask the server to drain in-flight work and stop.
     Shutdown,
+    /// Atomically append rows of values to series of one relation.
+    Append {
+        /// Relation receiving the points.
+        relation: String,
+        /// Appended rows, in statement order.
+        rows: Vec<IngestRow>,
+    },
 }
 
 /// A decoded server response.
@@ -281,6 +296,9 @@ pub enum Response {
     Pong,
     /// Answer to [`Request::Shutdown`]: drain has begun.
     Bye,
+    /// Answer to [`Request::Append`]: one row per appended label (`a` =
+    /// label, `offset` = new series length, `distance` = points added).
+    Append(QueryReply),
 }
 
 const REQ_QUERY: u8 = 1;
@@ -288,6 +306,7 @@ const REQ_BATCH: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_PING: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_APPEND: u8 = 6;
 
 const RESP_ERROR: u8 = 0;
 const RESP_ROWS: u8 = 1;
@@ -295,6 +314,7 @@ const RESP_BATCH: u8 = 2;
 const RESP_STATS: u8 = 3;
 const RESP_PONG: u8 = 4;
 const RESP_BYE: u8 = 5;
+const RESP_APPEND: u8 = 6;
 
 /// Encodes a request payload (frame it with [`write_frame`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -315,6 +335,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => enc.u8(REQ_STATS),
         Request::Ping => enc.u8(REQ_PING),
         Request::Shutdown => enc.u8(REQ_SHUTDOWN),
+        Request::Append { relation, rows } => {
+            enc.u8(REQ_APPEND);
+            enc.str(relation);
+            enc.usize(rows.len());
+            for row in rows {
+                enc.str(&row.label);
+                enc.usize(row.values.len());
+                for v in &row.values {
+                    enc.f64(*v);
+                }
+            }
+        }
     }
     enc.into_bytes()
 }
@@ -340,6 +372,22 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, StoreError> {
         REQ_STATS => Request::Stats,
         REQ_PING => Request::Ping,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_APPEND => {
+            let relation = dec.str("append relation")?;
+            // Minimum row wire size: 8 (label length) + 8 (value count).
+            let count = dec.seq(16, "append rows")?;
+            let mut rows = Vec::with_capacity(count);
+            for i in 0..count {
+                let label = dec.str(&format!("append row {i} label"))?;
+                let n = dec.seq(8, &format!("append row {i} values"))?;
+                let mut values = Vec::with_capacity(n);
+                for j in 0..n {
+                    values.push(dec.f64_finite(&format!("append row {i} value {j}"))?);
+                }
+                rows.push(IngestRow { label, values });
+            }
+            Request::Append { relation, rows }
+        }
         other => return Err(StoreError::corrupt(format!("unknown request tag {other}"))),
     };
     dec.finish()?;
@@ -463,6 +511,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Pong => enc.u8(RESP_PONG),
         Response::Bye => enc.u8(RESP_BYE),
+        Response::Append(reply) => {
+            enc.u8(RESP_APPEND);
+            encode_reply_body(&mut enc, reply);
+        }
     }
     enc.into_bytes()
 }
@@ -495,6 +547,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, StoreError> {
         RESP_STATS => Response::Stats(dec.str("stats json")?),
         RESP_PONG => Response::Pong,
         RESP_BYE => Response::Bye,
+        RESP_APPEND => Response::Append(decode_reply_body(&mut dec)?),
         other => return Err(StoreError::corrupt(format!("unknown response tag {other}"))),
     };
     dec.finish()?;
@@ -551,6 +604,19 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Append {
+                relation: "walks".into(),
+                rows: vec![
+                    IngestRow {
+                        label: "s0".into(),
+                        values: vec![1.5, -0.25],
+                    },
+                    IngestRow {
+                        label: "fresh".into(),
+                        values: vec![0.0],
+                    },
+                ],
+            },
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req);
@@ -569,6 +635,8 @@ mod tests {
             Response::Stats("{\"queries\":1}".into()),
             Response::Pong,
             Response::Bye,
+            Response::Append(sample_reply()),
+            Response::Error(WireError::new(ErrorCode::Unsupported, "paged relation")),
         ] {
             let bytes = encode_response(&resp);
             assert_eq!(decode_response(&bytes).unwrap(), resp);
@@ -644,6 +712,28 @@ mod tests {
             decode_request(&bytes),
             Err(StoreError::Corrupt { .. })
         ));
+        // An APPEND declaring u64::MAX rows dies in the allocation guard.
+        let mut enc = Encoder::new();
+        enc.u8(REQ_APPEND);
+        enc.str("walks");
+        enc.u64(u64::MAX);
+        assert!(matches!(
+            decode_request(&enc.into_bytes()),
+            Err(StoreError::Truncated { .. } | StoreError::Corrupt { .. })
+        ));
+        // A non-finite APPEND value is refused at decode time — it can
+        // never reach the engine through the binary protocol.
+        let req = Request::Append {
+            relation: "walks".into(),
+            rows: vec![IngestRow {
+                label: "s0".into(),
+                values: vec![1.0],
+            }],
+        };
+        let mut bytes = encode_request(&req);
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&f64::INFINITY.to_le_bytes());
+        assert!(decode_request(&bytes).is_err());
         // A non-finite distance in a response is corrupt.
         let mut reply = sample_reply();
         reply.rows[0].distance = 0.0;

@@ -284,6 +284,68 @@ fn valid_frame_with_hostile_payload_keeps_the_session() {
 }
 
 #[test]
+fn hostile_append_frames_keep_the_session() {
+    use tsq_service::engine::IngestRow;
+    use tsq_store::Encoder;
+    let handle = start();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A perfectly sealed APPEND whose payload smuggles a NaN value: the
+    // decoder refuses it as malformed and the connection stays in sync.
+    let req = Request::Append {
+        relation: "walks".into(),
+        rows: vec![IngestRow {
+            label: "s0".into(),
+            values: vec![1.0],
+        }],
+    };
+    let mut payload = wire::encode_request(&req);
+    let len = payload.len();
+    payload[len - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+    let mut framed = Vec::new();
+    wire::write_frame(&mut framed, &payload).unwrap();
+    client.send_raw(&framed).unwrap();
+    match client.read_response().unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected typed Malformed, got {other:?}"),
+    }
+    client.ping().unwrap();
+
+    // A sealed APPEND declaring u64::MAX rows dies in the allocation
+    // guard — typed, no allocation, session intact.
+    let mut enc = Encoder::new();
+    enc.u8(6); // REQ_APPEND
+    enc.str("walks");
+    enc.u64(u64::MAX);
+    let mut framed = Vec::new();
+    wire::write_frame(&mut framed, &enc.into_bytes()).unwrap();
+    client.send_raw(&framed).unwrap();
+    assert!(matches!(
+        client.read_response().unwrap(),
+        Response::Error(e) if e.code == ErrorCode::Malformed
+    ));
+    client.ping().unwrap();
+
+    // A well-formed APPEND against this read-only engine: the trait
+    // default answers typed Unsupported, never a panic or close.
+    match client.append(
+        "walks",
+        vec![IngestRow {
+            label: "s0".into(),
+            values: vec![1.0],
+        }],
+    ) {
+        Err(tsq_service::ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::Unsupported),
+        other => panic!("expected remote Unsupported, got {other:?}"),
+    }
+    assert_still_serving(&handle);
+    let snap = handle.shutdown();
+    assert_eq!(snap.malformed, 2);
+    assert_eq!(snap.unsupported, 1);
+}
+
+#[test]
 fn hostile_inputs_are_visible_in_metrics() {
     let handle = start();
     // One oversized declaration, one bit flip, one garbage prefix.

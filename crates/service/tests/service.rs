@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tsq_service::engine::{Engine, EngineError, QueryReply, WireRow};
+use tsq_service::engine::{Engine, EngineError, IngestRow, QueryReply, WireRow};
 use tsq_service::wire::ErrorCode;
 use tsq_service::{Client, ClientError, Server, ServerHandle, ServiceConfig};
 
@@ -75,6 +75,52 @@ impl Engine for FragileEngine {
     }
 }
 
+/// Accepts appends into an in-memory ledger (relation `"paged"` refuses
+/// with `Unsupported`, mirroring a page-file-backed relation); queries
+/// echo like [`EchoEngine`].
+struct LedgerEngine {
+    lens: std::sync::Mutex<std::collections::BTreeMap<String, u64>>,
+}
+
+impl LedgerEngine {
+    fn new() -> Self {
+        LedgerEngine {
+            lens: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+}
+
+impl Engine for LedgerEngine {
+    fn execute(&self, query: &str) -> Result<QueryReply, EngineError> {
+        EchoEngine.execute(query)
+    }
+
+    fn append(&self, relation: &str, rows: Vec<IngestRow>) -> Result<QueryReply, EngineError> {
+        if relation == "paged" {
+            return Err(EngineError::Unsupported(
+                "APPEND to a relation with paged storage attached".into(),
+            ));
+        }
+        let mut lens = self.lens.lock().unwrap();
+        let mut out = Vec::new();
+        for row in rows {
+            let len = lens.entry(row.label.clone()).or_insert(0);
+            *len += row.values.len() as u64;
+            out.push(WireRow {
+                a: row.label,
+                b: None,
+                offset: Some(*len),
+                distance: row.values.len() as f64,
+            });
+        }
+        Ok(QueryReply {
+            rows: out,
+            plan: "Append".to_string(),
+            stats: Default::default(),
+        })
+    }
+}
+
 fn quick_config() -> ServiceConfig {
     ServiceConfig {
         workers: 3,
@@ -135,6 +181,74 @@ fn binary_protocol_round_trips_over_a_socket() {
     assert_eq!(snap.queries_ok, 3);
     assert_eq!(snap.queries_err, 3);
     assert!(snap.tcp_requests >= 7);
+}
+
+#[test]
+fn append_round_trips_and_unsupported_is_typed_end_to_end() {
+    let handle = Server::start("127.0.0.1:0", LedgerEngine::new(), quick_config()).unwrap();
+    let mut client = connect(&handle);
+
+    // Appends accumulate across calls; the reply reports new lengths.
+    let row = |label: &str, n: usize| IngestRow {
+        label: label.into(),
+        values: vec![0.5; n],
+    };
+    let reply = client
+        .append("walks", vec![row("s0", 3), row("s1", 2)])
+        .unwrap();
+    assert_eq!(reply.plan, "Append");
+    assert_eq!(reply.rows[0].offset, Some(3));
+    assert_eq!(reply.rows[1].offset, Some(2));
+    let reply = client.append("walks", vec![row("s0", 4)]).unwrap();
+    assert_eq!(reply.rows[0].offset, Some(7));
+
+    // A paged relation refuses with the stable typed code — and the
+    // session survives to serve more work.
+    match client.append("paged", vec![row("s0", 1)]) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::Unsupported);
+            assert_eq!(e.code.name(), "unsupported");
+            assert!(e.message.contains("paged"));
+        }
+        other => panic!("expected remote Unsupported, got {other:?}"),
+    }
+    client.ping().unwrap();
+    let reply = client.append("walks", vec![row("s2", 1)]).unwrap();
+    assert_eq!(reply.rows[0].offset, Some(1));
+
+    // The stats surface counts the refusal under its own key.
+    let stats = client.stats_json().unwrap();
+    assert!(stats.contains("\"unsupported\":1"), "{stats}");
+
+    let snap = handle.shutdown();
+    assert_eq!(snap.unsupported, 1);
+    assert_eq!(snap.queries_ok, 3);
+    assert_eq!(snap.plans.get("Append"), Some(&3));
+}
+
+#[test]
+fn default_engine_refuses_append_with_typed_unsupported() {
+    // EchoEngine never overrides `append`: the trait's default must turn
+    // the verb away typed, not panic or hang.
+    let handle = Server::start("127.0.0.1:0", EchoEngine, quick_config()).unwrap();
+    let mut client = connect(&handle);
+    match client.append(
+        "walks",
+        vec![IngestRow {
+            label: "s0".into(),
+            values: vec![1.0],
+        }],
+    ) {
+        Err(ClientError::Remote(e)) => {
+            assert_eq!(e.code, ErrorCode::Unsupported);
+            assert!(e.message.contains("read-only"));
+        }
+        other => panic!("expected remote Unsupported, got {other:?}"),
+    }
+    // Queries still flow on the same connection.
+    let reply = client.query("still here").unwrap();
+    assert_eq!(reply.rows[0].a, "still here");
+    handle.shutdown();
 }
 
 #[test]
@@ -410,6 +524,63 @@ fn http_facade_speaks_json_on_the_same_port() {
     assert_eq!(snap.queries_ok, 1);
     assert_eq!(snap.queries_err, 2);
     assert!(snap.http_requests >= 5);
+}
+
+#[test]
+fn http_append_endpoint_is_typed_across_every_failure() {
+    let handle = Server::start("127.0.0.1:0", LedgerEngine::new(), quick_config()).unwrap();
+    let addr = handle.addr();
+
+    // Happy path: first line names the relation, then CSV rows.
+    let body = "walks\ns0, 1.5, 2.0\nfresh, 7\n";
+    let ok = http_round_trip(
+        addr,
+        &format!(
+            "POST /append HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+    assert!(ok.contains("\"plan\":\"Append\""), "{ok}");
+    assert!(ok.contains("\"a\":\"fresh\""), "{ok}");
+
+    // A paged relation: HTTP 409 with the stable kebab-case code.
+    let body = "paged\ns0, 1\n";
+    let conflict = http_round_trip(
+        addr,
+        &format!(
+            "POST /append HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(conflict.starts_with("HTTP/1.1 409"), "{conflict}");
+    assert!(conflict.contains("\"error\":\"unsupported\""), "{conflict}");
+
+    // Hostile bodies: empty, value-less row, non-numeric and non-finite
+    // values — all 400, all typed, server keeps serving.
+    for body in [
+        "",
+        "walks\n",
+        "walks\ns0\n",
+        "walks\ns0, soup\n",
+        "walks\ns0, nan\n",
+    ] {
+        let bad = http_round_trip(
+            addr,
+            &format!(
+                "POST /append HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(bad.starts_with("HTTP/1.1 400"), "{body:?}: {bad}");
+        assert!(bad.contains("\"error\":\"bad-query\""), "{body:?}: {bad}");
+    }
+    let health = http_round_trip(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    let snap = handle.shutdown();
+    assert_eq!(snap.unsupported, 1);
+    assert_eq!(snap.queries_ok, 1);
 }
 
 #[test]
