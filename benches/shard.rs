@@ -1,0 +1,154 @@
+//! Scatter-gather sweep: the same query workload over 1/2/4/8-shard
+//! layouts of one relation, against the unsharded engine as both the
+//! correctness oracle and the timing baseline.
+//!
+//! Every shard count must answer **byte-identically** to the unsharded
+//! catalog — rows, order, distances bit-for-bit, and merged counters
+//! that are the exact sum of the per-shard counters — so the sweep is a
+//! correctness gate first and a perf probe second. Prints per-layout
+//! wall time and queries/s, and emits `BENCH_shard.json` for the CI perf
+//! trajectory; CI uploads the artifact.
+//!
+//! Run with: `cargo bench --bench shard`
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsq::core::plan::ExecStats;
+use tsq::core::SeriesRelation;
+use tsq::lang::{Catalog, QueryOutput};
+use tsq::series::generate::RandomWalkGenerator;
+use tsq::TimeSeries;
+
+const SERIES: usize = 400;
+const LEN: usize = 64;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Workload repetitions per layout — enough rounds to dominate noise
+/// without starving the sweep.
+const ROUNDS: usize = 12;
+
+/// The measured workload: every scatter-gather merge path (range, kNN,
+/// forced-index join, subsequence range) over relation `walks`.
+fn workload() -> Vec<String> {
+    vec![
+        "FIND SIMILAR TO walks.s0 IN walks WITHIN 3".to_string(),
+        "FIND 10 NEAREST TO walks.s7 IN walks".to_string(),
+        "JOIN walks WITHIN 1.25 WITH (force = index)".to_string(),
+        "FIND SUBSEQUENCE OF [0, 0.5, 1, 0.5, 0, -0.5, -1, -0.5] IN walks \
+         WITHIN 4 WINDOW 8"
+            .to_string(),
+    ]
+}
+
+fn catalog(initial: &[TimeSeries]) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register(SeriesRelation::from_series("walks", initial.to_vec()).unwrap())
+        .unwrap();
+    cat
+}
+
+/// Byte-identity gate between a sharded answer and the unsharded oracle.
+fn assert_identical(got: &QueryOutput, want: &QueryOutput, shards: usize, q: &str) {
+    assert_eq!(got.rows, want.rows, "{shards} shard(s): {q}");
+    if shards > 1 {
+        assert_eq!(
+            got.stats,
+            ExecStats::sum(&got.shard_stats),
+            "{shards} shard(s): {q}: merged counters must sum the shard counters"
+        );
+    }
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let initial = RandomWalkGenerator::new(19_970_603).relation(SERIES, LEN);
+    let queries = workload();
+
+    // Unsharded baseline: oracle answers + baseline wall time.
+    let oracle = catalog(&initial);
+    let answers: Vec<QueryOutput> = queries.iter().map(|q| oracle.run(q).unwrap()).collect();
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for q in &queries {
+            black_box(oracle.run(q).unwrap().rows.len());
+        }
+    }
+    let base_secs = start.elapsed().as_secs_f64();
+    let total_queries = ROUNDS * queries.len();
+
+    let mut layouts = Vec::new();
+    let mut json_rows = Vec::new();
+    json_rows.push(format!(
+        "    {{ \"shards\": 0, \"ms\": {:.3}, \"queries_per_sec\": {:.0} }}",
+        base_secs * 1e3,
+        total_queries as f64 / base_secs
+    ));
+    for shards in SHARD_COUNTS {
+        let mut cat = catalog(&initial);
+        cat.run_mut(&format!("SHARD walks INTO {shards} BY HASH"))
+            .unwrap();
+        // Correctness gate before the clock starts.
+        for (q, want) in queries.iter().zip(&answers) {
+            assert_identical(&cat.run(q).unwrap(), want, shards, q);
+        }
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            for q in &queries {
+                black_box(cat.run(q).unwrap().rows.len());
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        json_rows.push(format!(
+            "    {{ \"shards\": {shards}, \"ms\": {:.3}, \"queries_per_sec\": {:.0} }}",
+            secs * 1e3,
+            total_queries as f64 / secs
+        ));
+        layouts.push((shards, cat, secs));
+    }
+
+    println!(
+        "shard sweep: {SERIES} series x {LEN} points, {total_queries} queries per layout\n  \
+         unsharded: {:8.1} ms ({:.0} q/s)",
+        base_secs * 1e3,
+        total_queries as f64 / base_secs
+    );
+    for (shards, _, secs) in &layouts {
+        println!(
+            "  {shards} shard(s): {:8.1} ms ({:.0} q/s, {:.2}x vs unsharded)",
+            secs * 1e3,
+            total_queries as f64 / secs,
+            base_secs / secs
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"series\": {SERIES},\n  \"series_len\": {LEN},\n  \
+         \"queries_per_layout\": {total_queries},\n  \"identical_to_unsharded\": true,\n  \
+         \"layouts\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_shard.json", &json) {
+        eprintln!("cannot write BENCH_shard.json: {e}");
+    } else {
+        println!("  wrote BENCH_shard.json");
+    }
+
+    let mut group = c.benchmark_group("shard");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    let knn = "FIND 10 NEAREST TO walks.s7 IN walks";
+    group.bench_function("knn_unsharded", |b| {
+        b.iter(|| black_box(oracle.run(knn).unwrap().rows.len()))
+    });
+    for (shards, cat, _) in &layouts {
+        group.bench_function(format!("knn_{shards}_shards"), |b| {
+            b.iter(|| black_box(cat.run(knn).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

@@ -775,13 +775,17 @@ impl SimilarityIndex {
         let mut exact_checks = 0usize;
         let (matches, index_stats) = match &self.paged {
             Some(paged) => {
-                let (neighbors, index_stats) = paged.nearest_with(
+                let (neighbors, index_stats) = paged.nearest_with_tie(
                     k,
                     |rect| space.transformed_lower_bound(rect, t, schema, &qf),
                     |_, item| {
                         exact_checks += 1;
                         self.exact_distance(item as usize, t, &qf)
                     },
+                    // Break exact-distance ties by series id: the answer set
+                    // is then a pure function of the data, independent of
+                    // tree shape — what sharded k-way merges rely on.
+                    |item| item,
                 )?;
                 let matches = neighbors
                     .into_iter()
@@ -793,13 +797,15 @@ impl SimilarityIndex {
                 (matches, index_stats)
             }
             None => {
-                let (neighbors, index_stats) = self.tree.nearest_with(
+                let (neighbors, index_stats) = self.tree.nearest_with_tie(
                     k,
                     |rect| space.transformed_lower_bound(rect, t, schema, &qf),
                     |_, &id| {
                         exact_checks += 1;
                         self.exact_distance(id, t, &qf)
                     },
+                    // Same tie-break as the paged arm: (distance, id).
+                    |&id| id as u64,
                 );
                 let matches = neighbors
                     .into_iter()

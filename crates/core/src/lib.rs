@@ -79,6 +79,7 @@ pub mod plan;
 pub mod queries;
 pub mod relation;
 pub mod scan;
+pub mod shard;
 pub mod space;
 pub mod store;
 pub mod subseq;
@@ -89,12 +90,17 @@ pub use executor::{BatchQuery, BatchStats, CancelToken, QueryExecutor, SubseqBat
 pub use features::{FeatureSchema, Features};
 pub use index::{IndexConfig, Match, QueryStats, SimilarityIndex, StoredSeries};
 pub use plan::{
-    execute_plan, CostEstimate, ExecStats, JoinHint, LogicalPlan, PhysicalOp, PhysicalPlan,
-    PlanChoice, PlanPreference, PlanRows, Planner, RelationStats, SpaceProfile,
+    execute_plan, CostEstimate, ExecStats, ForceOp, JoinHint, LogicalPlan, PhysicalOp,
+    PhysicalPlan, PlanChoice, PlanPreference, PlanRows, Planner, QueryOptions, RelationStats,
+    SpaceProfile,
 };
 pub use queries::{JoinOutcome, JoinPair, JoinStats};
 pub use relation::SeriesRelation;
 pub use scan::{ScanMode, ScanStats};
+pub use shard::{
+    render_sharded_analyze, render_sharded_plan, ShardBy, ShardMap, ShardSpec, ShardedIndex,
+    ShardedOutcome,
+};
 pub use space::{QueryWindow, SpaceKind};
 pub use subseq::{SubseqConfig, SubseqIndex, SubseqMatch, SubseqScanStats, SubseqStats};
 pub use transform::LinearTransform;

@@ -297,6 +297,90 @@ pub enum PlanPreference {
     ForceIndex,
 }
 
+/// An access path a query's `WITH (force = ...)` clause may pin. `Scan`
+/// and `Index` are the surface forms; `ScanFull` and `Tree` exist so the
+/// deprecated `USING` join hints lower onto the same struct without
+/// losing Table-1 accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForceOp {
+    /// Sequential-scan family (early-abandoning where possible).
+    Scan,
+    /// Sequential scan with full distances (joins only; `USING SCANFULL`).
+    ScanFull,
+    /// Index family.
+    Index,
+    /// Synchronized tree↔tree join (joins only; `USING TREE`).
+    Tree,
+}
+
+/// The unified query-override surface: one struct carries everything a
+/// query may tune about its own execution — the access-path force (the
+/// old `USING` hint and [`PlanPreference`] rolled together), the worker
+/// thread count, and the scatter width over a sharded relation. Parsed
+/// from the language's `WITH (force = scan|index, threads = n,
+/// shards = n)` clause and threaded AST → planner → wire → HTTP JSON.
+///
+/// `None` everywhere means "engine defaults"; [`QueryOptions::default`]
+/// is exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryOptions {
+    /// Pin the access path instead of costing alternatives.
+    pub force: Option<ForceOp>,
+    /// Worker threads for batch fan-out and intra-query parallel phases
+    /// (`0`/`None` = the executor's hardware default).
+    pub threads: Option<usize>,
+    /// Cap on concurrently probed shards of a sharded relation (ignored
+    /// on unsharded relations; `None` = probe all shards concurrently).
+    pub shards: Option<usize>,
+}
+
+impl QueryOptions {
+    /// True when every field is the engine default.
+    pub fn is_default(&self) -> bool {
+        *self == QueryOptions::default()
+    }
+
+    /// The planner preference this force implies for non-join forms.
+    ///
+    /// # Errors
+    /// `ScanFull`/`Tree` apply only to joins ([`Error::Unsupported`]).
+    pub fn preference(&self) -> Result<PlanPreference> {
+        match self.force {
+            None => Ok(PlanPreference::Auto),
+            Some(ForceOp::Scan) => Ok(PlanPreference::ForceScan),
+            Some(ForceOp::Index) => Ok(PlanPreference::ForceIndex),
+            Some(ForceOp::ScanFull) => Err(Error::Unsupported(
+                "force = scanfull applies only to JOIN queries".to_string(),
+            )),
+            Some(ForceOp::Tree) => Err(Error::Unsupported(
+                "force = tree applies only to JOIN queries".to_string(),
+            )),
+        }
+    }
+
+    /// The join hint this force implies (joins keep the historical
+    /// per-method answer multiplicity, so a forced join is a hint, not a
+    /// mere preference).
+    pub fn join_hint(&self) -> Option<JoinHint> {
+        match self.force {
+            None => None,
+            Some(ForceOp::Scan) => Some(JoinHint::Scan),
+            Some(ForceOp::ScanFull) => Some(JoinHint::ScanFull),
+            Some(ForceOp::Index) => Some(JoinHint::Index),
+            Some(ForceOp::Tree) => Some(JoinHint::Tree),
+        }
+    }
+
+    /// Field-wise overlay: any field set in `over` wins over `self`.
+    pub fn merged(&self, over: &QueryOptions) -> QueryOptions {
+        QueryOptions {
+            force: over.force.or(self.force),
+            threads: over.threads.or(self.threads),
+            shards: over.shards.or(self.shards),
+        }
+    }
+}
+
 /// Shape statistics of one indexed point population: the root bounds and
 /// per-level node profile the cost model consumes. Deterministic given
 /// the tree structure, so a snapshot-restored index profiles identically.
@@ -945,6 +1029,30 @@ pub struct ExecStats {
     /// Measured buffer-pool misses, i.e. actual page reads (paged
     /// storage only; 0 in memory).
     pub pool_misses: u64,
+}
+
+impl ExecStats {
+    /// Adds every counter of `other` into `self` — the scatter-gather
+    /// merge rule: the merged stats of a sharded execution are the exact
+    /// sum of the per-shard counters, buffer-pool traffic included.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.candidates += other.candidates;
+        self.refined += other.refined;
+        self.false_hits += other.false_hits;
+        self.nodes_visited += other.nodes_visited;
+        self.disk_accesses += other.disk_accesses;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+    }
+
+    /// Exact sum of a slice of per-shard stats.
+    pub fn sum(parts: &[ExecStats]) -> ExecStats {
+        let mut total = ExecStats::default();
+        for p in parts {
+            total.absorb(p);
+        }
+        total
+    }
 }
 
 /// Typed answer rows of a plan execution, before the language layer

@@ -1,0 +1,1210 @@
+//! Sharded scatter-gather execution: a single-process rehearsal for
+//! distributing the paper's filter-and-refine pipeline.
+//!
+//! A relation is partitioned into `N` shards — by a hash of each series
+//! label or by contiguous label ranges — and every shard gets its own
+//! [`SimilarityIndex`]. A query is then executed scatter-gather style:
+//! the [`Planner`] produces one physical plan *per shard* (each shard has
+//! its own [`RelationStats`]), the shard plans run concurrently on the
+//! worker pool ([`crate::executor::parallel_map`]), and a typed merge
+//! step reassembles the global answer:
+//!
+//! | form | merge |
+//! |------|-------|
+//! | range | threshold-union: concatenate, remap to global ids, sort by id |
+//! | k-NN | bounded k-way merge by `(distance, id)` — deterministic ties |
+//! | join | per-shard self-joins plus cross-shard probes, sorted `(a, b)` |
+//! | subseq range | union sorted by `(series, offset)` |
+//! | subseq k-NN | k-way merge by `(distance, series, offset)` |
+//!
+//! **Correctness bar.** Merged rows — values *and* order — are
+//! byte-identical to the unsharded engine for every query form. Merged
+//! [`ExecStats`] are the exact sum of the per-shard counters (buffer-pool
+//! traffic included); for scan-forced plans those sums also equal the
+//! unsharded counters exactly, while index-plan traversal counters
+//! legitimately differ (N small trees are not one big tree) and are
+//! reported per shard so nothing is hidden.
+//!
+//! Within a shard, members keep their global-id order, so local ids are
+//! order-isomorphic to global ids — per-shard `(distance, local id)`
+//! tie-breaking therefore agrees with the global `(distance, id)` rule
+//! the k-way merge applies.
+
+use std::sync::Arc;
+
+use tsq_series::TimeSeries;
+
+use crate::error::{Error, Result};
+use crate::executor::parallel_map;
+use crate::index::{IndexConfig, Match, SimilarityIndex};
+use crate::plan::{
+    execute_plan, render_plan, ExecStats, JoinHint, LogicalPlan, PhysicalOp, PlanChoice,
+    PlanPreference, PlanRows, Planner, RelationStats,
+};
+use crate::queries::JoinPair;
+use crate::relation::SeriesRelation;
+use crate::space::QueryWindow;
+use crate::subseq::{SubseqIndex, SubseqMatch};
+use crate::transform::LinearTransform;
+
+/// How series labels are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBy {
+    /// FNV-1a hash of the label, modulo the shard count.
+    Hash,
+    /// Contiguous lexicographic label ranges (boundaries fixed at `SHARD`
+    /// time; later labels route by binary search, so assignment stays
+    /// deterministic as the relation grows).
+    Range,
+}
+
+impl ShardBy {
+    /// Stable lower-case name (`hash` / `range`), used by `SHARD ... BY`
+    /// and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardBy::Hash => "hash",
+            ShardBy::Range => "range",
+        }
+    }
+}
+
+/// 64-bit FNV-1a over the label bytes — tiny, dependency-free, and
+/// stable across platforms and sessions (snapshots rely on it).
+pub fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic label → shard assignment rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    by: ShardBy,
+    count: usize,
+    /// For [`ShardBy::Range`]: shard `i >= 1` starts at `boundaries[i-1]`
+    /// (inclusive); labels below `boundaries[0]` go to shard 0. Empty for
+    /// hash sharding.
+    boundaries: Vec<String>,
+}
+
+impl ShardSpec {
+    /// Hash sharding into `count` shards.
+    ///
+    /// # Errors
+    /// `count == 0` is rejected as [`Error::Unsupported`].
+    pub fn hash(count: usize) -> Result<Self> {
+        Self::check_count(count)?;
+        Ok(ShardSpec {
+            by: ShardBy::Hash,
+            count,
+            boundaries: Vec::new(),
+        })
+    }
+
+    /// Range sharding into `count` shards, with boundaries chosen to
+    /// split the *current* label population into near-equal contiguous
+    /// chunks. Labels appended later route into the fixed boundaries.
+    ///
+    /// # Errors
+    /// `count == 0` is rejected as [`Error::Unsupported`].
+    pub fn range(count: usize, labels: &[&str]) -> Result<Self> {
+        Self::check_count(count)?;
+        let mut sorted: Vec<&str> = labels.to_vec();
+        sorted.sort_unstable();
+        let mut boundaries = Vec::with_capacity(count.saturating_sub(1));
+        if !sorted.is_empty() {
+            for i in 1..count {
+                // First label of chunk i under near-equal ceil division.
+                let at = (i * sorted.len()).div_ceil(count).min(sorted.len() - 1);
+                boundaries.push(sorted[at].to_string());
+            }
+        }
+        Ok(ShardSpec {
+            by: ShardBy::Range,
+            count,
+            boundaries,
+        })
+    }
+
+    /// Rebuilds a spec from snapshot fields.
+    ///
+    /// # Errors
+    /// `count == 0` is rejected as [`Error::Unsupported`].
+    pub fn from_parts(by: ShardBy, count: usize, boundaries: Vec<String>) -> Result<Self> {
+        Self::check_count(count)?;
+        Ok(ShardSpec {
+            by,
+            count,
+            boundaries,
+        })
+    }
+
+    fn check_count(count: usize) -> Result<()> {
+        if count == 0 {
+            return Err(Error::Unsupported(
+                "SHARD count must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Assignment rule family.
+    pub fn by(&self) -> ShardBy {
+        self.by
+    }
+
+    /// Range boundaries (empty for hash sharding).
+    pub fn boundaries(&self) -> &[String] {
+        &self.boundaries
+    }
+
+    /// The shard a label belongs to.
+    pub fn assign(&self, label: &str) -> usize {
+        match self.by {
+            ShardBy::Hash => (hash_label(label) % self.count as u64) as usize,
+            ShardBy::Range => self
+                .boundaries
+                .partition_point(|b| b.as_str() <= label)
+                .min(self.count - 1),
+        }
+    }
+}
+
+/// The materialized assignment of one relation's series to shards.
+/// Members are listed in ascending global-id order, so the local id of a
+/// series is its rank among its shard's members — an order-preserving
+/// embedding of local ids into global ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    spec: ShardSpec,
+    members: Vec<Vec<usize>>,
+    /// `owner[global] = (shard, local)`.
+    owner: Vec<(usize, usize)>,
+}
+
+impl ShardMap {
+    /// Assigns `labels` (in global-id order) to shards under `spec`.
+    pub fn build(spec: ShardSpec, labels: &[&str]) -> Self {
+        let mut members = vec![Vec::new(); spec.count()];
+        let mut owner = Vec::with_capacity(labels.len());
+        for (global, label) in labels.iter().enumerate() {
+            let shard = spec.assign(label);
+            owner.push((shard, members[shard].len()));
+            members[shard].push(global);
+        }
+        ShardMap {
+            spec,
+            members,
+            owner,
+        }
+    }
+
+    /// Rebuilds a map from snapshot members.
+    ///
+    /// # Errors
+    /// [`Error::Unsupported`] when `members` is not a permutation of
+    /// `0..total` split across `spec.count()` shards in ascending order.
+    pub fn from_members(spec: ShardSpec, members: Vec<Vec<usize>>) -> Result<Self> {
+        if members.len() != spec.count() {
+            return Err(Error::Unsupported(format!(
+                "shard map has {} member lists for {} shards",
+                members.len(),
+                spec.count()
+            )));
+        }
+        let total: usize = members.iter().map(Vec::len).sum();
+        let mut owner = vec![(usize::MAX, usize::MAX); total];
+        for (shard, list) in members.iter().enumerate() {
+            for (local, &global) in list.iter().enumerate() {
+                if local > 0 && list[local - 1] >= global {
+                    return Err(Error::Unsupported(
+                        "shard members must ascend by global id".to_string(),
+                    ));
+                }
+                let slot = owner.get_mut(global).ok_or_else(|| {
+                    Error::Unsupported(format!("shard member id {global} out of range"))
+                })?;
+                if slot.0 != usize::MAX {
+                    return Err(Error::Unsupported(format!(
+                        "series {global} assigned to two shards"
+                    )));
+                }
+                *slot = (shard, local);
+            }
+        }
+        if owner.iter().any(|&(s, _)| s == usize::MAX) {
+            return Err(Error::Unsupported(
+                "shard map does not cover every series".to_string(),
+            ));
+        }
+        Ok(ShardMap {
+            spec,
+            members,
+            owner,
+        })
+    }
+
+    /// The assignment rule.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Global ids of one shard's members, ascending.
+    pub fn members(&self, shard: usize) -> &[usize] {
+        &self.members[shard]
+    }
+
+    /// `(shard, local id)` of a global id.
+    pub fn owner(&self, global: usize) -> Option<(usize, usize)> {
+        self.owner.get(global).copied()
+    }
+
+    /// Global id of `(shard, local)`.
+    pub fn to_global(&self, shard: usize, local: usize) -> usize {
+        self.members[shard][local]
+    }
+
+    /// Total series across all shards.
+    pub fn total(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Registers a brand-new series (the next global id) and returns its
+    /// `(shard, local)` slot.
+    pub fn push_label(&mut self, label: &str) -> (usize, usize) {
+        let shard = self.spec.assign(label);
+        let local = self.members[shard].len();
+        self.members[shard].push(self.owner.len());
+        self.owner.push((shard, local));
+        (shard, local)
+    }
+}
+
+/// One relation partitioned into per-shard [`SimilarityIndex`]es, with
+/// per-shard planner statistics kept current across appends.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    map: ShardMap,
+    parts: Vec<SimilarityIndex>,
+    stats: Vec<RelationStats>,
+}
+
+/// The merged result of one scatter-gather execution.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Global answer rows, byte-identical to the unsharded engine.
+    pub rows: PlanRows,
+    /// Exact sum of the per-shard counters.
+    pub merged: ExecStats,
+    /// Per-shard counters (zeros for shards skipped as empty).
+    pub per_shard: Vec<ExecStats>,
+    /// Pre-merge row count each shard contributed.
+    pub per_shard_rows: Vec<usize>,
+    /// Per-shard plan choices (`None` for shards skipped as empty).
+    pub plans: Vec<Option<PlanChoice>>,
+}
+
+impl ShardedIndex {
+    /// Partitions `rel` under `spec` and builds one index per shard.
+    ///
+    /// # Errors
+    /// Index-build failures of any shard.
+    pub fn build(config: IndexConfig, rel: &SeriesRelation, spec: ShardSpec) -> Result<Self> {
+        let labels: Vec<&str> = (0..rel.len())
+            .map(|id| rel.label(id).expect("id < len"))
+            .collect();
+        let map = ShardMap::build(spec, &labels);
+        let mut parts = Vec::with_capacity(map.spec().count());
+        for shard in 0..map.spec().count() {
+            let series: Vec<TimeSeries> = map
+                .members(shard)
+                .iter()
+                .map(|&g| rel.get(g).expect("member id valid").clone())
+                .collect();
+            parts.push(SimilarityIndex::build(config, series)?);
+        }
+        let stats = parts.iter().map(RelationStats::from_index).collect();
+        Ok(ShardedIndex { map, parts, stats })
+    }
+
+    /// Reassembles a sharded index from restored parts (snapshot open).
+    ///
+    /// # Errors
+    /// [`Error::Unsupported`] when part count or membership disagrees
+    /// with the map.
+    pub fn from_parts(map: ShardMap, parts: Vec<SimilarityIndex>) -> Result<Self> {
+        if parts.len() != map.spec().count() {
+            return Err(Error::Unsupported(format!(
+                "sharded snapshot holds {} parts for {} shards",
+                parts.len(),
+                map.spec().count()
+            )));
+        }
+        for (shard, part) in parts.iter().enumerate() {
+            if part.len() != map.members(shard).len() {
+                return Err(Error::Unsupported(format!(
+                    "shard {shard} holds {} series, map expects {}",
+                    part.len(),
+                    map.members(shard).len()
+                )));
+            }
+        }
+        let stats = parts.iter().map(RelationStats::from_index).collect();
+        Ok(ShardedIndex { map, parts, stats })
+    }
+
+    /// The assignment map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The per-shard indexes, shard order.
+    pub fn parts(&self) -> &[SimilarityIndex] {
+        &self.parts
+    }
+
+    /// The per-shard planner statistics, shard order.
+    pub fn shard_stats(&self) -> &[RelationStats] {
+        &self.stats
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total stored series across shards.
+    pub fn len(&self) -> usize {
+        self.map.total()
+    }
+
+    /// True when no series are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.total() == 0
+    }
+
+    /// Shared index configuration (identical across parts).
+    pub fn config(&self) -> &IndexConfig {
+        self.parts[0].config()
+    }
+
+    /// Series length of the relation — the first non-empty shard's
+    /// (shards of a uniform relation agree; use
+    /// [`ShardedIndex::check_uniform`] to gate whole-series forms).
+    pub fn series_len(&self) -> usize {
+        self.parts
+            .iter()
+            .find(|p| !p.is_empty())
+            .map_or(0, |p| p.series_len())
+    }
+
+    /// True when any shard runs on paged storage.
+    pub fn is_paged(&self) -> bool {
+        self.parts.iter().any(SimilarityIndex::is_paged)
+    }
+
+    /// Mutable access to the per-shard indexes, for attaching storage
+    /// (e.g. per-shard paged node files). The slice length is fixed, so
+    /// the shard map stays consistent; callers must not change which
+    /// series a part stores.
+    pub fn parts_mut(&mut self) -> &mut [SimilarityIndex] {
+        &mut self.parts
+    }
+
+    /// Stored series by global id.
+    pub fn series(&self, global: usize) -> Option<&TimeSeries> {
+        let (shard, local) = self.map.owner(global)?;
+        self.parts[shard].series(local)
+    }
+
+    /// Global uniformity gate: per-shard uniformity is not enough (each
+    /// shard may be internally uniform at a different length), so
+    /// whole-series forms check the global `(min, max)` first and report
+    /// the same [`Error::Ragged`] the unsharded engine would.
+    pub fn check_uniform(&self) -> Result<()> {
+        let mut lens = self
+            .parts
+            .iter()
+            .flat_map(|p| (0..p.len()).map(move |i| p.series(i).expect("local id valid").len()));
+        let Some(first) = lens.next() else {
+            return Ok(());
+        };
+        let (min, max) = lens.fold((first, first), |(lo, hi), l| (lo.min(l), hi.max(l)));
+        if min != max {
+            return Err(Error::Ragged { min, max });
+        }
+        Ok(())
+    }
+
+    /// Routes a batch of appends-to-existing-series (global ids) to their
+    /// owning shards and refreshes the touched shards' statistics.
+    /// Callers (the catalog) validate the batch up front; per-shard
+    /// application reuses the index's atomic batch append.
+    ///
+    /// # Errors
+    /// The same failures [`SimilarityIndex::extend_series_batch`] reports.
+    pub fn extend_series_batch(&mut self, edits: &[(usize, &[f64])]) -> Result<()> {
+        let mut per_shard: Vec<Vec<(usize, &[f64])>> = vec![Vec::new(); self.parts.len()];
+        for &(global, values) in edits {
+            let (shard, local) = self.map.owner(global).ok_or(Error::UnknownSeries(global))?;
+            per_shard[shard].push((local, values));
+        }
+        for (shard, batch) in per_shard.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.parts[shard].extend_series_batch(batch)?;
+            self.stats[shard] = RelationStats::from_index(&self.parts[shard]);
+        }
+        Ok(())
+    }
+
+    /// Registers and stores a brand-new labeled series in its owning
+    /// shard, returning `(global id, shard)`.
+    ///
+    /// # Errors
+    /// The same failures [`SimilarityIndex::insert`] reports.
+    pub fn push_series(&mut self, label: &str, series: TimeSeries) -> Result<(usize, usize)> {
+        // Probe the assignment first; only commit the map entry after the
+        // shard accepts the series (insert validates features/paging).
+        let shard = self.map.spec().assign(label);
+        self.parts[shard].insert(series)?;
+        let (shard2, _local) = self.map.push_label(label);
+        debug_assert_eq!(shard, shard2);
+        self.stats[shard] = RelationStats::from_index(&self.parts[shard]);
+        Ok((self.map.total() - 1, shard))
+    }
+
+    /// Plans every shard without executing anything (the `EXPLAIN` path).
+    /// Empty shards of a non-empty relation are skipped (`None`).
+    ///
+    /// # Errors
+    /// The same validation failures execution would report.
+    pub fn plan_shards(
+        &self,
+        logical: &LogicalPlan,
+        pref: PlanPreference,
+        subseq: Option<&[Arc<SubseqIndex>]>,
+    ) -> Result<Vec<Option<PlanChoice>>> {
+        if logical.subseq_window().is_none() {
+            self.check_uniform()?;
+        }
+        let mut out = Vec::with_capacity(self.parts.len());
+        for shard in self.active_shards(logical) {
+            match shard {
+                None => out.push(None),
+                Some(s) => {
+                    let st = subseq.map(|list| &*list[s]);
+                    let choice = Planner::new(&self.parts[s], &self.stats[s])
+                        .with_preference(pref)
+                        .plan(logical, st)?;
+                    out.push(Some(choice));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scatter-gather execution: per-shard plans run concurrently (up to
+    /// `scatter` at once), then the form's typed merge reassembles the
+    /// global answer. See the module docs for the exact merge rules and
+    /// the stats contract.
+    ///
+    /// # Errors
+    /// The same validation failures the unsharded engine reports (global
+    /// raggedness, transform arity/safety, bad thresholds, warp joins).
+    pub fn execute(
+        &self,
+        logical: &LogicalPlan,
+        pref: PlanPreference,
+        scatter: usize,
+        subseq: Option<&[Arc<SubseqIndex>]>,
+    ) -> Result<ShardedOutcome> {
+        if logical.subseq_window().is_none() {
+            self.check_uniform()?;
+        }
+        match logical {
+            LogicalPlan::Range { .. } | LogicalPlan::Knn { .. } => {
+                self.execute_whole(logical, pref, scatter)
+            }
+            LogicalPlan::Join {
+                eps,
+                transform,
+                hint,
+                ..
+            } => self.execute_join(logical, *eps, transform, *hint, pref, scatter),
+            LogicalPlan::SubseqRange { .. } | LogicalPlan::SubseqKnn { .. } => {
+                let parts = subseq.ok_or_else(|| {
+                    Error::Unsupported(
+                        "sharded subsequence plan executed without ST-indexes".to_string(),
+                    )
+                })?;
+                self.execute_subseq(logical, pref, scatter, parts)
+            }
+        }
+    }
+
+    /// Shard worklist: `Some(s)` runs, `None` is skipped. Empty shards of
+    /// a non-empty relation are skipped for whole-series forms (their
+    /// zero series length would reject the query the unsharded engine
+    /// accepts); an entirely empty relation keeps shard 0 so validation
+    /// and empty-answer behavior match the unsharded engine exactly.
+    fn active_shards(&self, logical: &LogicalPlan) -> Vec<Option<usize>> {
+        if logical.subseq_window().is_some() {
+            return (0..self.parts.len()).map(Some).collect();
+        }
+        if self.is_empty() {
+            let mut v = vec![None; self.parts.len()];
+            v[0] = Some(0);
+            return v;
+        }
+        (0..self.parts.len())
+            .map(|s| (!self.parts[s].is_empty()).then_some(s))
+            .collect()
+    }
+
+    fn execute_whole(
+        &self,
+        logical: &LogicalPlan,
+        pref: PlanPreference,
+        scatter: usize,
+    ) -> Result<ShardedOutcome> {
+        let worklist = self.active_shards(logical);
+        let ran: Vec<Option<Result<(PlanChoice, PlanRows, ExecStats)>>> =
+            parallel_map(scatter.max(1), worklist, |slot| {
+                slot.map(|s| {
+                    let choice = Planner::new(&self.parts[s], &self.stats[s])
+                        .with_preference(pref)
+                        .plan(logical, None)?;
+                    let (rows, exec) = execute_plan(logical, &choice.plan, &self.parts[s], None)?;
+                    Ok((choice, rows, exec))
+                })
+            });
+        let mut outcome = self.collect(ran)?;
+        match logical {
+            LogicalPlan::Range { .. } => {
+                let mut all: Vec<Match> = Vec::new();
+                for (s, rows) in outcome.shard_rows.drain(..).enumerate() {
+                    if let Some(PlanRows::Whole(matches)) = rows {
+                        all.extend(matches.into_iter().map(|m| Match {
+                            id: self.map.to_global(s, m.id),
+                            distance: m.distance,
+                        }));
+                    }
+                }
+                all.sort_by_key(|m| m.id);
+                outcome.finish(PlanRows::Whole(all))
+            }
+            LogicalPlan::Knn { k, .. } => {
+                let mut all: Vec<Match> = Vec::new();
+                let mut from_shard: Vec<usize> = Vec::new();
+                for (s, rows) in outcome.shard_rows.drain(..).enumerate() {
+                    if let Some(PlanRows::Whole(matches)) = rows {
+                        for m in matches {
+                            all.push(Match {
+                                id: self.map.to_global(s, m.id),
+                                distance: m.distance,
+                            });
+                            from_shard.push(s);
+                        }
+                    }
+                }
+                let mut order: Vec<usize> = (0..all.len()).collect();
+                order.sort_by(|&x, &y| {
+                    all[x]
+                        .distance
+                        .total_cmp(&all[y].distance)
+                        .then(all[x].id.cmp(&all[y].id))
+                });
+                order.truncate(*k);
+                // Scan-forced shards report false hits against the *final*
+                // answer, so the merged sum equals the unsharded scan's
+                // `n - rows` exactly.
+                let mut survivors = vec![0usize; self.parts.len()];
+                for &x in &order {
+                    survivors[from_shard[x]] += 1;
+                }
+                for (s, exec) in outcome.per_shard.iter_mut().enumerate() {
+                    if let Some(choice) = &outcome.plans[s] {
+                        if matches!(choice.plan.op, PhysicalOp::SeqScan) {
+                            exec.false_hits = self.parts[s].len() - survivors[s];
+                        }
+                    }
+                }
+                let merged: Vec<Match> = order.into_iter().map(|x| all[x]).collect();
+                outcome.finish(PlanRows::Whole(merged))
+            }
+            _ => unreachable!("execute_whole handles range and knn only"),
+        }
+    }
+
+    fn execute_subseq(
+        &self,
+        logical: &LogicalPlan,
+        pref: PlanPreference,
+        scatter: usize,
+        subseq: &[Arc<SubseqIndex>],
+    ) -> Result<ShardedOutcome> {
+        if subseq.len() != self.parts.len() {
+            return Err(Error::Unsupported(format!(
+                "{} ST-indexes supplied for {} shards",
+                subseq.len(),
+                self.parts.len()
+            )));
+        }
+        let worklist = self.active_shards(logical);
+        let ran: Vec<Option<Result<(PlanChoice, PlanRows, ExecStats)>>> =
+            parallel_map(scatter.max(1), worklist, |slot| {
+                slot.map(|s| {
+                    let st = &*subseq[s];
+                    let choice = Planner::new(&self.parts[s], &self.stats[s])
+                        .with_preference(pref)
+                        .plan(logical, Some(st))?;
+                    let (rows, exec) =
+                        execute_plan(logical, &choice.plan, &self.parts[s], Some(st))?;
+                    Ok((choice, rows, exec))
+                })
+            });
+        let mut outcome = self.collect(ran)?;
+        let mut all: Vec<SubseqMatch> = Vec::new();
+        for (s, rows) in outcome.shard_rows.drain(..).enumerate() {
+            if let Some(PlanRows::Windows(matches)) = rows {
+                all.extend(matches.into_iter().map(|m| SubseqMatch {
+                    series: self.map.to_global(s, m.series),
+                    offset: m.offset,
+                    distance: m.distance,
+                }));
+            }
+        }
+        match logical {
+            LogicalPlan::SubseqRange { .. } => {
+                all.sort_by_key(|m| (m.series, m.offset));
+            }
+            LogicalPlan::SubseqKnn { k, .. } => {
+                all.sort_by(|a, b| {
+                    a.distance
+                        .total_cmp(&b.distance)
+                        .then((a.series, a.offset).cmp(&(b.series, b.offset)))
+                });
+                all.truncate(*k);
+            }
+            _ => unreachable!("execute_subseq handles subsequence forms only"),
+        }
+        outcome.finish(PlanRows::Windows(all))
+    }
+
+    fn execute_join(
+        &self,
+        logical: &LogicalPlan,
+        eps: f64,
+        t: &LinearTransform,
+        hint: Option<JoinHint>,
+        pref: PlanPreference,
+        scatter: usize,
+    ) -> Result<ShardedOutcome> {
+        if t.warp() > 1 {
+            return Err(Error::Unsupported("self-join under time warp".to_string()));
+        }
+        let worklist = self.active_shards(logical);
+        let ran: Vec<Option<Result<(PlanChoice, PlanRows, ExecStats)>>> =
+            parallel_map(scatter.max(1), worklist, |slot| {
+                slot.map(|s| {
+                    let choice = Planner::new(&self.parts[s], &self.stats[s])
+                        .with_preference(pref)
+                        .plan(logical, None)?;
+                    let (rows, exec) = execute_plan(logical, &choice.plan, &self.parts[s], None)?;
+                    Ok((choice, rows, exec))
+                })
+            });
+        let mut outcome = self.collect(ran)?;
+        // Local pairs, remapped to global ids. The order-preserving
+        // local→global embedding keeps canonical `a < b` orientation.
+        let mut pairs: Vec<JoinPair> = Vec::new();
+        for (s, rows) in outcome.shard_rows.drain(..).enumerate() {
+            if let Some(PlanRows::Pairs(local)) = rows {
+                pairs.extend(local.into_iter().map(|p| JoinPair {
+                    a: self.map.to_global(s, p.a),
+                    b: self.map.to_global(s, p.b),
+                    distance: p.distance,
+                }));
+            }
+        }
+        // Cross-shard stage. Directed hints (USING INDEX / TREE) keep the
+        // paper's twice-per-pair accounting by probing every ordered
+        // shard pair; undirected answers probe each unordered pair once.
+        let directed = matches!(hint, Some(JoinHint::Index) | Some(JoinHint::Tree));
+        let scan_cross = matches!(hint, Some(JoinHint::Scan) | Some(JoinHint::ScanFull))
+            || (hint.is_none() && pref == PlanPreference::ForceScan);
+        let active: Vec<usize> = (0..self.parts.len())
+            .filter(|&s| !self.parts[s].is_empty())
+            .collect();
+        for (ai, &sa) in active.iter().enumerate() {
+            for &sb in &active[ai + 1..] {
+                if scan_cross {
+                    self.cross_scan(sa, sb, eps, t, &mut pairs, &mut outcome.per_shard[sa])?;
+                } else {
+                    self.cross_probe(
+                        sa,
+                        sb,
+                        eps,
+                        t,
+                        directed,
+                        &mut pairs,
+                        &mut outcome.per_shard[sa],
+                    )?;
+                    if directed {
+                        let exec = &mut outcome.per_shard[sb];
+                        self.cross_probe(sb, sa, eps, t, directed, &mut pairs, exec)?;
+                    }
+                }
+            }
+        }
+        pairs.sort_by_key(|p| (p.a, p.b));
+        outcome.finish(PlanRows::Pairs(pairs))
+    }
+
+    /// Brute-force cross-shard scan: one early-abandoning exact check per
+    /// cross pair, so the merged counters sum to the unsharded scan's
+    /// `C(n, 2)` accounting exactly. Emits each unordered pair once,
+    /// oriented `a < b` in global ids.
+    fn cross_scan(
+        &self,
+        sa: usize,
+        sb: usize,
+        eps: f64,
+        t: &LinearTransform,
+        pairs: &mut Vec<JoinPair>,
+        exec: &mut ExecStats,
+    ) -> Result<()> {
+        let pa = &self.parts[sa];
+        let pb = &self.parts[sb];
+        for i in 0..pa.len() {
+            let qf = pa.transformed_features(i, t)?;
+            let gi = self.map.to_global(sa, i);
+            for j in 0..pb.len() {
+                exec.candidates += 1;
+                exec.refined += 1;
+                match pb.exact_distance_bounded(j, t, &qf, eps) {
+                    Some(distance) => {
+                        let gj = self.map.to_global(sb, j);
+                        pairs.push(JoinPair {
+                            a: gi.min(gj),
+                            b: gi.max(gj),
+                            distance,
+                        });
+                    }
+                    None => exec.false_hits += 1,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Index-probing cross stage: every series of shard `sa` runs one
+    /// transformed range probe against shard `sb`'s index (the paper's
+    /// join method (d), pointed across shards). Directed mode emits
+    /// `(probe, partner)`; undirected emits each pair oriented `a < b`.
+    #[allow(clippy::too_many_arguments)]
+    fn cross_probe(
+        &self,
+        sa: usize,
+        sb: usize,
+        eps: f64,
+        t: &LinearTransform,
+        directed: bool,
+        pairs: &mut Vec<JoinPair>,
+        exec: &mut ExecStats,
+    ) -> Result<()> {
+        let pa = &self.parts[sa];
+        let pb = &self.parts[sb];
+        let window = QueryWindow::default();
+        for i in 0..pa.len() {
+            let qf = pa.transformed_features(i, t)?;
+            let gi = self.map.to_global(sa, i);
+            let (mut ids, fstats) = pb.filter_candidates(&qf, eps, t, &window)?;
+            ids.sort_unstable();
+            exec.nodes_visited += fstats.nodes_visited;
+            exec.pool_hits += fstats.pool_hits;
+            exec.pool_misses += fstats.pool_misses;
+            exec.disk_accesses += fstats.nodes_visited + ids.len() as u64;
+            exec.candidates += ids.len();
+            for j in ids {
+                exec.refined += 1;
+                match pb.exact_distance_bounded(j, t, &qf, eps) {
+                    Some(distance) => {
+                        let gj = self.map.to_global(sb, j);
+                        let (a, b) = if directed {
+                            (gi, gj)
+                        } else {
+                            (gi.min(gj), gi.max(gj))
+                        };
+                        pairs.push(JoinPair { a, b, distance });
+                    }
+                    None => exec.false_hits += 1,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds raw scatter results into a partially-built outcome: first
+    /// error (in shard order) wins, counters and plans line up by shard.
+    fn collect(
+        &self,
+        ran: Vec<Option<Result<(PlanChoice, PlanRows, ExecStats)>>>,
+    ) -> Result<PartialOutcome> {
+        let mut per_shard = vec![ExecStats::default(); self.parts.len()];
+        let mut per_shard_rows = vec![0usize; self.parts.len()];
+        let mut plans: Vec<Option<PlanChoice>> = vec![None; self.parts.len()];
+        let mut shard_rows: Vec<Option<PlanRows>> = Vec::with_capacity(self.parts.len());
+        for (s, slot) in ran.into_iter().enumerate() {
+            match slot {
+                None => shard_rows.push(None),
+                Some(Err(e)) => return Err(e),
+                Some(Ok((choice, rows, exec))) => {
+                    per_shard[s] = exec;
+                    per_shard_rows[s] = rows.len();
+                    plans[s] = Some(choice);
+                    shard_rows.push(Some(rows));
+                }
+            }
+        }
+        Ok(PartialOutcome {
+            per_shard,
+            per_shard_rows,
+            plans,
+            shard_rows,
+        })
+    }
+}
+
+/// Scatter results before the typed merge.
+struct PartialOutcome {
+    per_shard: Vec<ExecStats>,
+    per_shard_rows: Vec<usize>,
+    plans: Vec<Option<PlanChoice>>,
+    shard_rows: Vec<Option<PlanRows>>,
+}
+
+impl PartialOutcome {
+    fn finish(self, rows: PlanRows) -> Result<ShardedOutcome> {
+        let merged = ExecStats::sum(&self.per_shard);
+        Ok(ShardedOutcome {
+            rows,
+            merged,
+            per_shard: self.per_shard,
+            per_shard_rows: self.per_shard_rows,
+            plans: self.plans,
+        })
+    }
+}
+
+/// Renders a sharded `EXPLAIN` tree: the logical header, the sharding
+/// layout, then each shard's relation line, chosen operator, and
+/// considered alternatives (skipped empty shards are marked).
+pub fn render_sharded_plan(
+    logical: &LogicalPlan,
+    sharded: &ShardedIndex,
+    plans: &[Option<PlanChoice>],
+) -> String {
+    let mut out = String::new();
+    let mut header_done = false;
+    for (s, slot) in plans.iter().enumerate() {
+        let Some(choice) = slot else {
+            continue;
+        };
+        let body = render_plan(logical, choice, &sharded.shard_stats()[s]);
+        let mut lines = body.splitn(2, '\n');
+        let header = lines.next().unwrap_or("");
+        let rest = lines.next().unwrap_or("");
+        if !header_done {
+            out.push_str(header);
+            out.push('\n');
+            let spec = sharded.map().spec();
+            out.push_str(&format!(
+                "  sharded: {} shard(s) by {}, scatter-gather merge\n",
+                spec.count(),
+                spec.by().name()
+            ));
+            header_done = true;
+        }
+        out.push_str(&format!("  shard {s}:\n"));
+        for line in rest.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    for (s, slot) in plans.iter().enumerate() {
+        if slot.is_none() {
+            out.push_str(&format!("  shard {s}: empty, skipped\n"));
+        }
+    }
+    out
+}
+
+/// Appends the sharded `EXPLAIN ANALYZE` counters: one per-shard actual
+/// line each, then the exact-sum total.
+pub fn render_sharded_analyze(rendered: &mut String, rows: usize, outcome: &ShardedOutcome) {
+    for (s, exec) in outcome.per_shard.iter().enumerate() {
+        rendered.push_str(&format!(
+            "     shard {s} actual: rows={}, nodes={}, candidates={}, refined={}, false_hits={}, disk={}\n",
+            outcome.per_shard_rows[s],
+            exec.nodes_visited,
+            exec.candidates,
+            exec.refined,
+            exec.false_hits,
+            exec.disk_accesses,
+        ));
+        if exec.pool_hits + exec.pool_misses > 0 {
+            rendered.push_str(&format!(
+                "     shard {s} measured: pool_hits={}, pool_misses={}\n",
+                exec.pool_hits, exec.pool_misses,
+            ));
+        }
+    }
+    let total = &outcome.merged;
+    rendered.push_str(&format!(
+        "     total actual: rows={rows}, nodes={}, candidates={}, refined={}, false_hits={}, disk={}\n",
+        total.nodes_visited, total.candidates, total.refined, total.false_hits, total.disk_accesses,
+    ));
+    if total.pool_hits + total.pool_misses > 0 {
+        rendered.push_str(&format!(
+            "     total measured: pool_hits={}, pool_misses={}\n",
+            total.pool_hits, total.pool_misses,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanPreference;
+    use tsq_series::generate::RandomWalkGenerator;
+
+    fn relation(count: usize, len: usize, seed: u64) -> SeriesRelation {
+        let series = RandomWalkGenerator::new(seed).relation(count, len);
+        SeriesRelation::from_series("r", series).unwrap()
+    }
+
+    fn whole_index(rel: &SeriesRelation) -> SimilarityIndex {
+        rel.index(IndexConfig::default()).unwrap()
+    }
+
+    fn range_logical(rel: &SeriesRelation, qid: usize, eps: f64) -> LogicalPlan {
+        LogicalPlan::Range {
+            relation: "r".into(),
+            query: rel.get(qid).unwrap().clone(),
+            eps,
+            transform: LinearTransform::identity(rel.get(qid).unwrap().len()),
+            window: QueryWindow::default(),
+        }
+    }
+
+    #[test]
+    fn hash_assignment_is_stable() {
+        let spec = ShardSpec::hash(4).unwrap();
+        for label in ["AAPL", "MSFT", "s17", ""] {
+            assert_eq!(spec.assign(label), spec.assign(label));
+            assert!(spec.assign(label) < 4);
+        }
+        assert!(ShardSpec::hash(0).is_err());
+    }
+
+    #[test]
+    fn range_boundaries_partition_lexicographically() {
+        let labels = ["a", "b", "c", "d", "e", "f"];
+        let spec = ShardSpec::range(3, &labels).unwrap();
+        let shards: Vec<usize> = labels.iter().map(|l| spec.assign(l)).collect();
+        // Contiguous, non-decreasing assignment over sorted labels.
+        for w in shards.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(shards[0], 0);
+        assert_eq!(*shards.last().unwrap(), 2);
+        // New labels route deterministically into the fixed boundaries.
+        assert_eq!(spec.assign("aa"), 0);
+        assert_eq!(spec.assign("zz"), 2);
+    }
+
+    #[test]
+    fn shard_map_round_trips_members() {
+        let labels: Vec<String> = (0..17).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let map = ShardMap::build(ShardSpec::hash(3).unwrap(), &refs);
+        let members: Vec<Vec<usize>> = (0..3).map(|s| map.members(s).to_vec()).collect();
+        let rebuilt = ShardMap::from_members(map.spec().clone(), members).unwrap();
+        assert_eq!(map, rebuilt);
+        for g in 0..17 {
+            let (s, l) = map.owner(g).unwrap();
+            assert_eq!(map.to_global(s, l), g);
+        }
+    }
+
+    #[test]
+    fn sharded_range_matches_unsharded() {
+        let rel = relation(60, 32, 5);
+        let whole = whole_index(&rel);
+        let stats = RelationStats::from_index(&whole);
+        for count in [1usize, 2, 3, 5] {
+            let sharded = ShardedIndex::build(
+                IndexConfig::default(),
+                &rel,
+                ShardSpec::hash(count).unwrap(),
+            )
+            .unwrap();
+            for eps in [0.5, 2.0, 8.0] {
+                let logical = range_logical(&rel, 7, eps);
+                let choice = Planner::new(&whole, &stats).plan(&logical, None).unwrap();
+                let (want, _) = execute_plan(&logical, &choice.plan, &whole, None).unwrap();
+                let got = sharded
+                    .execute(&logical, PlanPreference::Auto, 4, None)
+                    .unwrap();
+                assert_eq!(got.rows, want, "count={count} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scan_stats_sum_exactly() {
+        let rel = relation(50, 32, 9);
+        let whole = whole_index(&rel);
+        let stats = RelationStats::from_index(&whole);
+        let sharded =
+            ShardedIndex::build(IndexConfig::default(), &rel, ShardSpec::hash(4).unwrap()).unwrap();
+        let logical = range_logical(&rel, 3, 2.5);
+        let choice = Planner::new(&whole, &stats)
+            .with_preference(PlanPreference::ForceScan)
+            .plan(&logical, None)
+            .unwrap();
+        let (want_rows, want_exec) = execute_plan(&logical, &choice.plan, &whole, None).unwrap();
+        let got = sharded
+            .execute(&logical, PlanPreference::ForceScan, 4, None)
+            .unwrap();
+        assert_eq!(got.rows, want_rows);
+        assert_eq!(got.merged, want_exec, "scan counters sum exactly");
+        assert_eq!(ExecStats::sum(&got.per_shard), got.merged);
+    }
+
+    #[test]
+    fn sharded_knn_breaks_ties_like_unsharded() {
+        // Duplicate series force exact distance ties across shards.
+        let base = RandomWalkGenerator::new(11).relation(6, 32);
+        let mut items = Vec::new();
+        for (i, s) in base.iter().enumerate() {
+            items.push((format!("a{i}"), s.clone()));
+            items.push((format!("b{i}"), s.clone()));
+        }
+        let rel = SeriesRelation::from_labeled("r", items).unwrap();
+        let whole = whole_index(&rel);
+        let stats = RelationStats::from_index(&whole);
+        let logical = LogicalPlan::Knn {
+            relation: "r".into(),
+            query: rel.get(0).unwrap().clone(),
+            k: 5,
+            transform: LinearTransform::identity(32),
+        };
+        let choice = Planner::new(&whole, &stats).plan(&logical, None).unwrap();
+        let (want, _) = execute_plan(&logical, &choice.plan, &whole, None).unwrap();
+        for count in [2usize, 3, 4] {
+            let sharded = ShardedIndex::build(
+                IndexConfig::default(),
+                &rel,
+                ShardSpec::hash(count).unwrap(),
+            )
+            .unwrap();
+            let got = sharded
+                .execute(&logical, PlanPreference::Auto, 2, None)
+                .unwrap();
+            assert_eq!(got.rows, want, "count={count}");
+        }
+    }
+
+    #[test]
+    fn sharded_join_matches_canonical_and_directed() {
+        let rel = relation(40, 32, 13);
+        let whole = whole_index(&rel);
+        let stats = RelationStats::from_index(&whole);
+        let t = LinearTransform::moving_average(32, 4);
+        let sharded =
+            ShardedIndex::build(IndexConfig::default(), &rel, ShardSpec::hash(3).unwrap()).unwrap();
+        for hint in [None, Some(JoinHint::Scan), Some(JoinHint::Index)] {
+            let logical = LogicalPlan::Join {
+                relation: "r".into(),
+                eps: 1.6,
+                transform: t.clone(),
+                hint,
+            };
+            let choice = Planner::new(&whole, &stats).plan(&logical, None).unwrap();
+            let (want, want_exec) = execute_plan(&logical, &choice.plan, &whole, None).unwrap();
+            let got = sharded
+                .execute(&logical, PlanPreference::Auto, 3, None)
+                .unwrap();
+            assert_eq!(got.rows, want, "hint={hint:?}");
+            if matches!(hint, Some(JoinHint::Scan)) {
+                assert_eq!(got.merged, want_exec, "scan join counters sum exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn globally_ragged_relation_rejected() {
+        // Each shard uniform at a different length: the per-shard gate
+        // passes, only the global gate catches it.
+        let items = vec![
+            ("a0".to_string(), TimeSeries::from(vec![1.0; 16])),
+            ("a1".to_string(), TimeSeries::from(vec![1.0; 32])),
+        ];
+        let rel = SeriesRelation::from_labeled("r", items).unwrap();
+        let spec = ShardSpec::range(2, &["a0", "a1"]).unwrap();
+        let sharded = ShardedIndex::build(IndexConfig::default(), &rel, spec).unwrap();
+        assert_eq!(sharded.parts()[0].len(), 1);
+        assert_eq!(sharded.parts()[1].len(), 1);
+        let logical = LogicalPlan::Range {
+            relation: "r".into(),
+            query: TimeSeries::from(vec![0.0; 16]),
+            eps: 1.0,
+            transform: LinearTransform::identity(16),
+            window: QueryWindow::default(),
+        };
+        assert!(matches!(
+            sharded.execute(&logical, PlanPreference::Auto, 2, None),
+            Err(Error::Ragged { min: 16, max: 32 })
+        ));
+    }
+
+    #[test]
+    fn appends_route_to_owning_shard() {
+        let rel = relation(12, 16, 21);
+        let mut sharded =
+            ShardedIndex::build(IndexConfig::default(), &rel, ShardSpec::hash(3).unwrap()).unwrap();
+        let before: Vec<usize> = sharded.parts().iter().map(SimilarityIndex::len).collect();
+        // Extend an existing series through its global id.
+        let (shard, local) = sharded.map().owner(5).unwrap();
+        let old_len = sharded.parts()[shard].series(local).unwrap().len();
+        sharded.extend_series_batch(&[(5, &[1.0, 2.0])]).unwrap();
+        assert_eq!(
+            sharded.parts()[shard].series(local).unwrap().len(),
+            old_len + 2
+        );
+        // Push a brand-new series: exactly one shard grows.
+        let (global, shard) = sharded
+            .push_series("fresh", TimeSeries::from(vec![0.5; 16]))
+            .unwrap();
+        assert_eq!(global, 12);
+        let after: Vec<usize> = sharded.parts().iter().map(SimilarityIndex::len).collect();
+        for s in 0..3 {
+            assert_eq!(after[s], before[s] + usize::from(s == shard));
+        }
+        assert_eq!(sharded.map().owner(global).unwrap().0, shard);
+    }
+}

@@ -5,12 +5,21 @@
 //! or a labeled series) or whole relations; transformations are named
 //! members of the paper's linear-transformation class; and the query
 //! language offers range, nearest-neighbor and all-pairs forms.
+//!
+//! Every query form carries a [`QueryOptions`] parsed from the unified
+//! `WITH (force = ..., threads = ..., shards = ...)` clause — the one
+//! override surface for access-path forcing, worker-thread counts, and
+//! scatter width. The legacy `JOIN ... USING <method>` hint still parses
+//! as a deprecated alias that lowers to `WITH (force = <method>)`.
+
+use tsq_core::shard::ShardBy;
+use tsq_core::QueryOptions;
 
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
     /// `FIND SIMILAR TO <source> IN <relation> WITHIN <eps> [APPLY ...]
-    /// [WHERE ...]` — range query.
+    /// [WHERE ...] [WITH (...)]` — range query.
     Similar {
         /// Query object.
         source: Source,
@@ -22,8 +31,10 @@ pub enum Query {
         transforms: Vec<TransformSpec>,
         /// Optional mean/std windows.
         window: WindowSpec,
+        /// Execution overrides from the `WITH (...)` clause.
+        options: QueryOptions,
     },
-    /// `FIND <k> NEAREST TO <source> IN <relation> [APPLY ...]`.
+    /// `FIND <k> NEAREST TO <source> IN <relation> [APPLY ...] [WITH (...)]`.
     Nearest {
         /// Query object.
         source: Source,
@@ -33,8 +44,13 @@ pub enum Query {
         k: usize,
         /// Transformations applied to the data side.
         transforms: Vec<TransformSpec>,
+        /// Execution overrides from the `WITH (...)` clause.
+        options: QueryOptions,
     },
-    /// `JOIN <relation> WITHIN <eps> [APPLY ...] [USING <method>]`.
+    /// `JOIN <relation> WITHIN <eps> [APPLY ...] [USING <method>]
+    /// [WITH (...)]`. `USING <m>` is a deprecated alias for
+    /// `WITH (force = <m>)` and keeps that method's historical Table-1
+    /// accounting (index and tree joins report each pair twice).
     Join {
         /// Relation self-joined.
         relation: String,
@@ -42,12 +58,12 @@ pub enum Query {
         eps: f64,
         /// Transformations applied to both sides.
         transforms: Vec<TransformSpec>,
-        /// Execution strategy.
-        method: JoinMethod,
+        /// Execution overrides (`force` selects the join method).
+        options: QueryOptions,
     },
-    /// `FIND SUBSEQUENCE OF <source> IN <relation> WITHIN <eps> WINDOW <w>`
-    /// — subsequence range query over the ST-index: every window of length
-    /// `w` in the relation within `eps` of the query.
+    /// `FIND SUBSEQUENCE OF <source> IN <relation> WITHIN <eps> WINDOW <w>
+    /// [WITH (...)]` — subsequence range query over the ST-index: every
+    /// window of length `w` in the relation within `eps` of the query.
     SubseqSimilar {
         /// Query object (must be exactly `window` values long).
         source: Source,
@@ -57,9 +73,12 @@ pub enum Query {
         eps: f64,
         /// Sliding-window length.
         window: usize,
+        /// Execution overrides from the `WITH (...)` clause.
+        options: QueryOptions,
     },
-    /// `FIND <k> NEAREST SUBSEQUENCE OF <source> IN <relation> WINDOW <w>`
-    /// — the `k` windows closest to the query, over all series and offsets.
+    /// `FIND <k> NEAREST SUBSEQUENCE OF <source> IN <relation> WINDOW <w>
+    /// [WITH (...)]` — the `k` windows closest to the query, over all
+    /// series and offsets.
     SubseqNearest {
         /// Query object (must be exactly `window` values long).
         source: Source,
@@ -69,6 +88,8 @@ pub enum Query {
         k: usize,
         /// Sliding-window length.
         window: usize,
+        /// Execution overrides from the `WITH (...)` clause.
+        options: QueryOptions,
     },
     /// `EXPLAIN [ANALYZE] <query>` — show the planner's chosen physical
     /// plan with cost estimates. The plain form never executes the inner
@@ -90,6 +111,33 @@ pub enum Query {
         /// more than once; its rows apply sequentially.
         rows: Vec<AppendRow>,
     },
+    /// `SHARD <relation> INTO <n> BY HASH|RANGE` — repartition a relation
+    /// into `n` per-shard indexes for scatter-gather execution. `INTO 1`
+    /// collapses back to a single unsharded index.
+    Shard {
+        /// Relation repartitioned.
+        relation: String,
+        /// Number of shards.
+        count: usize,
+        /// Label-assignment rule.
+        by: ShardBy,
+    },
+}
+
+impl Query {
+    /// The `WITH (...)` execution overrides this statement carries
+    /// (`EXPLAIN` forwards its inner query's; mutations have none).
+    pub fn options(&self) -> QueryOptions {
+        match self {
+            Query::Similar { options, .. }
+            | Query::Nearest { options, .. }
+            | Query::Join { options, .. }
+            | Query::SubseqSimilar { options, .. }
+            | Query::SubseqNearest { options, .. } => *options,
+            Query::Explain { query, .. } => query.options(),
+            Query::Append { .. } | Query::Shard { .. } => QueryOptions::default(),
+        }
+    }
 }
 
 /// One row of an `APPEND` statement: values for the tail of one series.
@@ -132,24 +180,4 @@ pub struct WindowSpec {
     pub mean: Option<(f64, f64)>,
     /// `STD BETWEEN a AND b`.
     pub std: Option<(f64, f64)>,
-}
-
-/// Join strategies (Table 1 methods). Without a `USING` clause the
-/// cost-based planner picks the strategy — and canonicalizes the answer to
-/// one row per unordered pair, so the choice can never change the result.
-/// An explicit `USING` keeps that method's historical accounting (index
-/// and tree joins report each pair twice, as the paper tabulates).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum JoinMethod {
-    /// Let the planner choose (the default when `USING` is absent).
-    #[default]
-    Auto,
-    /// Sequential scan with full distances (method a).
-    ScanFull,
-    /// Sequential scan with early abandoning (method b).
-    Scan,
-    /// Index-nested-loop over the transformed index (methods c/d).
-    Index,
-    /// Synchronized tree↔tree join (extension).
-    Tree,
 }

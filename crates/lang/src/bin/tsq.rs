@@ -52,6 +52,15 @@ queries:
   FIND SUBSEQUENCE OF [v1, ..., vw] IN <rel> WITHIN <eps> WINDOW <w>
   FIND <k> NEAREST SUBSEQUENCE OF [v1, ..., vw] IN <rel> WINDOW <w>
   JOIN <rel> WITHIN <eps> [APPLY ...] [USING SCAN|SCANFULL|INDEX|TREE]
+  every query form accepts a trailing WITH (opt = val, ...) options clause:
+    WITH (force = scan|index)   pin the join method (USING is a deprecated alias)
+    WITH (threads = n)          cap scatter/batch parallelism
+    WITH (shards = n)           cap how many shards are probed in parallel
+sharding:
+  SHARD <rel> INTO <n> BY HASH|RANGE    split a relation into n shards with one
+  R*-tree each; queries scatter to every shard and merge to the same rows,
+  order, and counter totals the unsharded engine produces (.rel shows the
+  layout; re-SHARD INTO 1 to restore unsharded execution)
 ingest:
   APPEND <rel> <label> VALUES (v1, v2, ...)           append points to one series
   APPEND <rel> CSV (label, v1, ...) (label, v1, ...)  batched, atomic multi-series append
@@ -197,6 +206,18 @@ fn main() {
                     out.stats.refined,
                     out.stats.disk_accesses
                 );
+                if !out.shard_stats.is_empty() {
+                    let per_shard: Vec<String> = out
+                        .shard_stats
+                        .iter()
+                        .map(|s| s.candidates.to_string())
+                        .collect();
+                    println!(
+                        "  (scattered over {} shard(s); candidates per shard: {})",
+                        out.shard_stats.len(),
+                        per_shard.join("/")
+                    );
+                }
             }
             Err(e) => println!("  error: {e}"),
         }
@@ -222,13 +243,27 @@ fn meta(
             }
             for n in names.iter() {
                 if let Some(rel) = catalog.relation(n) {
+                    let layout = match catalog.shard_layout(n) {
+                        Some((by, count, sizes)) => {
+                            let by = match by {
+                                tsq_core::shard::ShardBy::Hash => "hash",
+                                tsq_core::shard::ShardBy::Range => "range",
+                            };
+                            let sizes: Vec<String> =
+                                sizes.iter().map(ToString::to_string).collect();
+                            format!(", {count} shard(s) by {by} [{}]", sizes.join("/"))
+                        }
+                        None => String::new(),
+                    };
                     match rel.length_range() {
                         Some((lo, hi)) if lo != hi => println!(
-                            "  {n}: {} series of lengths {lo}..{hi} (ragged mid-ingest)",
+                            "  {n}: {} series of lengths {lo}..{hi} (ragged mid-ingest){layout}",
                             rel.len()
                         ),
-                        Some((len, _)) => println!("  {n}: {} series of length {len}", rel.len()),
-                        None => println!("  {n}: 0 series"),
+                        Some((len, _)) => {
+                            println!("  {n}: {} series of length {len}{layout}", rel.len())
+                        }
+                        None => println!("  {n}: 0 series{layout}"),
                     }
                 }
             }

@@ -50,6 +50,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                 });
                 i += 1;
             }
+            '=' => {
+                tokens.push(Token {
+                    pos: i,
+                    kind: TokenKind::Equals,
+                });
+                i += 1;
+            }
             '.' if i + 1 < bytes.len() && !(bytes[i + 1] as char).is_ascii_digit() => {
                 tokens.push(Token {
                     pos: i,

@@ -21,8 +21,15 @@
 //! ([`tsq_core::plan`]): the AST lowers to a `LogicalPlan`, catalog
 //! statistics cost each access path (scan, early-abandoning scan, index
 //! filter-and-refine, transformed-MBR traversal), and the cheapest
-//! physical plan executes. `USING` forces a join method; `EXPLAIN
-//! [ANALYZE]` renders the choice with estimates (and actual counters).
+//! physical plan executes. The `WITH (force = ..., threads = ...,
+//! shards = ...)` clause is the unified override surface (`USING` remains
+//! a deprecated alias for `WITH (force = ...)`); `EXPLAIN [ANALYZE]`
+//! renders the choice with estimates (and actual counters).
+//!
+//! Relations can be repartitioned with `SHARD <rel> INTO <n> BY
+//! HASH|RANGE`: queries then run scatter-gather over per-shard indexes
+//! ([`tsq_core::shard`]) with answers byte-identical to the unsharded
+//! engine.
 //!
 //! Queries run against a [`Catalog`] of named [`tsq_core::SeriesRelation`]s
 //! whose similarity indexes are built on registration. [`SharedCatalog`]
@@ -56,8 +63,8 @@ pub mod serve;
 mod snapshot;
 pub mod token;
 
-pub use ast::{AppendRow, JoinMethod, Query, Source, TransformSpec, WindowSpec};
+pub use ast::{AppendRow, Query, Source, TransformSpec, WindowSpec};
 pub use error::LangError;
 pub use exec::{BatchSummary, Catalog, QueryOutput, Row, SharedCatalog};
-pub use parser::parse;
+pub use parser::{parse, parse_with_notices};
 pub use serve::serve;

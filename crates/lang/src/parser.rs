@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! query        := [EXPLAIN [ANALYZE]] (find_query | join_query)
-//!               | append_query
+//!               | append_query | shard_query
 //! find_query   := FIND SIMILAR TO source IN ident WITHIN number
-//!                 [APPLY tlist] [WHERE window (AND window)*]
+//!                 [APPLY tlist] [WHERE window (AND window)*] [with]
 //!               | FIND SUBSEQUENCE OF source IN ident WITHIN number
-//!                 WINDOW number
+//!                 WINDOW number [with]
 //!               | FIND number NEAREST TO source IN ident [APPLY tlist]
+//!                 [with]
 //!               | FIND number NEAREST SUBSEQUENCE OF source IN ident
-//!                 WINDOW number
+//!                 WINDOW number [with]
 //! join_query   := JOIN ident WITHIN number [APPLY tlist]
-//!                 [USING (SCAN | SCANFULL | INDEX | TREE)]
+//!                 [USING (SCAN | SCANFULL | INDEX | TREE)] [with]
 //! append_query := APPEND ident ident VALUES '(' number (, number)* ')'
 //!               | APPEND ident CSV row+ ; row := '(' ident (, number)* ')'
+//! shard_query  := SHARD ident INTO number BY (HASH | RANGE)
+//! with         := WITH '(' opt (',' opt)* ')'
+//! opt          := FORCE '=' (SCAN | SCANFULL | INDEX | TREE)
+//!               | THREADS '=' number | SHARDS '=' number
 //! source       := ident . ident | '[' number (, number)* ']'
 //! tlist        := t (',' t)* ; t := ident [ '(' number (, number)* ')' ]
 //! window       := MEAN BETWEEN number AND number
@@ -24,13 +29,24 @@
 //! `EXPLAIN` renders the cost-based planner's chosen physical plan without
 //! executing; `EXPLAIN ANALYZE` also runs the query and appends the
 //! actual counters.
+//! The `WITH (...)` clause is the unified override surface
+//! ([`QueryOptions`]): `force` pins the access path, `threads` sizes the
+//! worker pool, `shards` caps the scatter width on sharded relations.
+//! `JOIN ... USING <m>` still parses as a deprecated alias for
+//! `WITH (force = <m>)` and emits a deprecation notice (see
+//! [`parse_with_notices`]); when both appear, the `WITH` clause wins.
 //! Validation the parser performs (so nonsense fails before execution):
 //! every `WITHIN` threshold must be non-negative, every `WINDOW` length
 //! must be an integer of at least 2, every `APPEND` row must carry at
-//! least one value, and `EXPLAIN APPEND` is rejected (a mutation has no
-//! physical plan to show).
+//! least one value, `WITH` option values must be well-formed, `SHARD`
+//! counts must be positive integers, and `EXPLAIN APPEND` /
+//! `EXPLAIN SHARD` are rejected (a mutation has no physical plan to
+//! show).
 
-use crate::ast::{AppendRow, JoinMethod, Query, Source, TransformSpec, WindowSpec};
+use tsq_core::shard::ShardBy;
+use tsq_core::{ForceOp, QueryOptions};
+
+use crate::ast::{AppendRow, Query, Source, TransformSpec, WindowSpec};
 use crate::error::LangError;
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
@@ -40,16 +56,31 @@ use crate::token::{Token, TokenKind};
 /// # Errors
 /// [`LangError::Lex`] / [`LangError::Parse`] with byte positions.
 pub fn parse(src: &str) -> Result<Query, LangError> {
+    parse_with_notices(src).map(|(q, _)| q)
+}
+
+/// Parses a query string and returns any advisory notices alongside the
+/// query — currently the `USING` deprecation note. Shells print the
+/// notices; programmatic callers may ignore them via [`parse`].
+///
+/// # Errors
+/// [`LangError::Lex`] / [`LangError::Parse`] with byte positions.
+pub fn parse_with_notices(src: &str) -> Result<(Query, Vec<String>), LangError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, at: 0 };
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        notices: Vec::new(),
+    };
     let q = p.query()?;
     p.expect_eof()?;
-    Ok(q)
+    Ok((q, p.notices))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     at: usize,
+    notices: Vec<String>,
 }
 
 impl Parser {
@@ -173,6 +204,9 @@ impl Parser {
             if self.at_kw("APPEND") {
                 return self.error("cannot EXPLAIN APPEND: a mutation has no query plan");
             }
+            if self.at_kw("SHARD") {
+                return self.error("cannot EXPLAIN SHARD: a mutation has no query plan");
+            }
             let inner = self.query()?;
             return Ok(Query::Explain {
                 analyze,
@@ -185,9 +219,110 @@ impl Parser {
             self.join_query()
         } else if self.take_kw("APPEND") {
             self.append_query()
+        } else if self.take_kw("SHARD") {
+            self.shard_query()
         } else {
-            self.error("expected EXPLAIN, FIND, JOIN or APPEND")
+            self.error("expected EXPLAIN, FIND, JOIN, APPEND or SHARD")
         }
+    }
+
+    /// `SHARD <relation> INTO <n> BY HASH|RANGE` — repartition a relation.
+    fn shard_query(&mut self) -> Result<Query, LangError> {
+        let relation = self.ident()?;
+        self.expect_kw("INTO")?;
+        let count = self.positive_count("SHARD count")?;
+        self.expect_kw("BY")?;
+        let by = if self.take_kw("HASH") {
+            ShardBy::Hash
+        } else if self.take_kw("RANGE") {
+            ShardBy::Range
+        } else {
+            return self.error("expected HASH or RANGE after BY");
+        };
+        Ok(Query::Shard {
+            relation,
+            count,
+            by,
+        })
+    }
+
+    /// A positive integer count (bounded so the f64 → usize cast is
+    /// provably lossless and absurd widths fail at the first boundary).
+    fn positive_count(&mut self, what: &str) -> Result<usize, LangError> {
+        let at = self.peek().pos;
+        let n = self.number()?;
+        if n.fract() != 0.0 || !(1.0..=65536.0).contains(&n) {
+            return Err(LangError::Parse {
+                pos: at,
+                message: format!("{what} must be an integer between 1 and 65536, got {n}"),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    /// The unified override clause:
+    /// `WITH (force = scan|scanfull|index|tree, threads = n, shards = n)`.
+    /// Absent clause ⇒ all-default [`QueryOptions`]. Duplicate or unknown
+    /// keys are parse errors.
+    fn with_clause(&mut self) -> Result<QueryOptions, LangError> {
+        let mut options = QueryOptions::default();
+        if !self.take_kw("WITH") {
+            return Ok(options);
+        }
+        self.expect(&TokenKind::LParen)?;
+        loop {
+            let at = self.peek().pos;
+            let key = self.ident()?.to_ascii_lowercase();
+            self.expect(&TokenKind::Equals)?;
+            let duplicate = match key.as_str() {
+                "force" => {
+                    let was = options.force.is_some();
+                    let value = self.ident()?.to_ascii_lowercase();
+                    options.force = Some(match value.as_str() {
+                        "scan" => ForceOp::Scan,
+                        "scanfull" => ForceOp::ScanFull,
+                        "index" => ForceOp::Index,
+                        "tree" => ForceOp::Tree,
+                        other => {
+                            return self.error(format!(
+                                "force must be scan, scanfull, index or tree, got {other}"
+                            ))
+                        }
+                    });
+                    was
+                }
+                "threads" => {
+                    let was = options.threads.is_some();
+                    options.threads = Some(self.positive_count("threads")?);
+                    was
+                }
+                "shards" => {
+                    let was = options.shards.is_some();
+                    options.shards = Some(self.positive_count("shards")?);
+                    was
+                }
+                other => {
+                    return Err(LangError::Parse {
+                        pos: at,
+                        message: format!(
+                            "unknown option {other:?}; expected force, threads or shards"
+                        ),
+                    })
+                }
+            };
+            if duplicate {
+                return Err(LangError::Parse {
+                    pos: at,
+                    message: format!("option {key:?} given twice"),
+                });
+            }
+            if !matches!(self.peek().kind, TokenKind::Comma) {
+                break;
+            }
+            self.bump();
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(options)
     }
 
     /// `APPEND <relation> <label> VALUES (v1, ...)` appends to one series;
@@ -247,12 +382,14 @@ impl Parser {
             let eps = self.threshold()?;
             let transforms = self.apply_clause()?;
             let window = self.where_clause()?;
+            let options = self.with_clause()?;
             Ok(Query::Similar {
                 source,
                 relation,
                 eps,
                 transforms,
                 window,
+                options,
             })
         } else if self.take_kw("SUBSEQUENCE") {
             self.expect_kw("OF")?;
@@ -261,11 +398,13 @@ impl Parser {
             let relation = self.ident()?;
             let eps = self.threshold()?;
             let window = self.window_length()?;
+            let options = self.with_clause()?;
             Ok(Query::SubseqSimilar {
                 source,
                 relation,
                 eps,
                 window,
+                options,
             })
         } else if matches!(self.peek().kind, TokenKind::Number(_)) {
             let at = self.peek().pos;
@@ -290,11 +429,13 @@ impl Parser {
                 self.expect_kw("IN")?;
                 let relation = self.ident()?;
                 let window = self.window_length()?;
+                let options = self.with_clause()?;
                 return Ok(Query::SubseqNearest {
                     source,
                     relation,
                     k: kf as usize,
                     window,
+                    options,
                 });
             }
             self.expect_kw("TO")?;
@@ -302,11 +443,13 @@ impl Parser {
             self.expect_kw("IN")?;
             let relation = self.ident()?;
             let transforms = self.apply_clause()?;
+            let options = self.with_clause()?;
             Ok(Query::Nearest {
                 source,
                 relation,
                 k: kf as usize,
                 transforms,
+                options,
             })
         } else {
             self.error("expected SIMILAR, SUBSEQUENCE or a neighbor count after FIND")
@@ -317,26 +460,36 @@ impl Parser {
         let relation = self.ident()?;
         let eps = self.threshold()?;
         let transforms = self.apply_clause()?;
-        let method = if self.take_kw("USING") {
-            if self.take_kw("SCANFULL") {
-                JoinMethod::ScanFull
+        // `USING <m>` is the deprecated alias: it lowers to
+        // `WITH (force = <m>)`, keeping the paper's Table-1 accounting for
+        // the forced method, and emits a notice. An explicit WITH clause
+        // merges over it.
+        let mut lowered = QueryOptions::default();
+        if self.take_kw("USING") {
+            let force = if self.take_kw("SCANFULL") {
+                ForceOp::ScanFull
             } else if self.take_kw("SCAN") {
-                JoinMethod::Scan
+                ForceOp::Scan
             } else if self.take_kw("INDEX") {
-                JoinMethod::Index
+                ForceOp::Index
             } else if self.take_kw("TREE") {
-                JoinMethod::Tree
+                ForceOp::Tree
             } else {
                 return self.error("expected SCAN, SCANFULL, INDEX or TREE after USING");
-            }
-        } else {
-            JoinMethod::default()
-        };
+            };
+            lowered.force = Some(force);
+            self.notices.push(
+                "note: USING is deprecated; use WITH (force = scan|scanfull|index|tree) instead"
+                    .to_string(),
+            );
+        }
+        let with = self.with_clause()?;
+        let options = lowered.merged(&with);
         Ok(Query::Join {
             relation,
             eps,
             transforms,
-            method,
+            options,
         })
     }
 
@@ -432,7 +585,9 @@ mod tests {
                 eps,
                 transforms,
                 window,
+                options,
             } => {
+                assert!(options.is_default());
                 assert_eq!(
                     source,
                     Source::Ref {
@@ -464,7 +619,9 @@ mod tests {
                 relation,
                 k,
                 transforms,
+                options,
             } => {
+                assert!(options.is_default());
                 assert_eq!(source, Source::Literal(vec![1.0, 2.0, 3.5]));
                 assert_eq!(relation, "walks");
                 assert_eq!(k, 3);
@@ -477,21 +634,122 @@ mod tests {
 
     #[test]
     fn parse_join_with_method() {
-        let q = parse("JOIN stocks WITHIN 1.5 APPLY mavg(20) USING TREE").unwrap();
+        let (q, notices) =
+            parse_with_notices("JOIN stocks WITHIN 1.5 APPLY mavg(20) USING TREE").unwrap();
         match q {
             Query::Join {
                 relation,
                 eps,
                 transforms,
-                method,
+                options,
             } => {
                 assert_eq!(relation, "stocks");
                 assert_eq!(eps, 1.5);
                 assert_eq!(transforms.len(), 1);
-                assert_eq!(method, JoinMethod::Tree);
+                assert_eq!(options.force, Some(ForceOp::Tree));
             }
             other => panic!("unexpected {other:?}"),
         }
+        // The deprecated alias produces a notice; the modern spelling
+        // parses to the same query silently.
+        assert_eq!(notices.len(), 1);
+        assert!(notices[0].contains("deprecated"), "{}", notices[0]);
+        let (modern, notices) =
+            parse_with_notices("JOIN stocks WITHIN 1.5 APPLY mavg(20) WITH (force = tree)")
+                .unwrap();
+        assert!(notices.is_empty());
+        assert_eq!(
+            modern,
+            parse("JOIN stocks WITHIN 1.5 APPLY mavg(20) USING TREE").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_with_options_clause() {
+        for src in [
+            "FIND SIMILAR TO r.a IN r WITHIN 1 WITH (force = scan, threads = 4, shards = 2)",
+            "FIND 3 NEAREST TO r.a IN r WITH (force = scan, threads = 4, shards = 2)",
+            "JOIN r WITHIN 1 WITH (force = scan, threads = 4, shards = 2)",
+            "FIND SUBSEQUENCE OF r.a IN r WITHIN 1 WINDOW 8 WITH (force = scan, threads = 4, shards = 2)",
+            "FIND 2 NEAREST SUBSEQUENCE OF r.a IN r WINDOW 8 WITH (force = scan, threads = 4, shards = 2)",
+        ] {
+            let q = parse(src).unwrap();
+            let options = q.options();
+            assert_eq!(options.force, Some(ForceOp::Scan), "{src}");
+            assert_eq!(options.threads, Some(4), "{src}");
+            assert_eq!(options.shards, Some(2), "{src}");
+        }
+        // Keys are optional and case-insensitive; EXPLAIN forwards the
+        // inner query's options.
+        let q = parse("EXPLAIN FIND 3 NEAREST TO r.a IN r WITH (THREADS = 2)").unwrap();
+        assert_eq!(q.options().threads, Some(2));
+        assert_eq!(q.options().force, None);
+    }
+
+    #[test]
+    fn with_clause_wins_over_using() {
+        let q = parse("JOIN r WITHIN 1 USING SCAN WITH (force = index)").unwrap();
+        assert_eq!(q.options().force, Some(ForceOp::Index));
+        let q = parse("JOIN r WITHIN 1 USING SCAN WITH (threads = 2)").unwrap();
+        assert_eq!(q.options().force, Some(ForceOp::Scan));
+        assert_eq!(q.options().threads, Some(2));
+    }
+
+    #[test]
+    fn with_clause_rejects_malformed_forms() {
+        for src in [
+            "JOIN r WITHIN 1 WITH ()",                             // empty
+            "JOIN r WITHIN 1 WITH (force)",                        // no value
+            "JOIN r WITHIN 1 WITH (force = hash)",                 // bad value
+            "JOIN r WITHIN 1 WITH (threads = 0)",                  // zero
+            "JOIN r WITHIN 1 WITH (threads = 2.5)",                // fractional
+            "JOIN r WITHIN 1 WITH (shards = -1)",                  // negative
+            "JOIN r WITHIN 1 WITH (pool = 4)",                     // unknown key
+            "JOIN r WITHIN 1 WITH (threads = 1, threads = 2)",     // duplicate
+            "JOIN r WITHIN 1 WITH (threads = 1",                   // unclosed
+            "FIND SIMILAR TO r.a IN r WITHIN 1 WITH force = scan", // no parens
+        ] {
+            assert!(
+                matches!(parse(src), Err(LangError::Parse { .. })),
+                "{src}: should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_shard_statement() {
+        assert_eq!(
+            parse("SHARD stocks INTO 4 BY HASH").unwrap(),
+            Query::Shard {
+                relation: "stocks".into(),
+                count: 4,
+                by: ShardBy::Hash,
+            }
+        );
+        assert_eq!(
+            parse("shard stocks into 1 by range").unwrap(),
+            Query::Shard {
+                relation: "stocks".into(),
+                count: 1,
+                by: ShardBy::Range,
+            }
+        );
+        for src in [
+            "SHARD stocks",                  // no INTO
+            "SHARD stocks INTO 0 BY HASH",   // zero shards
+            "SHARD stocks INTO 2.5 BY HASH", // fractional
+            "SHARD stocks INTO 2 BY MODULO", // unknown rule
+            "SHARD stocks INTO 2",           // no BY
+            "EXPLAIN SHARD stocks INTO 2 BY HASH",
+            "EXPLAIN ANALYZE SHARD stocks INTO 2 BY HASH",
+        ] {
+            assert!(
+                matches!(parse(src), Err(LangError::Parse { .. })),
+                "{src}: should be a parse error"
+            );
+        }
+        // A relation may still be named "shard" in query position.
+        assert!(parse("JOIN shard WITHIN 1").is_ok());
     }
 
     #[test]
@@ -556,7 +814,9 @@ mod tests {
                 relation,
                 eps,
                 window,
+                options,
             } => {
+                assert!(options.is_default());
                 assert_eq!(source, Source::Literal(vec![1.0, 2.0, 3.0]));
                 assert_eq!(relation, "walks");
                 assert_eq!(eps, 0.5);
@@ -575,7 +835,9 @@ mod tests {
                 relation,
                 k,
                 window,
+                options,
             } => {
+                assert!(options.is_default());
                 assert_eq!(
                     source,
                     Source::Ref {
@@ -658,13 +920,8 @@ mod tests {
         match parse("explain analyze JOIN r WITHIN 1 USING TREE").unwrap() {
             Query::Explain { analyze, query } => {
                 assert!(analyze);
-                assert!(matches!(
-                    *query,
-                    Query::Join {
-                        method: JoinMethod::Tree,
-                        ..
-                    }
-                ));
+                assert!(matches!(*query, Query::Join { .. }));
+                assert_eq!(query.options().force, Some(ForceOp::Tree));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -682,7 +939,7 @@ mod tests {
     #[test]
     fn join_without_using_is_auto() {
         match parse("JOIN r WITHIN 1").unwrap() {
-            Query::Join { method, .. } => assert_eq!(method, JoinMethod::Auto),
+            Query::Join { options, .. } => assert!(options.is_default()),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -28,6 +28,7 @@ fn to_reply(out: &QueryOutput) -> QueryReply {
         rows: out.rows.iter().map(to_wire_row).collect(),
         plan: out.plan.clone(),
         stats: out.stats,
+        shard_stats: out.shard_stats.clone(),
     }
 }
 

@@ -4,6 +4,12 @@
 //! preserved byte-identically, never rebuilt), and the LRU cache of
 //! subsequence ST-indexes in recency order — to a single `tsq-store` file.
 //!
+//! Sharded relations persist shard-per-section: the [`ShardSpec`]
+//! (rule + boundaries), the membership lists, and one R\*-tree per shard,
+//! so a restored catalog scatter-gathers over exactly the trees that were
+//! saved. Per-shard ST-index caches are derived state and are rebuilt on
+//! first use instead of being persisted.
+//!
 //! ## Guarantees
 //!
 //! - **Round-trip fidelity.** Every query form (range, k-NN, join,
@@ -27,13 +33,14 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use tsq_core::shard::{ShardBy, ShardMap, ShardSpec, ShardedIndex};
 use tsq_core::{
     executor, store as core_store, RelationStats, SeriesRelation, SimilarityIndex, SubseqIndex,
 };
 use tsq_store::{read_payload, seal, unseal, write_file, Decoder, Encoder, StoreError};
 
 use crate::error::LangError;
-use crate::exec::{CacheSlot, Catalog};
+use crate::exec::{CacheSlot, CachedSubseq, Catalog, Indexed};
 
 /// Everything one snapshot contains, decoded but not yet merged. The
 /// catalog-level index configuration is decoded (and validated) too, but
@@ -41,7 +48,9 @@ use crate::exec::{CacheSlot, Catalog};
 /// keeps that catalog's configuration.
 struct DecodedSnapshot {
     /// `(name, relation, index, stats)` in the file's (sorted) order.
-    relations: Vec<(String, SeriesRelation, SimilarityIndex, RelationStats)>,
+    /// Sharded relations carry no persisted stats — [`ShardedIndex`]
+    /// recomputes its per-shard statistics deterministically on restore.
+    relations: Vec<(String, SeriesRelation, Indexed, Option<RelationStats>)>,
     /// `(name, window, index)` in LRU order (least recent first).
     cache: Vec<(String, usize, SubseqIndex)>,
 }
@@ -61,25 +70,58 @@ impl Catalog {
         enc.usize(names.len());
         for name in &names {
             let rel = &self.relations[name];
-            let index = &self.indexes[name];
+            let indexed = &self.indexes[name];
             let mut section = Encoder::new();
             section.str(name);
             section.usize(rel.len());
             for id in 0..rel.len() {
                 section.str(rel.label(id).expect("label within len"));
             }
-            // Paged relations reconstruct their node structure from the
-            // page file here, byte-identically to the in-memory form —
-            // the only fallible step of a snapshot.
-            index.write_to(&mut section).map_err(LangError::Engine)?;
-            // Planner statistics travel with the relation, so a restored
-            // catalog costs — and therefore chooses — plans identically.
-            let stats = self
-                .stats
-                .get(name)
-                .cloned()
-                .unwrap_or_else(|| RelationStats::from_index(index));
-            core_store::write_relation_stats(&mut section, &stats);
+            match indexed {
+                Indexed::Whole(index) => {
+                    section.u8(RELATION_WHOLE);
+                    // Paged relations reconstruct their node structure from
+                    // the page file here, byte-identically to the in-memory
+                    // form — the only fallible step of a snapshot.
+                    index.write_to(&mut section).map_err(LangError::Engine)?;
+                    // Planner statistics travel with the relation, so a
+                    // restored catalog costs — and therefore chooses —
+                    // plans identically.
+                    let stats = self
+                        .stats
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| RelationStats::from_index(index));
+                    core_store::write_relation_stats(&mut section, &stats);
+                }
+                Indexed::Sharded(sharded) => {
+                    section.u8(RELATION_SHARDED);
+                    let map = sharded.map();
+                    let spec = map.spec();
+                    section.u8(match spec.by() {
+                        ShardBy::Hash => SHARD_BY_HASH,
+                        ShardBy::Range => SHARD_BY_RANGE,
+                    });
+                    section.usize(spec.count());
+                    section.usize(spec.boundaries().len());
+                    for boundary in spec.boundaries() {
+                        section.str(boundary);
+                    }
+                    for shard in 0..spec.count() {
+                        let members = map.members(shard);
+                        section.usize(members.len());
+                        for &global in members {
+                            section.usize(global);
+                        }
+                    }
+                    // Per-shard R*-trees travel whole (structure preserved
+                    // byte-identically, like the unsharded form); per-shard
+                    // statistics are recomputed on restore.
+                    for part in sharded.parts() {
+                        part.write_to(&mut section).map_err(LangError::Engine)?;
+                    }
+                }
+            }
             enc.usize(section.len());
             enc.raw(&section.into_bytes());
         }
@@ -87,16 +129,25 @@ impl Catalog {
         // restoring replays them into an identical LRU ordering. The
         // series data is *not* repeated per cached index — a cached
         // ST-index's store always equals its relation's series, so only
-        // the trails travel (SubseqIndex::write_trails_to).
+        // the trails travel (SubseqIndex::write_trails_to). Per-shard
+        // ST-indexes are cheap derived state and are *not* persisted;
+        // they rebuild on first use after a restore.
         let cache = self.cache_read();
-        let mut entries: Vec<(&(String, usize), &CacheSlot)> = cache.map.iter().collect();
+        let mut entries: Vec<(&(String, usize), &CacheSlot)> = cache
+            .map
+            .iter()
+            .filter(|(_, slot)| slot.index.as_whole().is_some())
+            .collect();
         entries.sort_by_key(|(key, slot)| (slot.last_used.load(Ordering::Relaxed), (*key).clone()));
         enc.usize(entries.len());
         for ((name, window), slot) in entries {
             let mut section = Encoder::new();
             section.str(name);
             section.usize(*window);
-            slot.index.write_trails_to(&mut section);
+            slot.index
+                .as_whole()
+                .expect("filtered to whole entries")
+                .write_trails_to(&mut section);
             enc.usize(section.len());
             enc.raw(&section.into_bytes());
         }
@@ -162,7 +213,13 @@ impl Catalog {
             self.cache_write().map.retain(|(rel, _), _| rel != &name);
             self.relations.insert(name.clone(), relation);
             self.indexes.insert(name.clone(), index);
-            self.stats.insert(name.clone(), stats);
+            // Sharded relations keep no catalog-level stats entry; their
+            // per-shard statistics live inside the ShardedIndex.
+            if let Some(stats) = stats {
+                self.stats.insert(name.clone(), stats);
+            } else {
+                self.stats.remove(&name);
+            }
             restored.push(name);
         }
         // Replay the cached ST-indexes least-recent-first with fresh
@@ -175,7 +232,7 @@ impl Catalog {
             cache.map.insert(
                 key.clone(),
                 CacheSlot {
-                    index: Arc::new(index),
+                    index: CachedSubseq::Whole(Arc::new(index)),
                     last_used: AtomicU64::new(stamp),
                 },
             );
@@ -221,20 +278,38 @@ impl Catalog {
         let budget_bytes = (budget_mib.max(1) as u64) << 20;
         let per_relation = (budget_bytes / restored.len().max(1) as u64).max(1);
         let mut taken = std::collections::HashSet::new();
-        for name in &restored {
-            // Distinct hostile names can sanitize to the same sidecar;
-            // suffix until unique so one page file is never truncated out
-            // from under another relation's open pool.
+        // Distinct hostile names can sanitize to the same sidecar; suffix
+        // until unique so one page file is never truncated out from under
+        // another relation's open pool.
+        let mut claim = |name: &str| {
             let mut sidecar = paged_sidecar(path, name, 0);
             let mut bump = 0usize;
             while !taken.insert(sidecar.clone()) {
                 bump += 1;
                 sidecar = paged_sidecar(path, name, bump);
             }
-            let index = self.indexes.get_mut(name).expect("restored relation");
-            index
-                .attach_paged_budget(&sidecar, per_relation)
-                .map_err(LangError::Engine)?;
+            sidecar
+        };
+        for name in &restored {
+            match self.indexes.get_mut(name).expect("restored relation") {
+                Indexed::Whole(index) => {
+                    let sidecar = claim(name);
+                    index
+                        .attach_paged_budget(&sidecar, per_relation)
+                        .map_err(LangError::Engine)?;
+                }
+                Indexed::Sharded(sharded) => {
+                    // A sharded relation's slice of the pool budget splits
+                    // further across its shards, one sidecar per shard.
+                    let count = sharded.shard_count() as u64;
+                    let per_shard = (per_relation / count.max(1)).max(1);
+                    for (shard, part) in sharded.parts_mut().iter_mut().enumerate() {
+                        let sidecar = claim(&format!("{name}.s{shard}"));
+                        part.attach_paged_budget(&sidecar, per_shard)
+                            .map_err(LangError::Engine)?;
+                    }
+                }
+            }
         }
         Ok(restored)
     }
@@ -253,6 +328,15 @@ impl Catalog {
         Ok(catalog)
     }
 }
+
+/// Relation-section kind tags: a whole (unsharded) index followed by its
+/// planner statistics, or a sharded relation (spec, membership, one index
+/// per shard — statistics recomputed on restore).
+const RELATION_WHOLE: u8 = 0;
+const RELATION_SHARDED: u8 = 1;
+/// [`ShardBy`] tags within a sharded relation section.
+const SHARD_BY_HASH: u8 = 0;
+const SHARD_BY_RANGE: u8 = 1;
 
 fn store_err(e: StoreError) -> LangError {
     LangError::Engine(tsq_core::Error::Store(e))
@@ -346,7 +430,7 @@ fn decode_snapshot(payload: &[u8]) -> Result<DecodedSnapshot, StoreError> {
 
 fn decode_relation_section(
     bytes: &[u8],
-) -> Result<(String, SeriesRelation, SimilarityIndex, RelationStats), StoreError> {
+) -> Result<(String, SeriesRelation, Indexed, Option<RelationStats>), StoreError> {
     let mut dec = Decoder::new(bytes);
     let name = dec.str("relation name")?;
     let label_count = dec.seq(8, "label count")?;
@@ -354,37 +438,98 @@ fn decode_relation_section(
     for _ in 0..label_count {
         labels.push(dec.str("series label")?);
     }
-    let index = SimilarityIndex::read_from(&mut dec).map_err(unwrap_core)?;
-    let stats = core_store::read_relation_stats(&mut dec)?;
-    dec.finish()?;
-    if index.len() != label_count {
-        return Err(StoreError::corrupt(format!(
-            "relation {name:?} has {label_count} label(s) for {} series",
-            index.len()
-        )));
-    }
-    if stats.cardinality != index.len() || stats.series_len != index.series_len() {
-        return Err(StoreError::corrupt(format!(
-            "relation {name:?} stats describe {} series of length {}, index holds {} of length {}",
-            stats.cardinality,
-            stats.series_len,
-            index.len(),
-            index.series_len()
-        )));
-    }
+    let (indexed, stats) = match dec.u8("relation kind")? {
+        RELATION_WHOLE => {
+            let index = SimilarityIndex::read_from(&mut dec).map_err(unwrap_core)?;
+            let stats = core_store::read_relation_stats(&mut dec)?;
+            dec.finish()?;
+            if index.len() != label_count {
+                return Err(StoreError::corrupt(format!(
+                    "relation {name:?} has {label_count} label(s) for {} series",
+                    index.len()
+                )));
+            }
+            if stats.cardinality != index.len() || stats.series_len != index.series_len() {
+                return Err(StoreError::corrupt(format!(
+                    "relation {name:?} stats describe {} series of length {}, \
+                     index holds {} of length {}",
+                    stats.cardinality,
+                    stats.series_len,
+                    index.len(),
+                    index.series_len()
+                )));
+            }
+            (Indexed::Whole(index), Some(stats))
+        }
+        RELATION_SHARDED => {
+            let by = match dec.u8("shard rule")? {
+                SHARD_BY_HASH => ShardBy::Hash,
+                SHARD_BY_RANGE => ShardBy::Range,
+                other => {
+                    return Err(StoreError::corrupt(format!(
+                        "relation {name:?} has unknown shard rule tag {other}"
+                    )))
+                }
+            };
+            let count = dec.seq(1, "shard count")?;
+            let boundary_count = dec.seq(1, "shard boundary count")?;
+            let mut boundaries = Vec::with_capacity(boundary_count);
+            for _ in 0..boundary_count {
+                boundaries.push(dec.str("shard boundary")?);
+            }
+            let spec = ShardSpec::from_parts(by, count, boundaries).map_err(unwrap_core)?;
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let len = dec.seq(8, "shard member count")?;
+                let mut shard = Vec::with_capacity(len);
+                for _ in 0..len {
+                    shard.push(dec.usize("shard member id")?);
+                }
+                members.push(shard);
+            }
+            let map = ShardMap::from_members(spec, members).map_err(unwrap_core)?;
+            if map.total() != label_count {
+                return Err(StoreError::corrupt(format!(
+                    "relation {name:?} has {label_count} label(s) but its shard map \
+                     assigns {}",
+                    map.total()
+                )));
+            }
+            let mut parts = Vec::with_capacity(count);
+            for _ in 0..count {
+                parts.push(SimilarityIndex::read_from(&mut dec).map_err(unwrap_core)?);
+            }
+            dec.finish()?;
+            // from_parts re-validates membership against part sizes and
+            // recomputes per-shard planner statistics deterministically.
+            let sharded = ShardedIndex::from_parts(map, parts).map_err(unwrap_core)?;
+            (Indexed::Sharded(sharded), None)
+        }
+        other => {
+            return Err(StoreError::corrupt(format!(
+                "relation {name:?} has unknown kind tag {other}"
+            )))
+        }
+    };
     let items = labels
         .into_iter()
         .enumerate()
-        .map(|(id, label)| (label, index.series(id).expect("id < len").clone()))
+        .map(|(id, label)| {
+            let series = match &indexed {
+                Indexed::Whole(index) => index.series(id),
+                Indexed::Sharded(sharded) => sharded.series(id),
+            };
+            (label, series.expect("id < len").clone())
+        })
         .collect();
     let relation = SeriesRelation::from_labeled(&name, items)
         .map_err(|e| StoreError::corrupt(format!("relation {name:?} cannot be rebuilt: {e}")))?;
-    Ok((name, relation, index, stats))
+    Ok((name, relation, indexed, stats))
 }
 
 fn decode_cache_section(
     bytes: &[u8],
-    relations: &[(String, SeriesRelation, SimilarityIndex, RelationStats)],
+    relations: &[(String, SeriesRelation, Indexed, Option<RelationStats>)],
 ) -> Result<(String, usize, SubseqIndex), StoreError> {
     let mut dec = Decoder::new(bytes);
     let name = dec.str("cached relation name")?;

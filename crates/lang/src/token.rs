@@ -31,6 +31,8 @@ pub enum TokenKind {
     Comma,
     /// `.`
     Dot,
+    /// `=`
+    Equals,
     /// End of input.
     Eof,
 }
@@ -46,6 +48,7 @@ impl fmt::Display for TokenKind {
             TokenKind::RBracket => write!(f, "]"),
             TokenKind::Comma => write!(f, ","),
             TokenKind::Dot => write!(f, "."),
+            TokenKind::Equals => write!(f, "="),
             TokenKind::Eof => write!(f, "<end of input>"),
         }
     }

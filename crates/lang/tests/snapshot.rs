@@ -278,7 +278,7 @@ fn corrupt_inputs_are_typed_errors() {
         Catalog::new().restore_bytes(&bad).unwrap_err(),
         LangError::Engine(Error::Store(StoreError::UnsupportedVersion {
             got: 7,
-            supported: 2
+            supported: tsq_store::FORMAT_VERSION
         }))
     ));
 

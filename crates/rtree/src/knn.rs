@@ -64,21 +64,51 @@ impl<T> RStarTree<T> {
     /// an admissible (never over-estimating) lower bound on node MBRs.
     ///
     /// Results are sorted by ascending distance. If the tree holds fewer
-    /// than `k` items, all of them are returned.
+    /// than `k` items, all of them are returned. Items tied in distance at
+    /// the `k`-th boundary are kept in traversal order; use
+    /// [`RStarTree::nearest_with_tie`] when the selection must be
+    /// deterministic.
     pub fn nearest_with<'a, B, E>(
         &'a self,
         k: usize,
-        mut bound_dist: B,
-        mut exact_dist: E,
+        bound_dist: B,
+        exact_dist: E,
     ) -> (Vec<Neighbor<'a, T>>, SearchStats)
     where
         B: FnMut(&Rect) -> f64,
         E: FnMut(&Rect, &T) -> f64,
     {
+        // A constant tie key makes the keyed comparator degenerate to the
+        // distance-only comparator, so this wrapper changes nothing.
+        self.nearest_with_tie(k, bound_dist, exact_dist, |_| 0)
+    }
+
+    /// [`RStarTree::nearest_with`] with deterministic tie-breaking: among
+    /// items at equal exact distance, the ones with the smallest `tie_key`
+    /// win the boundary slots, and equal-distance results are ordered by
+    /// ascending key.
+    ///
+    /// The best-first loop only prunes when a heap distance is *strictly*
+    /// greater than the current `k`-th distance, so every item tied at the
+    /// boundary is examined — keying the insertion is enough to make the
+    /// retained set exactly the `k` smallest by `(distance, key)`. Visit
+    /// counters are identical to the unkeyed search.
+    pub fn nearest_with_tie<'a, B, E, K>(
+        &'a self,
+        k: usize,
+        mut bound_dist: B,
+        mut exact_dist: E,
+        mut tie_key: K,
+    ) -> (Vec<Neighbor<'a, T>>, SearchStats)
+    where
+        B: FnMut(&Rect) -> f64,
+        E: FnMut(&Rect, &T) -> f64,
+        K: FnMut(&T) -> u64,
+    {
         let mut stats = SearchStats::default();
-        let mut results: Vec<Neighbor<'a, T>> = Vec::with_capacity(k.min(self.len()));
+        let mut results: Vec<(u64, Neighbor<'a, T>)> = Vec::with_capacity(k.min(self.len()));
         if k == 0 || self.is_empty() {
-            return (results, stats);
+            return (Vec::new(), stats);
         }
         let mut heap: BinaryHeap<HeapEntry<'a, T>> = BinaryHeap::new();
         heap.push(HeapEntry {
@@ -86,7 +116,7 @@ impl<T> RStarTree<T> {
             payload: HeapPayload::Node(&self.root),
         });
         while let Some(HeapEntry { dist, payload }) = heap.pop() {
-            if results.len() == k && dist > results[k - 1].distance {
+            if results.len() == k && dist > results[k - 1].1.distance {
                 break; // nothing on the heap can beat the current k-th
             }
             match payload {
@@ -117,8 +147,10 @@ impl<T> RStarTree<T> {
                 }
                 HeapPayload::Item(rect, item) => {
                     stats.candidates += 1;
+                    let key = tie_key(item);
                     insert_sorted(
                         &mut results,
+                        key,
                         Neighbor {
                             distance: dist,
                             rect,
@@ -131,7 +163,7 @@ impl<T> RStarTree<T> {
                 }
             }
         }
-        (results, stats)
+        (results.into_iter().map(|(_, n)| n).collect(), stats)
     }
 
     /// Euclidean k-nearest-neighbors of a query point, using `MINDIST`
@@ -149,11 +181,16 @@ impl<T> RStarTree<T> {
     }
 }
 
-fn insert_sorted<'a, T>(results: &mut Vec<Neighbor<'a, T>>, n: Neighbor<'a, T>, k: usize) {
+fn insert_sorted<'a, T>(
+    results: &mut Vec<(u64, Neighbor<'a, T>)>,
+    key: u64,
+    n: Neighbor<'a, T>,
+    k: usize,
+) {
     let pos = results
-        .binary_search_by(|p| p.distance.total_cmp(&n.distance))
+        .binary_search_by(|(pk, p)| p.distance.total_cmp(&n.distance).then(pk.cmp(&key)))
         .unwrap_or_else(|p| p);
-    results.insert(pos, n);
+    results.insert(pos, (key, n));
     if results.len() > k {
         results.pop();
     }
@@ -210,17 +247,37 @@ impl PagedTree {
     pub fn nearest_with<B, E>(
         &self,
         k: usize,
-        mut bound_dist: B,
-        mut exact_dist: E,
+        bound_dist: B,
+        exact_dist: E,
     ) -> StoreResult<(Vec<OwnedNeighbor>, SearchStats)>
     where
         B: FnMut(&Rect) -> f64,
         E: FnMut(&Rect, u64) -> f64,
     {
+        self.nearest_with_tie(k, bound_dist, exact_dist, |_| 0)
+    }
+
+    /// Paged twin of [`RStarTree::nearest_with_tie`]: deterministic
+    /// boundary tie-breaking by ascending `tie_key`, identical counters.
+    ///
+    /// # Errors
+    /// Same as [`PagedTree::nearest_with`].
+    pub fn nearest_with_tie<B, E, K>(
+        &self,
+        k: usize,
+        mut bound_dist: B,
+        mut exact_dist: E,
+        mut tie_key: K,
+    ) -> StoreResult<(Vec<OwnedNeighbor>, SearchStats)>
+    where
+        B: FnMut(&Rect) -> f64,
+        E: FnMut(&Rect, u64) -> f64,
+        K: FnMut(u64) -> u64,
+    {
         let mut stats = SearchStats::default();
-        let mut results: Vec<OwnedNeighbor> = Vec::with_capacity(k.min(self.len()));
+        let mut results: Vec<(u64, OwnedNeighbor)> = Vec::with_capacity(k.min(self.len()));
         if k == 0 || self.is_empty() {
-            return Ok((results, stats));
+            return Ok((Vec::new(), stats));
         }
         let mut heap: BinaryHeap<PagedHeapEntry> = BinaryHeap::new();
         heap.push(PagedHeapEntry {
@@ -228,7 +285,7 @@ impl PagedTree {
             payload: PagedHeapPayload::Node(self.root(), self.root_level()),
         });
         while let Some(PagedHeapEntry { dist, payload }) = heap.pop() {
-            if results.len() == k && dist > results[k - 1].distance {
+            if results.len() == k && dist > results[k - 1].1.distance {
                 break; // nothing on the heap can beat the current k-th
             }
             match payload {
@@ -260,8 +317,10 @@ impl PagedTree {
                 }
                 PagedHeapPayload::Item(rect, item) => {
                     stats.candidates += 1;
+                    let key = tie_key(item);
                     insert_sorted_owned(
                         &mut results,
+                        key,
                         OwnedNeighbor {
                             distance: dist,
                             rect,
@@ -272,7 +331,7 @@ impl PagedTree {
                 }
             }
         }
-        Ok((results, stats))
+        Ok((results.into_iter().map(|(_, n)| n).collect(), stats))
     }
 
     /// Paged twin of [`RStarTree::nearest_to_point`].
@@ -292,11 +351,16 @@ impl PagedTree {
     }
 }
 
-fn insert_sorted_owned(results: &mut Vec<OwnedNeighbor>, n: OwnedNeighbor, k: usize) {
+fn insert_sorted_owned(
+    results: &mut Vec<(u64, OwnedNeighbor)>,
+    key: u64,
+    n: OwnedNeighbor,
+    k: usize,
+) {
     let pos = results
-        .binary_search_by(|p| p.distance.total_cmp(&n.distance))
+        .binary_search_by(|(pk, p)| p.distance.total_cmp(&n.distance).then(pk.cmp(&key)))
         .unwrap_or_else(|p| p);
-    results.insert(pos, n);
+    results.insert(pos, (key, n));
     if results.len() > k {
         results.pop();
     }
@@ -399,6 +463,29 @@ mod tests {
         );
         assert_eq!(*got[0].item, (3, 7));
         assert!(got[0].distance < 1e-12);
+    }
+
+    #[test]
+    fn boundary_ties_break_by_key() {
+        // Eight points at identical distance from the query; k = 3 must
+        // keep exactly the three smallest payloads regardless of the
+        // insertion (and therefore traversal) order.
+        for perm in 0..8u64 {
+            let mut t = RStarTree::new(RTreeConfig::with_max_entries(4));
+            for i in 0..8u64 {
+                let id = (i + perm) % 8;
+                let angle = id as f64 * std::f64::consts::FRAC_PI_4;
+                t.insert_point(&[angle.cos(), angle.sin()], id);
+            }
+            let (got, _) = t.nearest_with_tie(
+                3,
+                |rect| rect.min_dist2(&[0.0, 0.0]).sqrt(),
+                |_, _| 1.0, // all items exactly tied
+                |&id| id,
+            );
+            let ids: Vec<u64> = got.iter().map(|n| *n.item).collect();
+            assert_eq!(ids, vec![0, 1, 2], "perm {perm}");
+        }
     }
 
     #[test]

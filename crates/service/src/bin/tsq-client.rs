@@ -42,6 +42,16 @@ fn print_reply(reply: &QueryReply) {
         reply.stats.nodes_visited,
         reply.stats.disk_accesses
     );
+    for (shard, stats) in reply.shard_stats.iter().enumerate() {
+        println!(
+            "#   shard {shard}: candidates={} refined={} false_hits={} nodes={} disk={}",
+            stats.candidates,
+            stats.refined,
+            stats.false_hits,
+            stats.nodes_visited,
+            stats.disk_accesses
+        );
+    }
 }
 
 fn print_append(reply: &QueryReply) {

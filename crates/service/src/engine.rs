@@ -41,10 +41,16 @@ pub struct IngestRow {
 pub struct QueryReply {
     /// Answer rows.
     pub rows: Vec<WireRow>,
-    /// Name of the physical operator that ran (e.g. `IndexRange`).
+    /// Name of the physical operator that ran (e.g. `IndexRange`, or
+    /// `Sharded(4):IndexRange` for a scatter-gather run).
     pub plan: String,
     /// Execution counters (candidates, refines, disk accesses, ...).
+    /// For a sharded relation this is the exact sum of
+    /// [`QueryReply::shard_stats`].
     pub stats: ExecStats,
+    /// Per-shard execution counters of a scatter-gather run, in shard
+    /// order — empty for unsharded relations and mutations.
+    pub shard_stats: Vec<ExecStats>,
 }
 
 /// Why the engine rejected or failed a query.

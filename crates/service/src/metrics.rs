@@ -37,6 +37,8 @@ pub struct Metrics {
     disk_accesses: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    sharded_queries: AtomicU64,
+    shards_probed: AtomicU64,
     /// Successful queries per physical operator the planner chose.
     plans: Mutex<BTreeMap<String, u64>>,
 }
@@ -63,6 +65,8 @@ impl Default for Metrics {
             disk_accesses: AtomicU64::new(0),
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
+            sharded_queries: AtomicU64::new(0),
+            shards_probed: AtomicU64::new(0),
             plans: Mutex::new(BTreeMap::new()),
         }
     }
@@ -116,6 +120,11 @@ impl Metrics {
             .fetch_add(reply.stats.pool_hits, Ordering::Relaxed);
         self.pool_misses
             .fetch_add(reply.stats.pool_misses, Ordering::Relaxed);
+        if !reply.shard_stats.is_empty() {
+            self.sharded_queries.fetch_add(1, Ordering::Relaxed);
+            self.shards_probed
+                .fetch_add(reply.shard_stats.len() as u64, Ordering::Relaxed);
+        }
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
         *plans.entry(reply.plan.clone()).or_insert(0) += 1;
     }
@@ -163,6 +172,8 @@ impl Metrics {
             disk_accesses: self.disk_accesses.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            sharded_queries: self.sharded_queries.load(Ordering::Relaxed),
+            shards_probed: self.shards_probed.load(Ordering::Relaxed),
             plans,
         }
     }
@@ -217,6 +228,11 @@ pub struct MetricsSnapshot {
     pub pool_hits: u64,
     /// Summed measured buffer-pool misses — actual page reads.
     pub pool_misses: u64,
+    /// Successful queries answered by scatter-gather over a sharded
+    /// relation.
+    pub sharded_queries: u64,
+    /// Total shards carrying counters across those queries.
+    pub shards_probed: u64,
     /// Successful queries per chosen physical operator.
     pub plans: BTreeMap<String, u64>,
 }
@@ -242,6 +258,7 @@ impl MetricsSnapshot {
                 "\"rows\":{},\"candidates\":{},\"refined\":{},\"false_hits\":{},",
                 "\"nodes_visited\":{},\"disk_accesses\":{},",
                 "\"pool_hits\":{},\"pool_misses\":{},",
+                "\"sharded_queries\":{},\"shards_probed\":{},",
                 "\"plans\":{}}}"
             ),
             self.uptime_secs,
@@ -263,6 +280,8 @@ impl MetricsSnapshot {
             self.disk_accesses,
             self.pool_hits,
             self.pool_misses,
+            self.sharded_queries,
+            self.shards_probed,
             plans
         )
     }
@@ -292,6 +311,7 @@ mod tests {
                 pool_hits: 7,
                 pool_misses: 4,
             },
+            shard_stats: Vec::new(),
         });
         m.query_done();
         m.record_err(ErrorCode::Timeout);

@@ -867,7 +867,26 @@ fn http_error_response(err: &WireError) -> Vec<u8> {
     )
 }
 
-/// Renders a [`QueryReply`] as the HTTP facade's JSON answer.
+/// Renders one counters object as JSON (shared by the merged `stats`
+/// field and the per-shard `shards` array).
+fn stats_json(stats: &tsq_core::plan::ExecStats) -> String {
+    format!(
+        "{{\"candidates\":{},\"refined\":{},\"false_hits\":{},\
+         \"nodes_visited\":{},\"disk_accesses\":{},\
+         \"pool_hits\":{},\"pool_misses\":{}}}",
+        stats.candidates,
+        stats.refined,
+        stats.false_hits,
+        stats.nodes_visited,
+        stats.disk_accesses,
+        stats.pool_hits,
+        stats.pool_misses
+    )
+}
+
+/// Renders a [`QueryReply`] as the HTTP facade's JSON answer. A
+/// scatter-gather reply carries a `shards` array with one counters
+/// object per shard; `stats` is always their exact sum.
 pub fn reply_json(reply: &QueryReply) -> String {
     let mut rows = String::from("[");
     for (i, row) in reply.rows.iter().enumerate() {
@@ -886,20 +905,21 @@ pub fn reply_json(reply: &QueryReply) -> String {
         rows.push_str(&format!(",\"distance\":{}}}", row.distance));
     }
     rows.push(']');
+    let mut shards = String::from("[");
+    for (i, shard) in reply.shard_stats.iter().enumerate() {
+        if i > 0 {
+            shards.push(',');
+        }
+        shards.push_str(&stats_json(shard));
+    }
+    shards.push(']');
     format!(
         "{{\"plan\":\"{}\",\"row_count\":{},\"rows\":{},\
-         \"stats\":{{\"candidates\":{},\"refined\":{},\"false_hits\":{},\
-         \"nodes_visited\":{},\"disk_accesses\":{},\
-         \"pool_hits\":{},\"pool_misses\":{}}}}}",
+         \"stats\":{},\"shards\":{}}}",
         http::json_escape(&reply.plan),
         reply.rows.len(),
         rows,
-        reply.stats.candidates,
-        reply.stats.refined,
-        reply.stats.false_hits,
-        reply.stats.nodes_visited,
-        reply.stats.disk_accesses,
-        reply.stats.pool_hits,
-        reply.stats.pool_misses
+        stats_json(&reply.stats),
+        shards
     )
 }

@@ -25,10 +25,13 @@
 //!          | 0x04 PONG
 //!          | 0x05 BYE      (shutdown acknowledged)
 //!          | 0x06 APPEND   reply-body (one row per appended label)
-//! reply-body := str(plan) u64(candidates) u64(refined) u64(false_hits)
+//! reply-body := str(plan) counters
+//!               seq(counters)                   per-shard breakdown;
+//!                                               empty when unsharded
+//!               seq(str(a) opt(str(b)) opt(u64(offset)) f64(distance))
+//! counters   := u64(candidates) u64(refined) u64(false_hits)
 //!               u64(nodes_visited) u64(disk_accesses)
 //!               u64(pool_hits) u64(pool_misses)
-//!               seq(str(a) opt(str(b)) opt(u64(offset)) f64(distance))
 //! ```
 //!
 //! A reader never trusts a declared length: the frame header's payload
@@ -394,15 +397,38 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, StoreError> {
     Ok(req)
 }
 
+fn encode_counters(enc: &mut Encoder, stats: &ExecStats) {
+    enc.u64(stats.candidates as u64);
+    enc.u64(stats.refined as u64);
+    enc.u64(stats.false_hits as u64);
+    enc.u64(stats.nodes_visited);
+    enc.u64(stats.disk_accesses);
+    enc.u64(stats.pool_hits);
+    enc.u64(stats.pool_misses);
+}
+
+fn decode_counters(dec: &mut Decoder<'_>) -> Result<ExecStats, StoreError> {
+    let narrow = |v: u64, what: &str| -> Result<usize, StoreError> {
+        usize::try_from(v).map_err(|_| StoreError::corrupt(format!("{what} {v} exceeds usize")))
+    };
+    Ok(ExecStats {
+        candidates: narrow(dec.u64("candidates")?, "candidates")?,
+        refined: narrow(dec.u64("refined")?, "refined")?,
+        false_hits: narrow(dec.u64("false hits")?, "false hits")?,
+        nodes_visited: dec.u64("nodes visited")?,
+        disk_accesses: dec.u64("disk accesses")?,
+        pool_hits: dec.u64("pool hits")?,
+        pool_misses: dec.u64("pool misses")?,
+    })
+}
+
 fn encode_reply_body(enc: &mut Encoder, reply: &QueryReply) {
     enc.str(&reply.plan);
-    enc.u64(reply.stats.candidates as u64);
-    enc.u64(reply.stats.refined as u64);
-    enc.u64(reply.stats.false_hits as u64);
-    enc.u64(reply.stats.nodes_visited);
-    enc.u64(reply.stats.disk_accesses);
-    enc.u64(reply.stats.pool_hits);
-    enc.u64(reply.stats.pool_misses);
+    encode_counters(enc, &reply.stats);
+    enc.usize(reply.shard_stats.len());
+    for shard in &reply.shard_stats {
+        encode_counters(enc, shard);
+    }
     enc.usize(reply.rows.len());
     for row in &reply.rows {
         enc.str(&row.a);
@@ -426,18 +452,13 @@ fn encode_reply_body(enc: &mut Encoder, reply: &QueryReply) {
 
 fn decode_reply_body(dec: &mut Decoder<'_>) -> Result<QueryReply, StoreError> {
     let plan = dec.str("plan name")?;
-    let narrow = |v: u64, what: &str| -> Result<usize, StoreError> {
-        usize::try_from(v).map_err(|_| StoreError::corrupt(format!("{what} {v} exceeds usize")))
-    };
-    let stats = ExecStats {
-        candidates: narrow(dec.u64("candidates")?, "candidates")?,
-        refined: narrow(dec.u64("refined")?, "refined")?,
-        false_hits: narrow(dec.u64("false hits")?, "false hits")?,
-        nodes_visited: dec.u64("nodes visited")?,
-        disk_accesses: dec.u64("disk accesses")?,
-        pool_hits: dec.u64("pool hits")?,
-        pool_misses: dec.u64("pool misses")?,
-    };
+    let stats = decode_counters(dec)?;
+    // Per-shard counter blocks are 7 u64s each.
+    let shard_count = dec.seq(56, "shard stats")?;
+    let mut shard_stats = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        shard_stats.push(decode_counters(dec)?);
+    }
     // Minimum row wire size: 8 (label length) + 1 + 1 + 8 (distance).
     let count = dec.seq(18, "rows")?;
     let mut rows = Vec::with_capacity(count);
@@ -461,7 +482,12 @@ fn decode_reply_body(dec: &mut Decoder<'_>) -> Result<QueryReply, StoreError> {
             distance,
         });
     }
-    Ok(QueryReply { rows, plan, stats })
+    Ok(QueryReply {
+        rows,
+        plan,
+        stats,
+        shard_stats,
+    })
 }
 
 fn encode_wire_error(enc: &mut Encoder, err: &WireError) {
@@ -590,7 +616,34 @@ mod tests {
                 pool_hits: 3,
                 pool_misses: 1,
             },
+            shard_stats: Vec::new(),
         }
+    }
+
+    fn sharded_reply() -> QueryReply {
+        let mut reply = sample_reply();
+        reply.plan = "Sharded(2):IndexRange".into();
+        reply.shard_stats = vec![
+            ExecStats {
+                candidates: 4,
+                refined: 2,
+                false_hits: 1,
+                nodes_visited: 3,
+                disk_accesses: 7,
+                pool_hits: 3,
+                pool_misses: 0,
+            },
+            ExecStats {
+                candidates: 5,
+                refined: 3,
+                false_hits: 1,
+                nodes_visited: 1,
+                disk_accesses: 6,
+                pool_hits: 0,
+                pool_misses: 1,
+            },
+        ];
+        reply
     }
 
     #[test]
@@ -628,8 +681,10 @@ mod tests {
         for resp in [
             Response::Error(WireError::new(ErrorCode::Timeout, "10s elapsed")),
             Response::Rows(sample_reply()),
+            Response::Rows(sharded_reply()),
             Response::Batch(vec![
                 Ok(sample_reply()),
+                Ok(sharded_reply()),
                 Err(WireError::new(ErrorCode::BadQuery, "nope")),
             ]),
             Response::Stats("{\"queries\":1}".into()),

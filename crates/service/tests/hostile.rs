@@ -26,6 +26,7 @@ impl Engine for EchoEngine {
             }],
             plan: "Echo".to_string(),
             stats: Default::default(),
+            shard_stats: Vec::new(),
         })
     }
 }

@@ -34,6 +34,7 @@ impl Engine for EchoEngine {
             }],
             plan: "Echo".to_string(),
             stats: Default::default(),
+            shard_stats: Vec::new(),
         })
     }
 }
@@ -57,6 +58,7 @@ impl Engine for GatedEngine {
             rows: vec![],
             plan: format!("Gated({query})"),
             stats: Default::default(),
+            shard_stats: Vec::new(),
         })
     }
 }
@@ -117,6 +119,7 @@ impl Engine for LedgerEngine {
             rows: out,
             plan: "Append".to_string(),
             stats: Default::default(),
+            shard_stats: Vec::new(),
         })
     }
 }

@@ -4,7 +4,7 @@
 //! offset  size  field
 //! ------  ----  ------------------------------------------------------
 //!      0     8  magic  "TSQSNAP\0"
-//!      8     4  format version (u32, little-endian) — currently 2
+//!      8     4  format version (u32, little-endian) — currently 3
 //!     12     4  endianness marker 0x01020304 (little-endian on disk:
 //!               bytes 04 03 02 01; a byte-swapped marker means the
 //!               writer used the wrong byte order)
@@ -32,8 +32,9 @@ use crate::error::{StoreError, StoreResult};
 /// The snapshot magic bytes.
 pub const MAGIC: &[u8; 8] = b"TSQSNAP\0";
 
-/// Newest format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 2;
+/// Newest format version this build writes and reads. Version 3 added
+/// the relation-kind byte (whole vs sharded) to catalog snapshots.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Endianness sentinel; on disk as little-endian bytes `04 03 02 01`.
 const ENDIAN_MARKER: u32 = 0x0102_0304;
