@@ -1,0 +1,282 @@
+//! Executor bench: spawn-per-call fan-out vs. the persistent
+//! work-stealing pool, plus a sharded scatter-gather sweep riding on
+//! the pool.
+//!
+//! Part A pits the pre-pool strategy — spawn and join fresh scoped OS
+//! threads on **every** `parallel_map` call (reproduced locally below)
+//! — against `executor::parallel_map` on the persistent pool, over many
+//! small fan-out calls where the per-call spawn tax dominates. Both
+//! sides must produce byte-identical results first; then the pool must
+//! be at least as fast at every measured thread count.
+//!
+//! Part B sweeps 1/2/4/8-shard layouts under `WITH (force = scan,
+//! threads = 2)` — a workload whose total work is shard-invariant (a
+//! forced scan touches every series exactly once regardless of layout)
+//! — and asserts throughput does not degrade monotonically as shards
+//! are added, i.e. the per-shard scatter overhead stays in the noise.
+//!
+//! Emits `BENCH_pool.json` for the CI perf trajectory; CI uploads the
+//! artifact. Run with: `cargo bench --bench pool`
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsq::core::executor;
+use tsq::core::SeriesRelation;
+use tsq::lang::Catalog;
+use tsq::series::generate::RandomWalkGenerator;
+
+/// Fan-out calls per measurement: many small calls, so the per-call
+/// setup cost (thread spawn vs. pool submit) is what gets measured.
+const CALLS: usize = 150;
+/// Items per fan-out call.
+const ITEMS: usize = 32;
+/// Points per series in the distance workload.
+const LEN: usize = 64;
+/// Thread counts the fan-out comparison measures.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Alternating repetitions per side; the minimum is kept.
+const REPS: usize = 3;
+
+const SWEEP_SERIES: usize = 1200;
+const SWEEP_LEN: usize = 512;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SWEEP_ROUNDS: usize = 4;
+/// Repetitions per layout; the minimum is kept (noise floor).
+const SWEEP_REPS: usize = 3;
+
+/// The pre-pool `parallel_map`: order-preserving fan-out that spawns
+/// and joins fresh scoped threads on every call — the baseline this
+/// workspace retired. Kept here as the thing to beat.
+fn spawn_map<T, R, F>(threads: usize, items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let mut rest_items = items;
+        let mut rest_out = &mut out[..];
+        while !rest_items.is_empty() {
+            let take = chunk.min(rest_items.len());
+            let tail = rest_items.split_off(take);
+            let part = std::mem::replace(&mut rest_items, tail);
+            let (head_out, tail_out) = rest_out.split_at_mut(take);
+            rest_out = tail_out;
+            s.spawn(move || {
+                for (slot, item) in head_out.iter_mut().zip(part) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Per-item work: an exact Euclidean distance between two short series
+/// — about a microsecond of arithmetic, small enough that per-call
+/// fan-out overhead is visible around it.
+fn distances(data: &[Vec<f64>]) -> impl Fn(usize) -> f64 + Sync + '_ {
+    move |i: usize| {
+        let probe = &data[0];
+        let other = &data[i % data.len()];
+        probe
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+fn time_fanout<F: Fn(usize) -> f64 + Sync>(threads: usize, f: &F, pool: bool) -> f64 {
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let items: Vec<usize> = (0..ITEMS).collect();
+        let out = if pool {
+            executor::parallel_map(threads, items, f)
+        } else {
+            spawn_map(threads, items, f)
+        };
+        black_box(out.len());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let data: Vec<Vec<f64>> = RandomWalkGenerator::new(20_260_808)
+        .relation(8, LEN)
+        .into_iter()
+        .map(|s| s.values().to_vec())
+        .collect();
+    let work = distances(&data);
+
+    // Byte-identity gate before any clock starts: sequential, spawn,
+    // and pool answers must be bit-for-bit the same at every width.
+    let items: Vec<usize> = (0..ITEMS).collect();
+    let want: Vec<u64> = items.iter().map(|&i| work(i).to_bits()).collect();
+    for &t in &THREAD_COUNTS {
+        let spawned: Vec<u64> = spawn_map(t, items.clone(), &work)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        let pooled: Vec<u64> = executor::parallel_map(t, items.clone(), &work)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(spawned, want, "spawn_map diverged at {t} threads");
+        assert_eq!(pooled, want, "pool map diverged at {t} threads");
+    }
+
+    // Part A: spawn-per-call vs. pool, min over alternating reps.
+    println!(
+        "pool fan-out: {CALLS} calls x {ITEMS} items per measurement \
+         (pool has {} worker(s))",
+        executor::Pool::global().workers()
+    );
+    let mut fanout_rows = Vec::new();
+    let mut pool_at_least_spawn = true;
+    for &t in &THREAD_COUNTS {
+        let mut spawn_best = f64::INFINITY;
+        let mut pool_best = f64::INFINITY;
+        for _ in 0..REPS {
+            spawn_best = spawn_best.min(time_fanout(t, &work, false));
+            pool_best = pool_best.min(time_fanout(t, &work, true));
+        }
+        // At every width the pool must at least match the spawn
+        // baseline (5% tolerance so timer noise on the identical
+        // threads=1 path cannot flake the gate).
+        let ok = pool_best <= spawn_best * 1.05;
+        pool_at_least_spawn &= ok;
+        println!(
+            "  threads = {t}: spawn {:8.2} ms, pool {:8.2} ms ({:.2}x){}",
+            spawn_best * 1e3,
+            pool_best * 1e3,
+            spawn_best / pool_best,
+            if ok { "" } else { "  << pool slower!" }
+        );
+        fanout_rows.push(format!(
+            "    {{ \"threads\": {t}, \"spawn_ms\": {:.3}, \"pool_ms\": {:.3}, \
+             \"speedup_vs_spawn\": {:.3} }}",
+            spawn_best * 1e3,
+            pool_best * 1e3,
+            spawn_best / pool_best
+        ));
+    }
+    assert!(
+        pool_at_least_spawn,
+        "the persistent pool must not lose to spawn-per-call at any measured thread count"
+    );
+
+    // Part B: sharded scatter-gather sweep on the pool. A forced scan
+    // with an epsilon nothing abandons under does identical per-series
+    // work in every layout — the total is shard-invariant by
+    // construction — so added shards must not cost monotonically
+    // degrading throughput.
+    let initial = RandomWalkGenerator::new(19_970_603).relation(SWEEP_SERIES, SWEEP_LEN);
+    let queries = [
+        "FIND SIMILAR TO walks.s0 IN walks WITHIN 1000000 WITH (force = scan, threads = 2)",
+        "FIND SIMILAR TO walks.s7 IN walks WITHIN 1000000 WITH (force = scan, threads = 2)",
+    ];
+    let oracle = {
+        let mut cat = Catalog::new();
+        cat.register(SeriesRelation::from_series("walks", initial.clone()).unwrap())
+            .unwrap();
+        cat
+    };
+    let answers: Vec<_> = queries.iter().map(|q| oracle.run(q).unwrap()).collect();
+
+    let total_queries = SWEEP_ROUNDS * queries.len();
+    let mut sweep_rows = Vec::new();
+    let mut sweep_qs = Vec::new();
+    println!(
+        "pool shard sweep: {SWEEP_SERIES} series x {SWEEP_LEN} points, \
+         {total_queries} queries per layout"
+    );
+    for shards in SHARD_COUNTS {
+        let mut cat = Catalog::new();
+        cat.register(SeriesRelation::from_series("walks", initial.clone()).unwrap())
+            .unwrap();
+        cat.run_mut(&format!("SHARD walks INTO {shards} BY HASH"))
+            .unwrap();
+        for (q, want) in queries.iter().zip(&answers) {
+            let got = cat.run(q).unwrap();
+            assert_eq!(got.rows, want.rows, "{shards} shard(s): {q}");
+        }
+        let mut secs = f64::INFINITY;
+        for _ in 0..SWEEP_REPS {
+            let start = Instant::now();
+            for _ in 0..SWEEP_ROUNDS {
+                for q in &queries {
+                    black_box(cat.run(q).unwrap().rows.len());
+                }
+            }
+            secs = secs.min(start.elapsed().as_secs_f64());
+        }
+        let qs = total_queries as f64 / secs;
+        println!("  {shards} shard(s): {:8.1} ms ({qs:.0} q/s)", secs * 1e3);
+        sweep_rows.push(format!(
+            "    {{ \"shards\": {shards}, \"ms\": {:.3}, \"queries_per_sec\": {qs:.0} }}",
+            secs * 1e3
+        ));
+        sweep_qs.push(qs);
+    }
+    // Not monotonically degrading: at least one step must hold flat or
+    // improve; a step only counts as degradation beyond 1% (the timing
+    // noise floor for millisecond-scale layouts).
+    let monotone_degrading = sweep_qs.windows(2).all(|w| w[1] < w[0] * 0.99);
+    assert!(
+        !monotone_degrading,
+        "sharded throughput degraded monotonically across the sweep: {sweep_qs:?}"
+    );
+
+    let stats = executor::pool_stats();
+    let json = format!(
+        "{{\n  \"bench\": \"pool\",\n  \"map_calls\": {CALLS},\n  \"items_per_call\": {ITEMS},\n  \
+         \"pool_workers\": {},\n  \"identical_to_sequential\": true,\n  \
+         \"pool_at_least_spawn\": {pool_at_least_spawn},\n  \"fanout\": [\n{}\n  ],\n  \
+         \"sweep_queries_per_layout\": {total_queries},\n  \
+         \"sweep_not_monotonically_degrading\": {},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"pool_tasks\": {},\n  \"pool_steals\": {}\n}}\n",
+        executor::Pool::global().workers(),
+        fanout_rows.join(",\n"),
+        !monotone_degrading,
+        sweep_rows.join(",\n"),
+        stats.tasks,
+        stats.steals
+    );
+    if let Err(e) = std::fs::write("BENCH_pool.json", &json) {
+        eprintln!("cannot write BENCH_pool.json: {e}");
+    } else {
+        println!("  wrote BENCH_pool.json");
+    }
+
+    let mut group = c.benchmark_group("pool");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    group.bench_function("fanout_spawn_t2", |b| {
+        b.iter(|| black_box(spawn_map(2, (0..ITEMS).collect(), &work).len()))
+    });
+    group.bench_function("fanout_pool_t2", |b| {
+        b.iter(|| {
+            black_box(executor::parallel_map(2, (0..ITEMS).collect::<Vec<usize>>(), &work).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -7,11 +7,13 @@
 //! the std-only worker-pool layer that turns the per-query engine into a
 //! batched one:
 //!
-//! - [`parallel_map`] — the shared order-preserving fan-out primitive
-//!   (atomic work-stealing over scoped threads; no rayon in the build
-//!   image). Query costs vary wildly between a selective range probe and a
-//!   whole-relation KNN, so indices are claimed one at a time rather than
-//!   pre-chunked.
+//! - [`parallel_map`] — the shared order-preserving fan-out primitive,
+//!   running on the persistent work-stealing [`Pool`] (no rayon in the
+//!   build image; no per-call thread spawning either). Query costs vary
+//!   wildly between a selective range probe and a whole-relation KNN, so
+//!   indices are claimed one at a time rather than pre-chunked. Nested
+//!   fan-outs (a sharded query inside a batch) run inline on the owning
+//!   worker.
 //! - [`QueryExecutor`] — runs a batch of whole-sequence queries
 //!   ([`BatchQuery`]) against one [`SimilarityIndex`], or subsequence
 //!   queries ([`SubseqBatchQuery`]) against one [`SubseqIndex`], fanning
@@ -24,7 +26,6 @@
 //! sequential oracle regardless of thread count, which the concurrency
 //! test suite asserts.
 
-use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,15 +40,31 @@ use crate::transform::LinearTransform;
 
 /// The shared order-preserving fan-out primitive, re-exported from the
 /// lowest crate that needs it (`tsq-rtree` uses it for parallel bulk
-/// loading; one implementation serves the whole workspace).
+/// loading; one implementation serves the whole workspace). It fans out
+/// over [`Pool::global`], the persistent work-stealing executor.
 pub use tsq_rtree::par::parallel_map;
 
+/// The persistent work-stealing executor behind [`parallel_map`],
+/// re-exported so callers can size batches off [`Pool::workers`], sample
+/// [`Pool::stats`], or (in tests) drive a dedicated pool of a controlled
+/// width.
+pub use tsq_pool::{Pool, PoolStats};
+
+/// Samples the global pool's cumulative scheduler counters (tasks run,
+/// steals) — the pair `/metrics` and [`BatchStats`] surface. These are
+/// deliberately *not* part of `ExecStats`: query counters stay
+/// byte-identical between sequential and parallel execution, while
+/// scheduler counters inherently depend on timing.
+pub fn pool_stats() -> PoolStats {
+    Pool::global().stats()
+}
+
 /// Number of workers to use when the caller does not care: the machine's
-/// available parallelism, 1 if it cannot be determined.
+/// available parallelism (1 if it cannot be determined), queried once
+/// and cached by the pool — repeated batch statements no longer re-query
+/// `available_parallelism`.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    tsq_pool::default_workers()
 }
 
 /// Most OS threads any single fan-out may request, as a multiple of the
@@ -169,6 +186,11 @@ pub struct BatchStats {
     pub elapsed: Duration,
     /// Worker threads the batch ran on.
     pub threads: usize,
+    /// Pool tasks executed while this batch ran (process-wide delta of
+    /// [`pool_stats`]; concurrent batches' tasks are included).
+    pub pool_tasks: u64,
+    /// Pool deque steals while this batch ran (same process-wide delta).
+    pub pool_steals: u64,
 }
 
 impl BatchStats {
@@ -229,6 +251,7 @@ impl QueryExecutor {
         batch: Vec<BatchQuery>,
     ) -> (Vec<BatchResult>, BatchStats) {
         let started = Instant::now();
+        let before = pool_stats();
         let queries = batch.len();
         let results = parallel_map(self.threads, batch, |query| match query {
             BatchQuery::Range {
@@ -239,7 +262,7 @@ impl QueryExecutor {
             } => index.range_query(&q, eps, &transform, &window),
             BatchQuery::Knn { q, k, transform } => index.knn_query(&q, k, &transform),
         });
-        let stats = self.batch_stats(queries, started, results.iter(), |r| {
+        let stats = self.batch_stats(queries, started, before, results.iter(), |r| {
             (r.index.nodes_visited, r.candidates)
         });
         (results, stats)
@@ -255,12 +278,13 @@ impl QueryExecutor {
         batch: Vec<SubseqBatchQuery>,
     ) -> (Vec<SubseqBatchResult>, BatchStats) {
         let started = Instant::now();
+        let before = pool_stats();
         let queries = batch.len();
         let results = parallel_map(self.threads, batch, |query| match query {
             SubseqBatchQuery::Range { q, eps } => index.subseq_range(&q, eps),
             SubseqBatchQuery::Knn { q, k } => index.subseq_knn(&q, k),
         });
-        let stats = self.batch_stats(queries, started, results.iter(), |r| {
+        let stats = self.batch_stats(queries, started, before, results.iter(), |r| {
             (r.index.nodes_visited, r.candidates)
         });
         (results, stats)
@@ -270,6 +294,7 @@ impl QueryExecutor {
         &self,
         queries: usize,
         started: Instant,
+        before: PoolStats,
         results: impl Iterator<Item = &'a Result<(M, S)>>,
         counters: impl Fn(&S) -> (u64, usize),
     ) -> BatchStats {
@@ -289,6 +314,9 @@ impl QueryExecutor {
             }
         }
         stats.elapsed = started.elapsed();
+        let after = pool_stats();
+        stats.pool_tasks = after.tasks.saturating_sub(before.tasks);
+        stats.pool_steals = after.steals.saturating_sub(before.steals);
         stats
     }
 }

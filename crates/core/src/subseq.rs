@@ -875,19 +875,13 @@ fn distance_sq(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Squared distance with early abandoning: `None` as soon as the partial
-/// sum exceeds `limit`. Uses the same `<=` boundary predicate as the naive
-/// scan so both paths agree bit-for-bit on threshold ties.
+/// sum exceeds `limit`. Delegates to the shared blocked kernel
+/// ([`tsq_series::distance::distance_sq_within`]), which keeps the same
+/// `<=` boundary predicate as the naive scan — and strict left-to-right
+/// accumulation — so both paths agree bit-for-bit on threshold ties.
 #[inline]
 fn distance_sq_bounded(x: &[f64], y: &[f64], limit: f64) -> Option<f64> {
-    let mut acc = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
-        let d = a - b;
-        acc += d * d;
-        if acc > limit {
-            return None;
-        }
-    }
-    Some(acc)
+    tsq_series::distance::distance_sq_within(x, y, limit)
 }
 
 #[cfg(test)]

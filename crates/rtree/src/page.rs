@@ -26,15 +26,27 @@
 //!   resident) or a **miss** (read from the file). Cumulative hit/miss
 //!   counters are the measured-I/O ground truth that `EXPLAIN ANALYZE`
 //!   reports.
-//! - Eviction is LRU over *unpinned* frames only. When every frame is
-//!   pinned the pool soft-overflows past `capacity_pages` (a recursive
-//!   traversal through a capacity-1 pool must not deadlock); the surplus
-//!   is trimmed back as pins are released.
+//! - Eviction is **segmented LRU** (2Q-style, scan-resistant) over
+//!   *unpinned* frames only. A page enters the **probationary** segment
+//!   on first admission and is promoted to the **protected** segment on
+//!   its first re-hit; victims are taken from the probationary segment
+//!   first, so a one-shot scan of many cold pages churns through
+//!   probationary frames without flushing the re-referenced working set.
+//!   The protected segment is capped at 3/4 of capacity; overflow
+//!   demotes its LRU frame back to probationary (keeping its old stamp,
+//!   so it is near the front of the eviction line). Frames marked
+//!   **sticky** ([`BufferPool::mark_sticky`] — the tree root) are never
+//!   eviction victims, though [`BufferPool::flush`] still drops them: a
+//!   cold-cache reset must measure true cold I/O.
+//! - When every frame is pinned the pool soft-overflows past
+//!   `capacity_pages` (a recursive traversal through a capacity-1 pool
+//!   must not deadlock); the surplus is trimmed back as pins are
+//!   released.
 //! - Reads and decodes happen under the pool lock, serializing I/O. That
 //!   is deliberate: it keeps hit/miss accounting exact (no two threads
 //!   racing to fault the same page and double-counting a miss).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::ops::Deref;
@@ -56,12 +68,15 @@ impl std::fmt::Display for PageId {
 /// Fixed per-page prefix: payload length `u32` + CRC-32 `u32`.
 pub(crate) const PAGE_PREFIX_BYTES: usize = 8;
 
-/// One resident frame: the decoded node, its pin count, and an LRU stamp.
+/// One resident frame: the decoded node, its pin count, an LRU stamp,
+/// and which SLRU segment it sits in.
 #[derive(Debug)]
 struct Frame<N> {
     value: Arc<N>,
     pins: usize,
     stamp: u64,
+    /// False on first admission (probationary), true once re-hit.
+    protected: bool,
 }
 
 #[derive(Debug)]
@@ -72,6 +87,11 @@ struct PoolInner<N> {
     frames: HashMap<u64, Frame<N>>,
     /// Monotone counter stamping every touch; smallest stamp = LRU victim.
     tick: u64,
+    /// Frames currently in the protected segment.
+    protected_count: usize,
+    /// Page ids exempt from eviction (the root). Survives `flush` as a
+    /// *policy* — re-admitted sticky pages are sticky again.
+    sticky: HashSet<u64>,
     /// Reusable page-sized read buffer.
     buf: Vec<u8>,
 }
@@ -99,6 +119,8 @@ impl<N> BufferPool<N> {
                 page_count,
                 frames: HashMap::new(),
                 tick: 0,
+                protected_count: 0,
+                sticky: HashSet::new(),
                 buf: Vec::new(),
             }),
             capacity_pages: capacity_pages.max(1),
@@ -110,6 +132,23 @@ impl<N> BufferPool<N> {
     /// The configured capacity in pages.
     pub fn capacity_pages(&self) -> usize {
         self.capacity_pages
+    }
+
+    /// Protected-segment cap: 3/4 of capacity, never below 1. The
+    /// remaining quarter stays probationary churn room, so a scan always
+    /// has somewhere to land without touching the hot set.
+    fn protected_cap(&self) -> usize {
+        self.capacity_pages - self.capacity_pages / 4
+    }
+
+    /// Exempts `id` from eviction — used for the tree root, which every
+    /// traversal touches first and must never fault on a warm pool. The
+    /// exemption is a policy on the page id, not the frame: it applies to
+    /// current and future residency, and survives [`BufferPool::flush`]
+    /// (which still drops the frame itself — a cold reset re-reads the
+    /// root once, then it sticks again).
+    pub fn mark_sticky(&self, id: PageId) {
+        self.lock().sticky.insert(id.0);
     }
 
     /// Cumulative pin hits (fetches served from a resident frame).
@@ -147,10 +186,26 @@ impl<N> BufferPool<N> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(frame) = inner.frames.get_mut(&id.0) {
+        let resident = if let Some(frame) = inner.frames.get_mut(&id.0) {
             frame.pins += 1;
             frame.stamp = tick;
-            let value = Arc::clone(&frame.value);
+            let promoted = !frame.protected;
+            frame.protected = true;
+            Some((Arc::clone(&frame.value), promoted))
+        } else {
+            None
+        };
+        if let Some((value, promoted)) = resident {
+            if promoted {
+                // Re-hit: probationary -> protected. If the protected
+                // segment overflows, its LRU member drops back to
+                // probationary (old stamp kept, so it is next in the
+                // eviction line).
+                inner.protected_count += 1;
+                if inner.protected_count > self.protected_cap() {
+                    inner.demote_lru_protected();
+                }
+            }
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((
                 PagePin {
@@ -165,14 +220,11 @@ impl<N> BufferPool<N> {
             let payload = inner.read_page(id)?;
             Arc::new(decode(payload)?)
         };
-        // Make room: evict unpinned LRU frames; soft-overflow when every
-        // frame is pinned (trimmed back in `unpin`).
+        // Make room: evict unpinned frames (probationary first);
+        // soft-overflow when nothing is evictable (trimmed in `unpin`).
         while inner.frames.len() >= self.capacity_pages {
-            match inner.lru_unpinned() {
-                Some(victim) => {
-                    inner.frames.remove(&victim);
-                }
-                None => break,
+            if !inner.evict_one() {
+                break;
             }
         }
         inner.frames.insert(
@@ -181,6 +233,7 @@ impl<N> BufferPool<N> {
                 value: Arc::clone(&value),
                 pins: 1,
                 stamp: tick,
+                protected: false,
             },
         );
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -201,11 +254,8 @@ impl<N> BufferPool<N> {
             frame.pins = frame.pins.saturating_sub(1);
         }
         while inner.frames.len() > self.capacity_pages {
-            match inner.lru_unpinned() {
-                Some(victim) => {
-                    inner.frames.remove(&victim);
-                }
-                None => break,
+            if !inner.evict_one() {
+                break;
             }
         }
     }
@@ -217,17 +267,53 @@ impl<N> BufferPool<N> {
         let mut inner = self.lock();
         let before = inner.frames.len();
         inner.frames.retain(|_, f| f.pins > 0);
+        inner.protected_count = inner.frames.values().filter(|f| f.protected).count();
         before - inner.frames.len()
     }
 }
 
 impl<N> PoolInner<N> {
-    fn lru_unpinned(&self) -> Option<u64> {
+    /// LRU evictable frame within one segment: unpinned and not sticky.
+    fn victim_in(&self, protected: bool) -> Option<u64> {
         self.frames
             .iter()
-            .filter(|(_, f)| f.pins == 0)
+            .filter(|(k, f)| f.pins == 0 && f.protected == protected && !self.sticky.contains(*k))
             .min_by_key(|(_, f)| f.stamp)
             .map(|(&k, _)| k)
+    }
+
+    /// Removes one evictable frame — probationary LRU first, protected
+    /// LRU only when no probationary frame can go. Returns `false` when
+    /// every frame is pinned or sticky (the soft-overflow case).
+    fn evict_one(&mut self) -> bool {
+        let Some(victim) = self.victim_in(false).or_else(|| self.victim_in(true)) else {
+            return false;
+        };
+        if let Some(frame) = self.frames.remove(&victim) {
+            if frame.protected {
+                self.protected_count -= 1;
+            }
+        }
+        true
+    }
+
+    /// Reclassifies the protected segment's LRU frame as probationary,
+    /// keeping its stamp. Called only when the segment exceeds its cap,
+    /// which implies at least two members — the just-promoted frame
+    /// carries the newest stamp and is never the one picked.
+    fn demote_lru_protected(&mut self) {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.protected)
+            .min_by_key(|(_, f)| f.stamp)
+            .map(|(&k, _)| k);
+        if let Some(k) = victim {
+            if let Some(frame) = self.frames.get_mut(&k) {
+                frame.protected = false;
+                self.protected_count -= 1;
+            }
+        }
     }
 
     /// Reads and verifies one page, returning its payload slice (borrowed
@@ -363,6 +449,93 @@ mod tests {
         assert!(hit, "page 0 was recently used and must survive");
         let (_, hit) = pool.pin(PageId(1), decode).unwrap();
         assert!(!hit, "page 1 was the LRU victim");
+    }
+
+    #[test]
+    fn warm_pool_sized_working_set_repeats_with_zero_misses() {
+        // A working set that exactly fits the pool: after the cold pass,
+        // repeat probes in any order must never fault again.
+        let pool = pool_over(&[b"a", b"b", b"c", b"d"], 4);
+        for i in 0..4 {
+            drop(pool.pin(PageId(i), decode).unwrap());
+        }
+        assert_eq!(pool.misses(), 4);
+        for round in 0..5 {
+            for i in 0..4 {
+                let id = if round % 2 == 0 { i } else { 3 - i };
+                drop(pool.pin(PageId(id), decode).unwrap());
+            }
+        }
+        assert_eq!(pool.misses(), 4, "warm repeat probes must take zero misses");
+        assert_eq!(pool.hits(), 20);
+    }
+
+    #[test]
+    fn protected_working_set_survives_a_one_pass_scan() {
+        // Scan resistance: pages 0..4 are re-referenced (promoted to the
+        // protected segment); a one-shot scan of 12 cold pages — larger
+        // than the whole pool — must churn through probationary frames
+        // only and leave the working set resident.
+        let pages: Vec<Vec<u8>> = (0..16u8).map(|i| vec![b'a' + i]).collect();
+        let refs: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+        let pool = pool_over(&refs, 8);
+        for _ in 0..2 {
+            for i in 0..4 {
+                drop(pool.pin(PageId(i), decode).unwrap());
+            }
+        }
+        for i in 4..16 {
+            drop(pool.pin(PageId(i), decode).unwrap());
+        }
+        let before = pool.misses();
+        for i in 0..4 {
+            let (_, hit) = pool.pin(PageId(i), decode).unwrap();
+            assert!(hit, "page {i} was protected and must survive the scan");
+        }
+        assert_eq!(pool.misses(), before);
+    }
+
+    #[test]
+    fn sticky_pages_are_never_eviction_victims() {
+        let pool = pool_over(&[b"a", b"b", b"c", b"d", b"e", b"f"], 2);
+        pool.mark_sticky(PageId(0));
+        drop(pool.pin(PageId(0), decode).unwrap());
+        // Churn far past capacity: page 0 is untouched the whole time but
+        // must stay resident because it is sticky.
+        for i in 1..6 {
+            drop(pool.pin(PageId(i), decode).unwrap());
+        }
+        let (_, hit) = pool.pin(PageId(0), decode).unwrap();
+        assert!(hit, "sticky page must survive unbounded churn");
+        // `flush` is a cold reset and does drop it — but stickiness is a
+        // policy on the id, so the re-admitted frame is sticky again.
+        pool.flush();
+        let (_, hit) = pool.pin(PageId(0), decode).unwrap();
+        assert!(!hit, "flush drops sticky frames too");
+        for i in 1..6 {
+            drop(pool.pin(PageId(i), decode).unwrap());
+        }
+        let (_, hit) = pool.pin(PageId(0), decode).unwrap();
+        assert!(hit, "stickiness survives the flush");
+    }
+
+    #[test]
+    fn protected_overflow_demotes_lru_back_to_probationary() {
+        // Capacity 4 => protected cap 3. Promoting a fourth page demotes
+        // the protected LRU (page 0) back to probationary, making it the
+        // next eviction victim.
+        let pool = pool_over(&[b"a", b"b", b"c", b"d", b"e"], 4);
+        for i in 0..4 {
+            drop(pool.pin(PageId(i), decode).unwrap());
+        }
+        for i in 0..4 {
+            drop(pool.pin(PageId(i), decode).unwrap()); // promote all four
+        }
+        drop(pool.pin(PageId(4), decode).unwrap()); // evicts demoted page 0
+        let (_, hit) = pool.pin(PageId(1), decode).unwrap();
+        assert!(hit, "page 1 stayed protected");
+        let (_, hit) = pool.pin(PageId(0), decode).unwrap();
+        assert!(!hit, "page 0 was demoted and then evicted");
     }
 
     #[test]

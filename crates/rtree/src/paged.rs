@@ -201,8 +201,12 @@ impl PagedTree {
                 "page file is {actual_len} byte(s), header implies {expected_len}"
             )));
         }
+        let pool = BufferPool::new(file, parsed.page_size, parsed.page_count, capacity_pages);
+        // Every traversal enters through the root: keep it exempt from
+        // eviction so a warm pool never re-faults level 0 of the search.
+        pool.mark_sticky(parsed.root);
         Ok(PagedTree {
-            pool: BufferPool::new(file, parsed.page_size, parsed.page_count, capacity_pages),
+            pool,
             path: path.to_path_buf(),
             root: parsed.root,
             root_level: parsed.root_level,

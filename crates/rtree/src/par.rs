@@ -1,82 +1,46 @@
-//! Fork/join helpers over `std::thread::scope`.
+//! Order-preserving fan-out over the persistent [`tsq_pool`] executor.
 //!
-//! The build image has no crates.io access, so there is no rayon; these
-//! small order-preserving primitives are what the parallel bulk loader,
-//! the partitioned search, and `tsq-core`'s batched executor need. This
-//! crate is the lowest layer that wants them, so it is their single home —
+//! These primitives used to spawn and join fresh OS threads through
+//! `std::thread::scope` on every call — thread-creation tax on every
+//! batch, every sharded scatter, every parallel bulk load. They are now
+//! thin facades over [`tsq_pool::Pool::global`], the process-wide
+//! work-stealing pool: submission is a queue push and a wakeup, workers
+//! are long-lived and parked when idle, and a fan-out issued from inside
+//! pool work runs inline on the owning worker (no deadlock, no
+//! oversubscription).
+//!
+//! This crate is the lowest layer that fans out (STR bulk load,
+//! partitioned search), so it is these helpers' single home —
 //! `tsq_core::executor` re-exports [`parallel_map`].
 //!
 //! Both helpers preserve the sequential output order exactly, which is
 //! what makes every parallel path in the workspace byte-identical to its
 //! sequential oracle regardless of thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::thread;
-
-/// Maps `f` over `items` with up to `threads` workers, preserving order.
+/// Maps `f` over `items` with up to `threads`-way concurrency (the
+/// calling thread plus pool workers), preserving order.
 ///
 /// Workers claim indices from a shared atomic counter (work stealing), so
 /// a workload mixing cheap and expensive items stays balanced. With
-/// `threads <= 1` (or a single item) this is a plain sequential map and
-/// spawns nothing. A panicking worker propagates its panic to the caller
-/// via the scope join, never a deadlock.
+/// `threads <= 1`, a single item, or when already running on the pool
+/// (nested fan-out) this is a plain sequential map and touches no queues.
+/// A panicking item propagates its panic to the caller after the batch
+/// settles, never a deadlock — and the pool keeps serving.
 pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // Poison recovery: a sibling's panic is propagated by
-                    // the join below; a poisoned slot must not add a
-                    // second panic.
-                    let item = tasks[i].lock().unwrap_or_else(|e| e.into_inner()).take();
-                    if let Some(item) = item {
-                        let r = f(item);
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
-                    }
-                })
-            })
-            .collect();
-        // Join explicitly so a worker's panic resurfaces with its own
-        // payload (the scope's implicit join would replace it with a
-        // generic "a scoped thread panicked").
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("worker completed every claimed task")
-        })
-        .collect()
+    tsq_pool::Pool::global().map(threads, items, f)
 }
 
-/// Runs `f` over a set of mutable slices using up to `threads` workers.
+/// Runs `f` over a set of mutable slices using up to `threads`-way
+/// concurrency.
 ///
-/// The slices are distributed in contiguous groups; each worker owns its
-/// group exclusively, so no synchronization is needed beyond the join.
+/// The slices are distributed in contiguous groups; each group is one
+/// pool item owned exclusively by whoever claims it, so no
+/// synchronization is needed beyond the map itself.
 pub(crate) fn par_for_each_slice<T, F>(threads: usize, slices: Vec<&mut [T]>, f: F)
 where
     T: Send,
@@ -98,21 +62,9 @@ where
         parts.push(std::mem::replace(&mut rest, tail));
     }
     let f = &f;
-    thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|part| {
-                scope.spawn(move || {
-                    for s in part {
-                        f(s);
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+    parallel_map(threads, parts, |part| {
+        for s in part {
+            f(s);
         }
     });
 }
@@ -159,5 +111,21 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn nested_parallel_map_runs_inline() {
+        // An outer fan-out whose items fan out again must complete with
+        // exact results — the inner maps inline on the owning worker.
+        let outer: Vec<usize> = (0..6).collect();
+        let got = parallel_map(4, outer, |o| {
+            parallel_map(4, (0..10).collect::<Vec<usize>>(), |i| o * 10 + i)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let want: Vec<usize> = (0..6)
+            .map(|o| (0..10).map(|i| o * 10 + i).sum::<usize>())
+            .collect();
+        assert_eq!(got, want);
     }
 }

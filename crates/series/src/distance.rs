@@ -16,23 +16,72 @@ pub fn euclidean(x: &TimeSeries, y: &TimeSeries) -> f64 {
         .sqrt()
 }
 
-/// Early-abandoning Euclidean distance: returns `None` as soon as the
-/// accumulated squared distance exceeds `threshold^2`. This is the
-/// optimization the paper applies to make sequential scanning competitive
-/// (Table 1, method (b): "stop the distance computation as soon as the
-/// distance exceeds eps" — 10x faster than method (a)).
-pub fn euclidean_early_abandon(x: &TimeSeries, y: &TimeSeries, threshold: f64) -> Option<f64> {
-    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
-    let limit = threshold * threshold;
+/// Width of the blocked early-abandon kernel: the abandon check runs
+/// once per this many elements, so the inner loop is branch-free and
+/// auto-vectorizable.
+const ABANDON_BLOCK: usize = 8;
+
+/// Blocked early-abandoning **squared**-distance kernel: accumulates
+/// `sum (x_i - y_i)^2` and returns `None` as soon as the partial sum
+/// exceeds `limit`, checking once per 8-element block instead of once
+/// per element.
+///
+/// This is the one shared kernel behind [`euclidean_early_abandon`] and
+/// the subsequence engine's bounded scans. Checking per block is exact,
+/// not approximate: squared terms are non-negative, so partial sums are
+/// monotone non-decreasing — once a prefix exceeds `limit` every later
+/// prefix does too, and the block-boundary check reaches the identical
+/// `Some`/`None` decision as the per-element check, with the same
+/// `<=`-stays `>`-abandons tie boundary. Accumulation order is strictly
+/// left to right in a single accumulator, so a returned sum is
+/// bit-identical to the naive loop's.
+///
+/// Slices of unequal length are compared over the shorter prefix; the
+/// callers that require equal lengths assert it themselves.
+pub fn distance_sq_within(x: &[f64], y: &[f64], limit: f64) -> Option<f64> {
+    let n = x.len().min(y.len());
     let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y.iter()) {
-        let d = a - b;
+    let mut i = 0;
+    while i + ABANDON_BLOCK <= n {
+        // Squaring is element-independent and free to vectorize; the
+        // adds stay ordered through one accumulator for bit-identity.
+        let mut sq = [0.0; ABANDON_BLOCK];
+        for j in 0..ABANDON_BLOCK {
+            let d = x[i + j] - y[i + j];
+            sq[j] = d * d;
+        }
+        for s in sq {
+            acc += s;
+        }
+        if acc > limit {
+            return None;
+        }
+        i += ABANDON_BLOCK;
+    }
+    // Per-element checks in the (at most 7-element) tail: the abandon
+    // test only ever runs *after* an addition, exactly like the
+    // pre-blocking kernel — so an empty input is `Some(0.0)` no matter
+    // the limit.
+    while i < n {
+        let d = x[i] - y[i];
         acc += d * d;
         if acc > limit {
             return None;
         }
+        i += 1;
     }
-    Some(acc.sqrt())
+    Some(acc)
+}
+
+/// Early-abandoning Euclidean distance: returns `None` as soon as the
+/// accumulated squared distance exceeds `threshold^2`. This is the
+/// optimization the paper applies to make sequential scanning competitive
+/// (Table 1, method (b): "stop the distance computation as soon as the
+/// distance exceeds eps" — 10x faster than method (a)). Runs on the
+/// blocked [`distance_sq_within`] kernel.
+pub fn euclidean_early_abandon(x: &TimeSeries, y: &TimeSeries, threshold: f64) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "distance requires equal lengths");
+    distance_sq_within(x.values(), y.values(), threshold * threshold).map(f64::sqrt)
 }
 
 /// City-block (L1) distance, mentioned in Section 1 as an alternative
@@ -78,6 +127,69 @@ mod tests {
         let d = euclidean(&x, &y);
         assert_eq!(euclidean_early_abandon(&x, &y, d + 0.1), Some(d));
         assert_eq!(euclidean_early_abandon(&x, &y, d - 0.1), None);
+    }
+
+    /// Per-element early-abandon oracle: the pre-blocking implementation.
+    fn naive_sq_within(x: &[f64], y: &[f64], limit: f64) -> Option<f64> {
+        let mut acc = 0.0;
+        for (a, b) in x.iter().zip(y.iter()) {
+            let d = a - b;
+            acc += d * d;
+            if acc > limit {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_per_element() {
+        // Every length around the 8-wide block boundary, several limits
+        // per pair: the blocked kernel must reach the identical
+        // Some/None decision and, when Some, the bit-identical sum.
+        let mut seed = 0x9E37_79B9_u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        for len in 0..=40 {
+            let x: Vec<f64> = (0..len).map(|_| next() * 4.0).collect();
+            let y: Vec<f64> = (0..len).map(|_| next() * 4.0).collect();
+            let full: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+            for limit in [
+                0.0,
+                full * 0.25,
+                full * 0.5,
+                full - 1e-12,
+                full,
+                full + 1.0,
+                f64::MAX,
+            ] {
+                let want = naive_sq_within(&x, &y, limit);
+                let got = distance_sq_within(&x, &y, limit);
+                match (got, want) {
+                    (Some(g), Some(w)) => {
+                        assert_eq!(g.to_bits(), w.to_bits(), "len {len} limit {limit}")
+                    }
+                    (None, None) => {}
+                    other => panic!("len {len} limit {limit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_tie_boundary_is_exact() {
+        // acc == limit exactly must NOT abandon (`<=` stays, `>` goes).
+        let x = [2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+        let y = [0.0; 9];
+        assert_eq!(distance_sq_within(&x, &y, 5.0), Some(5.0));
+        assert_eq!(distance_sq_within(&x, &y, 4.999), None);
+        // Exactly at the block boundary, too.
+        assert_eq!(distance_sq_within(&x[..8], &y[..8], 4.0), Some(4.0));
+        assert_eq!(distance_sq_within(&x[..8], &y[..8], 3.999), None);
     }
 
     #[test]

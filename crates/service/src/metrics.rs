@@ -145,8 +145,12 @@ impl Metrics {
         };
     }
 
-    /// A point-in-time copy of every counter.
+    /// A point-in-time copy of every counter, plus the executor's
+    /// process-wide work-stealing pool counters sampled live (the pool
+    /// is shared by every relation and request, so the numbers are
+    /// service-level by construction).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let pool = tsq_core::executor::pool_stats();
         let plans = self
             .plans
             .lock()
@@ -174,6 +178,8 @@ impl Metrics {
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             sharded_queries: self.sharded_queries.load(Ordering::Relaxed),
             shards_probed: self.shards_probed.load(Ordering::Relaxed),
+            pool_tasks: pool.tasks,
+            pool_steals: pool.steals,
             plans,
         }
     }
@@ -233,6 +239,11 @@ pub struct MetricsSnapshot {
     pub sharded_queries: u64,
     /// Total shards carrying counters across those queries.
     pub shards_probed: u64,
+    /// Tasks executed by the process-wide work-stealing pool since
+    /// process start (sampled at snapshot time, not per query).
+    pub pool_tasks: u64,
+    /// Tasks a pool worker stole from a sibling's deque.
+    pub pool_steals: u64,
     /// Successful queries per chosen physical operator.
     pub plans: BTreeMap<String, u64>,
 }
@@ -259,6 +270,7 @@ impl MetricsSnapshot {
                 "\"nodes_visited\":{},\"disk_accesses\":{},",
                 "\"pool_hits\":{},\"pool_misses\":{},",
                 "\"sharded_queries\":{},\"shards_probed\":{},",
+                "\"pool_tasks\":{},\"pool_steals\":{},",
                 "\"plans\":{}}}"
             ),
             self.uptime_secs,
@@ -282,6 +294,8 @@ impl MetricsSnapshot {
             self.pool_misses,
             self.sharded_queries,
             self.shards_probed,
+            self.pool_tasks,
+            self.pool_steals,
             plans
         )
     }
@@ -334,6 +348,8 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"queries_ok\":1"));
         assert!(json.contains("\"pool_hits\":7,\"pool_misses\":4"));
+        assert!(json.contains("\"pool_tasks\":"));
+        assert!(json.contains("\"pool_steals\":"));
         assert!(json.contains("\"plans\":{\"SeqScan\":1}"));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

@@ -9,9 +9,14 @@
 //! The crate DAG underneath:
 //!
 //! ```text
+//! tsq-pool ──────────────────┐
 //! tsq-series ─→ tsq-dft ─→ tsq-rtree ─→ tsq-core ─→ tsq-service ─→ tsq-lang
 //!                                            └─────→ tsq-bench
 //! ```
+//!
+//! `tsq-pool` is the persistent work-stealing executor every parallel
+//! path fans out over; it sits below `tsq-rtree` (the lowest crate that
+//! fans out) and is re-exported through `tsq_core::executor`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +25,7 @@ pub use tsq_bench as bench;
 pub use tsq_core as core;
 pub use tsq_dft as dft;
 pub use tsq_lang as lang;
+pub use tsq_pool as pool;
 pub use tsq_rtree as rtree;
 pub use tsq_series as series;
 pub use tsq_service as service;
